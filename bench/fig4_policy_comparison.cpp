@@ -1,0 +1,36 @@
+// Reproduces Fig. 4: the proposed GA scheme versus the WCET^pes-fraction
+// baselines ([1], [4], [9]) and the ACET policy — P_sys^MS and
+// max(U_LC^LO) across HC utilizations.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "exp/policy_sweep.hpp"
+
+int main(int argc, char** argv) {
+  std::uint64_t tasksets = 25;
+  std::uint64_t seed = 7;
+  std::uint64_t ga_population = 40;
+  std::uint64_t ga_generations = 50;
+  mcs::common::Cli cli(
+      "Fig. 4 reproduction: P_sys^MS and max(U_LC^LO) per policy across "
+      "U_HC^HI (use --tasksets=1000 for paper scale)");
+  cli.add_u64("tasksets", &tasksets, "task sets per point (paper: 1000)");
+  cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_u64("ga-population", &ga_population, "GA population size");
+  cli.add_u64("ga-generations", &ga_generations, "GA generations");
+  if (!cli.parse(argc, argv)) return 1;
+
+  mcs::core::OptimizerConfig optimizer;
+  optimizer.ga.population_size = ga_population;
+  optimizer.ga.generations = ga_generations;
+  const std::vector<double> u_values = {0.4, 0.5, 0.6, 0.7, 0.8};
+  const auto points =
+      mcs::exp::run_policy_sweep(u_values, tasksets, seed, optimizer);
+  const mcs::common::Table table = mcs::exp::render_fig4(points);
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nCSV:");
+  std::fputs(table.render_csv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Fig. 6: acceptance ratio (fraction of schedulable random
+// task sets) vs. utilization bound for Baruah [1] and Liu [2], each with
+// and without the proposed Chebyshev scheme.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "exp/fig6.hpp"
+
+int main(int argc, char** argv) {
+  std::uint64_t tasksets = 300;
+  std::uint64_t seed = 11;
+  mcs::common::Cli cli(
+      "Fig. 6 reproduction: acceptance ratio per approach across U_bound "
+      "(use --tasksets=1000 for paper scale)");
+  cli.add_u64("tasksets", &tasksets, "task sets per point (paper: 1000)");
+  cli.add_u64("seed", &seed, "PRNG seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::vector<double> u_values = {0.5,  0.6,  0.7,  0.8,  0.9,
+                                        1.0,  1.1,  1.2,  1.3,  1.4};
+  const auto points = mcs::exp::run_fig6(u_values, tasksets, seed);
+  const mcs::common::Table table = mcs::exp::render_fig6(points);
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nExpected shape (paper Section V-D): everything is "
+            "schedulable at low bounds; as U_bound grows the lambda "
+            "baselines collapse first while the proposed scheme keeps "
+            "accepting task sets.");
+  std::puts("\nCSV:");
+  std::fputs(table.render_csv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Tour of the static WCET substrate (the OTAWA substitute).
+//
+// Builds a small program bottom-up with the structured IR, analyzes it
+// with both engines (timing schema and IPET loop contraction), shows why
+// the two must agree, and then walks the real benchmark kernels through
+// the same analysis next to their measured profiles — making the
+// ACET << WCET^pes gap of the paper's Fig. 1 concrete.
+#include <cstdio>
+
+#include "apps/measurement.hpp"
+#include "apps/registry.hpp"
+#include "wcet/analyzer.hpp"
+#include "wcet/ipet.hpp"
+#include "wcet/program.hpp"
+
+using namespace mcs;
+using wcet::OpClass;
+
+int main() {
+  // 1. A toy program: an outer loop over rows containing a conditional
+  //    fast/slow path and an inner pixel loop.
+  wcet::BasicBlock setup("setup");
+  setup.add(OpClass::kCall, 1).add(OpClass::kAlu, 6).add(OpClass::kLoad, 2);
+
+  wcet::BasicBlock row_header("row.loop");
+  row_header.add(OpClass::kAlu, 2).add(OpClass::kBranch, 1);
+
+  wcet::BasicBlock pixel_header("pixel.loop");
+  pixel_header.add(OpClass::kAlu, 1).add(OpClass::kBranch, 1);
+
+  wcet::BasicBlock pixel_work("pixel.work");
+  pixel_work.add(OpClass::kLoad, 2).add(OpClass::kFpu, 4).add(
+      OpClass::kStore, 1);
+
+  wcet::BasicBlock branch_cond("mode.test");
+  branch_cond.add(OpClass::kLoad, 1).add(OpClass::kBranch, 1);
+
+  wcet::BasicBlock slow_path("slow.path");
+  slow_path.add(OpClass::kDiv, 2).add(OpClass::kFpu, 8);
+
+  wcet::BasicBlock fast_path("fast.path");
+  fast_path.add(OpClass::kAlu, 3);
+
+  const wcet::ProgramPtr program = wcet::seq(
+      {wcet::block(setup),
+       wcet::loop(
+           64, row_header,
+           wcet::seq({wcet::if_else(branch_cond, wcet::block(slow_path),
+                                    wcet::block(fast_path)),
+                      wcet::loop(64, pixel_header,
+                                 wcet::block(pixel_work))}))});
+
+  // 2. Analyze with both engines.
+  const wcet::AnalysisResult result = wcet::analyze_program(*program);
+  std::puts("toy program static analysis (worst-case cost table):");
+  std::printf("  timing-schema bound : %llu cycles\n",
+              static_cast<unsigned long long>(result.wcet_schema));
+  std::printf("  IPET bound          : %llu cycles\n",
+              static_cast<unsigned long long>(result.wcet_ipet));
+  std::printf("  lowered CFG         : %zu blocks, %zu natural loops\n",
+              result.cfg_blocks, result.cfg_loops);
+  std::puts("  (the analyzer cross-checks the two and throws on any "
+            "disagreement)");
+
+  // 3. Inspect the discovered loop structure of the lowered CFG.
+  const wcet::ControlFlowGraph cfg = wcet::lower_program(*program);
+  std::puts("\nnatural loops (innermost first):");
+  for (const wcet::LoopInfo& loop : wcet::find_natural_loops(cfg)) {
+    std::printf("  header block %u: %zu members, bound %llu\n", loop.header,
+                loop.members.size(),
+                static_cast<unsigned long long>(loop.bound));
+  }
+
+  // 4. The same flow on the real Table II kernels: static bound next to
+  //    the measured distribution (400 randomized runs each).
+  std::puts("\nbenchmark kernels: measured profile vs static bound:");
+  std::puts("  kernel      ACET(cyc)   max(cyc)    WCET^pes(cyc)   gap");
+  for (const apps::KernelPtr& kernel : apps::table2_kernels()) {
+    const apps::ExecutionProfile p = apps::measure_kernel(*kernel, 400, 31);
+    std::printf("  %-10s %10.3g %10.3g %14.3g %6.1fx\n", p.name.c_str(),
+                p.acet, p.observed_max, static_cast<double>(p.wcet_pes),
+                p.pessimism_ratio());
+  }
+  std::puts("\nThe gap column is the paper's Fig. 1 story: a conservative "
+            "static bound sits an order of magnitude above what the task "
+            "actually does — the room the Chebyshev scheme reclaims.");
+  return 0;
+}

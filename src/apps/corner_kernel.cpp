@@ -1,0 +1,147 @@
+#include "apps/corner_kernel.hpp"
+
+#include <vector>
+
+#include "apps/cycle_model.hpp"
+
+namespace mcs::apps {
+
+namespace {
+using wcet::OpClass;
+constexpr float kHarrisK = 0.04F;
+constexpr float kResponseThreshold = 1.0e6F;
+}  // namespace
+
+CornerKernel::CornerKernel(SceneConfig scene) : scene_(scene) {}
+
+std::size_t CornerKernel::detect(const Image& img, CycleCounter& cc) const {
+  const std::size_t w = img.width();
+  const std::size_t h = img.height();
+  Image gx(w, h);
+  Image gy(w, h);
+
+  // Pass 1: central-difference gradients.
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const auto lx = static_cast<long>(x);
+      const auto ly = static_cast<long>(y);
+      gx.at(x, y) = img.at_clamped(lx + 1, ly) - img.at_clamped(lx - 1, ly);
+      gy.at(x, y) = img.at_clamped(lx, ly + 1) - img.at_clamped(lx, ly - 1);
+      cc.load(4);
+      cc.fpu(2);
+      cc.store(2);
+      cc.branch(1);
+    }
+  }
+
+  // Pass 2: structure tensor over a 3x3 window + Harris response.
+  Image response(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      float sxx = 0.0F;
+      float syy = 0.0F;
+      float sxy = 0.0F;
+      for (long dy = -1; dy <= 1; ++dy) {
+        for (long dx = -1; dx <= 1; ++dx) {
+          const float ix = gx.at_clamped(static_cast<long>(x) + dx,
+                                         static_cast<long>(y) + dy);
+          const float iy = gy.at_clamped(static_cast<long>(x) + dx,
+                                         static_cast<long>(y) + dy);
+          sxx += ix * ix;
+          syy += iy * iy;
+          sxy += ix * iy;
+          cc.load(2);
+          cc.fpu(6);
+        }
+      }
+      const float det = sxx * syy - sxy * sxy;
+      const float trace = sxx + syy;
+      response.at(x, y) = det - kHarrisK * trace * trace;
+      cc.fpu(6);
+      cc.store(1);
+      cc.branch(1);
+    }
+  }
+
+  // Pass 3: threshold + 3x3 non-maximum suppression + refinement, only on
+  // strong responses (the content-dependent part).
+  std::size_t corners = 0;
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const float r = response.at(x, y);
+      cc.load(1);
+      cc.branch(1);
+      if (r <= kResponseThreshold) continue;
+      bool is_max = true;
+      for (long dy = -1; dy <= 1 && is_max; ++dy) {
+        for (long dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          cc.load(1);
+          cc.fpu(1);
+          cc.branch(1);
+          if (response.at_clamped(static_cast<long>(x) + dx,
+                                  static_cast<long>(y) + dy) > r) {
+            is_max = false;
+            break;
+          }
+        }
+      }
+      if (!is_max) continue;
+      // Subpixel refinement: quadratic fit over the 3x3 neighbourhood.
+      cc.load(9);
+      cc.fpu(24);
+      cc.div(2);
+      cc.store(2);
+      ++corners;
+    }
+  }
+  return corners;
+}
+
+common::Cycles CornerKernel::run_once(common::Rng& rng) const {
+  const Image img = random_scene(scene_, rng);
+  CycleCounter cc;
+  (void)detect(img, cc);
+  return cc.total();
+}
+
+wcet::ProgramPtr CornerKernel::worst_case_program() const {
+  using wcet::BasicBlock;
+  const std::uint64_t pixels =
+      static_cast<std::uint64_t>(scene_.width) * scene_.height;
+
+  BasicBlock gradient_body("corner.gradient");
+  gradient_body.add(OpClass::kLoad, 4)
+      .add(OpClass::kFpu, 2)
+      .add(OpClass::kStore, 2)
+      .add(OpClass::kBranch, 1);
+
+  BasicBlock tensor_body("corner.tensor");
+  tensor_body.add(OpClass::kLoad, 18)
+      .add(OpClass::kFpu, 54 + 6)
+      .add(OpClass::kStore, 1)
+      .add(OpClass::kBranch, 1);
+
+  // Worst case: every pixel passes the threshold, survives suppression
+  // (8 neighbour checks) and is refined.
+  BasicBlock suppress_body("corner.suppress");
+  suppress_body.add(OpClass::kLoad, 1 + 8 + 9)
+      .add(OpClass::kFpu, 8 + 24)
+      .add(OpClass::kDiv, 2)
+      .add(OpClass::kStore, 2)
+      .add(OpClass::kBranch, 10);
+
+  BasicBlock loop_header("corner.loop");
+  loop_header.add(OpClass::kAlu, 2).add(OpClass::kBranch, 1);
+
+  BasicBlock setup("corner.setup");
+  setup.add(OpClass::kCall, 1).add(OpClass::kAlu, 8).add(OpClass::kLoad, 2);
+
+  return wcet::seq(
+      {wcet::block(setup),
+       wcet::loop(pixels, loop_header, wcet::block(gradient_body)),
+       wcet::loop(pixels, loop_header, wcet::block(tensor_body)),
+       wcet::loop(pixels, loop_header, wcet::block(suppress_body))});
+}
+
+}  // namespace mcs::apps

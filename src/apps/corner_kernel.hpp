@@ -1,0 +1,33 @@
+// Instrumented Harris-style corner detector — the paper's "corner"
+// application (from the image-processing benchmark family).
+//
+// Dynamic work has a fixed per-pixel part (gradients + corner response) and
+// a content-dependent part (non-maximum suppression and subpixel
+// refinement run only on strong responses), so scenes with more features
+// take longer. The static worst case assumes every pixel is a corner.
+#pragma once
+
+#include "apps/cycle_model.hpp"
+#include "apps/image.hpp"
+#include "apps/kernel.hpp"
+
+namespace mcs::apps {
+
+/// Harris-like corner detection kernel.
+class CornerKernel final : public Kernel {
+ public:
+  explicit CornerKernel(SceneConfig scene = {});
+
+  [[nodiscard]] std::string name() const override { return "corner"; }
+  [[nodiscard]] common::Cycles run_once(common::Rng& rng) const override;
+  [[nodiscard]] wcet::ProgramPtr worst_case_program() const override;
+
+  /// Runs the detector on a caller-provided image (exposed for tests);
+  /// returns the number of corners found.
+  std::size_t detect(const Image& img, CycleCounter& cc) const;
+
+ private:
+  SceneConfig scene_;
+};
+
+}  // namespace mcs::apps

@@ -1,0 +1,17 @@
+#include "apps/cycle_model.hpp"
+
+namespace mcs::apps {
+
+CycleCounter::CycleCounter(const wcet::CostModel& model) : model_(model) {}
+
+void CycleCounter::add(wcet::OpClass op, std::size_t n) {
+  total_ += static_cast<common::Cycles>(n) * model_.op_cost(op);
+  instructions_ += n;
+}
+
+void CycleCounter::reset() {
+  total_ = 0;
+  instructions_ = 0;
+}
+
+}  // namespace mcs::apps

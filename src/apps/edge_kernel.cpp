@@ -1,0 +1,121 @@
+#include "apps/edge_kernel.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "apps/cycle_model.hpp"
+
+namespace mcs::apps {
+
+namespace {
+using wcet::OpClass;
+constexpr float kEdgeThreshold = 60.0F;
+}  // namespace
+
+EdgeKernel::EdgeKernel(SceneConfig scene) : scene_(scene) {}
+
+std::size_t EdgeKernel::detect(const Image& img, CycleCounter& cc) const {
+  const std::size_t w = img.width();
+  const std::size_t h = img.height();
+  std::vector<char> is_edge(w * h, 0);
+
+  // Pass 1: Sobel magnitude + threshold.
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const auto lx = static_cast<long>(x);
+      const auto ly = static_cast<long>(y);
+      const float gx = img.at_clamped(lx + 1, ly - 1) +
+                       2.0F * img.at_clamped(lx + 1, ly) +
+                       img.at_clamped(lx + 1, ly + 1) -
+                       img.at_clamped(lx - 1, ly - 1) -
+                       2.0F * img.at_clamped(lx - 1, ly) -
+                       img.at_clamped(lx - 1, ly + 1);
+      const float gy = img.at_clamped(lx - 1, ly + 1) +
+                       2.0F * img.at_clamped(lx, ly + 1) +
+                       img.at_clamped(lx + 1, ly + 1) -
+                       img.at_clamped(lx - 1, ly - 1) -
+                       2.0F * img.at_clamped(lx, ly - 1) -
+                       img.at_clamped(lx + 1, ly - 1);
+      cc.load(8);
+      cc.fpu(12);
+      const float mag = std::abs(gx) + std::abs(gy);
+      cc.fpu(3);
+      cc.branch(1);
+      if (mag > kEdgeThreshold) {
+        is_edge[y * w + x] = 1;
+        cc.store(1);
+      }
+    }
+  }
+
+  // Pass 2: 8-neighbour linking on edge pixels (content-dependent).
+  std::size_t edges = 0;
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      cc.load(1);
+      cc.branch(1);
+      if (!is_edge[y * w + x]) continue;
+      ++edges;
+      std::size_t neighbours = 0;
+      for (long dy = -1; dy <= 1; ++dy) {
+        for (long dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const long nx = static_cast<long>(x) + dx;
+          const long ny = static_cast<long>(y) + dy;
+          cc.alu(2);
+          cc.branch(1);
+          if (nx < 0 || ny < 0 || nx >= static_cast<long>(w) ||
+              ny >= static_cast<long>(h))
+            continue;
+          cc.load(1);
+          neighbours += static_cast<std::size_t>(
+              is_edge[static_cast<std::size_t>(ny) * w +
+                      static_cast<std::size_t>(nx)]);
+        }
+      }
+      // Chain bookkeeping for connected edge pixels.
+      cc.alu(3 + neighbours);
+      cc.store(1);
+    }
+  }
+  return edges;
+}
+
+common::Cycles EdgeKernel::run_once(common::Rng& rng) const {
+  const Image img = random_scene(scene_, rng);
+  CycleCounter cc;
+  (void)detect(img, cc);
+  return cc.total();
+}
+
+wcet::ProgramPtr EdgeKernel::worst_case_program() const {
+  using wcet::BasicBlock;
+  const std::uint64_t pixels =
+      static_cast<std::uint64_t>(scene_.width) * scene_.height;
+
+  BasicBlock sobel_body("edge.sobel");
+  sobel_body.add(OpClass::kLoad, 8)
+      .add(OpClass::kFpu, 15)
+      .add(OpClass::kStore, 1)
+      .add(OpClass::kBranch, 2);
+
+  // Worst case: every pixel is an edge pixel with all 8 neighbours set.
+  BasicBlock link_body("edge.link");
+  link_body.add(OpClass::kLoad, 9)
+      .add(OpClass::kAlu, 2 * 8 + 11)
+      .add(OpClass::kStore, 1)
+      .add(OpClass::kBranch, 10);
+
+  BasicBlock loop_header("edge.loop");
+  loop_header.add(OpClass::kAlu, 2).add(OpClass::kBranch, 1);
+
+  BasicBlock setup("edge.setup");
+  setup.add(OpClass::kCall, 1).add(OpClass::kAlu, 6).add(OpClass::kLoad, 2);
+
+  return wcet::seq(
+      {wcet::block(setup),
+       wcet::loop(pixels, loop_header, wcet::block(sobel_body)),
+       wcet::loop(pixels, loop_header, wcet::block(link_body))});
+}
+
+}  // namespace mcs::apps

@@ -1,0 +1,31 @@
+// Instrumented Sobel edge detector with edge linking — the paper's "edge"
+// application.
+//
+// Fixed per-pixel Sobel work plus a content-dependent linking pass over
+// pixels whose gradient magnitude exceeds the threshold. Worst case: every
+// pixel is an edge pixel.
+#pragma once
+
+#include "apps/cycle_model.hpp"
+#include "apps/image.hpp"
+#include "apps/kernel.hpp"
+
+namespace mcs::apps {
+
+/// Sobel + linking edge detection kernel.
+class EdgeKernel final : public Kernel {
+ public:
+  explicit EdgeKernel(SceneConfig scene = {});
+
+  [[nodiscard]] std::string name() const override { return "edge"; }
+  [[nodiscard]] common::Cycles run_once(common::Rng& rng) const override;
+  [[nodiscard]] wcet::ProgramPtr worst_case_program() const override;
+
+  /// Runs on a caller-provided image; returns the number of edge pixels.
+  std::size_t detect(const Image& img, CycleCounter& cc) const;
+
+ private:
+  SceneConfig scene_;
+};
+
+}  // namespace mcs::apps

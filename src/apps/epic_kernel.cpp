@@ -1,0 +1,149 @@
+#include "apps/epic_kernel.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/cycle_model.hpp"
+
+namespace mcs::apps {
+
+namespace {
+using wcet::OpClass;
+constexpr float kQuantStep = 12.0F;
+}  // namespace
+
+EpicKernel::EpicKernel(SceneConfig scene) : scene_(scene) {}
+
+std::size_t EpicKernel::encode(const Image& img, CycleCounter& cc) const {
+  std::size_t symbols = 0;
+  Image current = img;
+
+  for (std::size_t level = 0; level < kLevels; ++level) {
+    const std::size_t w = current.width();
+    const std::size_t h = current.height();
+    const std::size_t hw = std::max<std::size_t>(1, w / 2);
+    const std::size_t hh = std::max<std::size_t>(1, h / 2);
+    Image low(hw, hh);
+
+    // Analysis: 2x2 average becomes the next level; the residual detail
+    // coefficients are quantized.
+    std::vector<std::int32_t> detail;
+    detail.reserve(w * h);
+    for (std::size_t y = 0; y < hh; ++y) {
+      for (std::size_t x = 0; x < hw; ++x) {
+        const float a = current.at_clamped(2 * static_cast<long>(x),
+                                           2 * static_cast<long>(y));
+        const float b = current.at_clamped(2 * static_cast<long>(x) + 1,
+                                           2 * static_cast<long>(y));
+        const float c = current.at_clamped(2 * static_cast<long>(x),
+                                           2 * static_cast<long>(y) + 1);
+        const float d = current.at_clamped(2 * static_cast<long>(x) + 1,
+                                           2 * static_cast<long>(y) + 1);
+        const float avg = 0.25F * (a + b + c + d);
+        low.at(x, y) = avg;
+        cc.load(4);
+        cc.fpu(5);
+        cc.store(1);
+        for (const float v : {a - avg, b - avg, c - avg}) {
+          detail.push_back(
+              static_cast<std::int32_t>(std::lround(v / kQuantStep)));
+          cc.fpu(2);
+          cc.div(1);
+          cc.store(1);
+        }
+        cc.branch(1);
+      }
+    }
+
+    // Entropy coding: zero runs are cheap (one run symbol), nonzero
+    // coefficients cost a variable-length code proportional to magnitude.
+    std::size_t run = 0;
+    for (const std::int32_t q : detail) {
+      cc.load(1);
+      cc.branch(1);
+      if (q == 0) {
+        ++run;
+        cc.alu(1);
+        continue;
+      }
+      if (run > 0) {
+        ++symbols;  // flush run symbol
+        cc.alu(2);
+        cc.store(1);
+        run = 0;
+      }
+      const auto magnitude = static_cast<std::uint32_t>(q < 0 ? -q : q);
+      std::size_t bits = 1;
+      std::uint32_t m = magnitude;
+      while (m >>= 1U) {
+        ++bits;
+        cc.alu(1);
+        cc.branch(1);
+      }
+      cc.alu(3 + bits);
+      cc.store(1);
+      ++symbols;
+    }
+    if (run > 0) {
+      ++symbols;
+      cc.alu(2);
+      cc.store(1);
+    }
+    current = std::move(low);
+  }
+  return symbols;
+}
+
+common::Cycles EpicKernel::run_once(common::Rng& rng) const {
+  const Image img = random_scene(scene_, rng);
+  CycleCounter cc;
+  (void)encode(img, cc);
+  return cc.total();
+}
+
+wcet::ProgramPtr EpicKernel::worst_case_program() const {
+  using wcet::BasicBlock;
+
+  // Per level: hw*hh 2x2 analysis steps, each emitting 3 coefficients that
+  // in the worst case are all nonzero with maximal-magnitude codes.
+  std::vector<wcet::ProgramPtr> levels;
+  std::size_t w = scene_.width;
+  std::size_t h = scene_.height;
+  for (std::size_t level = 0; level < kLevels; ++level) {
+    const std::size_t hw = std::max<std::size_t>(1, w / 2);
+    const std::size_t hh = std::max<std::size_t>(1, h / 2);
+
+    BasicBlock analysis("epic.analysis");
+    analysis.add(OpClass::kLoad, 4)
+        .add(OpClass::kFpu, 5 + 6)
+        .add(OpClass::kDiv, 3)
+        .add(OpClass::kStore, 4)
+        .add(OpClass::kBranch, 1);
+
+    // Worst-case coefficient coding: 32-bit magnitude (32 shift steps).
+    BasicBlock coding("epic.coding");
+    coding.add(OpClass::kLoad, 1)
+        .add(OpClass::kAlu, 32 + 35)
+        .add(OpClass::kStore, 1)
+        .add(OpClass::kBranch, 34);
+
+    BasicBlock loop_header("epic.loop");
+    loop_header.add(OpClass::kAlu, 2).add(OpClass::kBranch, 1);
+
+    levels.push_back(wcet::loop(static_cast<std::uint64_t>(hw) * hh,
+                                loop_header, wcet::block(analysis)));
+    levels.push_back(wcet::loop(static_cast<std::uint64_t>(hw) * hh * 3,
+                                loop_header, wcet::block(coding)));
+    w = hw;
+    h = hh;
+  }
+
+  BasicBlock setup("epic.setup");
+  setup.add(OpClass::kCall, 1).add(OpClass::kAlu, 10).add(OpClass::kLoad, 4);
+  std::vector<wcet::ProgramPtr> program{wcet::block(setup)};
+  program.insert(program.end(), levels.begin(), levels.end());
+  return wcet::seq(std::move(program));
+}
+
+}  // namespace mcs::apps

@@ -1,0 +1,37 @@
+// Instrumented pyramid image coder — the paper's "epic" application (EPIC:
+// Efficient Pyramid Image Coder, from MediaBench).
+//
+// Builds a 3-level half-resolution pyramid, quantizes the detail
+// coefficients and run-length + variable-length codes them. Coding work
+// depends on the scene's compressibility (runs of zero coefficients), so
+// execution time varies with content. The static worst case assumes no
+// coefficient quantizes to zero (every symbol is coded at full cost), which
+// makes epic's WCET^pes/ACET ratio the largest in Table I.
+#pragma once
+
+#include "apps/cycle_model.hpp"
+#include "apps/image.hpp"
+#include "apps/kernel.hpp"
+
+namespace mcs::apps {
+
+/// EPIC-like pyramid coder kernel.
+class EpicKernel final : public Kernel {
+ public:
+  explicit EpicKernel(SceneConfig scene = {});
+
+  /// Pyramid depth (levels of half-resolution decomposition).
+  static constexpr std::size_t kLevels = 3;
+
+  [[nodiscard]] std::string name() const override { return "epic"; }
+  [[nodiscard]] common::Cycles run_once(common::Rng& rng) const override;
+  [[nodiscard]] wcet::ProgramPtr worst_case_program() const override;
+
+  /// Encodes a caller-provided image; returns the coded symbol count.
+  std::size_t encode(const Image& img, CycleCounter& cc) const;
+
+ private:
+  SceneConfig scene_;
+};
+
+}  // namespace mcs::apps

@@ -1,0 +1,157 @@
+#include "apps/fft_kernel.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::apps {
+
+namespace {
+using wcet::OpClass;
+constexpr double kPeakThresholdFactor = 4.0;
+}  // namespace
+
+FftKernel::FftKernel(std::size_t size) : size_(size), stages_(0) {
+  if (size < 8 || (size & (size - 1)) != 0)
+    throw std::invalid_argument("FftKernel: size must be a power of two >= 8");
+  for (std::size_t s = size; s > 1; s >>= 1U) ++stages_;
+}
+
+std::string FftKernel::name() const { return "fft-" + std::to_string(size_); }
+
+common::Cycles FftKernel::run_once(common::Rng& rng) const {
+  // Input: a noisy mixture of 1-4 sinusoids (content-dependent peaks).
+  std::vector<std::complex<double>> data(size_);
+  const std::uint64_t tones = rng.uniform_u64(1, 4);
+  std::vector<double> freqs(tones);
+  std::vector<double> amps(tones);
+  for (std::uint64_t k = 0; k < tones; ++k) {
+    freqs[k] = rng.uniform(1.0, static_cast<double>(size_) / 2.0);
+    amps[k] = rng.uniform(0.5, 3.0);
+  }
+  for (std::size_t i = 0; i < size_; ++i) {
+    double v = rng.normal(0.0, 0.3);
+    for (std::uint64_t k = 0; k < tones; ++k)
+      v += amps[k] * std::sin(2.0 * std::numbers::pi * freqs[k] *
+                              static_cast<double>(i) /
+                              static_cast<double>(size_));
+    data[i] = {v, 0.0};
+  }
+
+  CycleCounter cc;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < size_; ++i) {
+    std::size_t bit = size_ >> 1U;
+    for (; j & bit; bit >>= 1U) {
+      j ^= bit;
+      cc.alu(2);
+      cc.branch(1);
+    }
+    j ^= bit;
+    cc.alu(2);
+    if (i < j) {
+      std::swap(data[i], data[j]);
+      cc.load(2);
+      cc.store(2);
+    }
+    cc.branch(1);
+  }
+
+  // Butterfly stages.
+  for (std::size_t len = 2; len <= size_; len <<= 1U) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < size_; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+        cc.load(2);
+        cc.fpu(10);  // complex multiply + two adds
+        cc.store(2);
+        cc.branch(1);
+      }
+    }
+  }
+
+  // Content-dependent stage: refine every spectral peak above the mean
+  // magnitude by a threshold factor.
+  double mean_mag = 0.0;
+  for (const auto& bin : data) {
+    mean_mag += std::abs(bin);
+    cc.load(1);
+    cc.fpu(3);
+  }
+  mean_mag /= static_cast<double>(size_);
+  cc.div(1);
+  for (std::size_t i = 0; i < size_ / 2; ++i) {
+    cc.load(1);
+    cc.fpu(1);
+    cc.branch(1);
+    const double magnitude = std::abs(data[i]);
+    if (magnitude > kPeakThresholdFactor * mean_mag) {
+      // Parabolic interpolation of the peak position + an iterative phase
+      // refinement whose step count grows with the peak's prominence
+      // (bounded; the static program charges the bound).
+      const auto refine_steps = static_cast<std::size_t>(
+          std::min(32.0, magnitude / std::max(mean_mag, 1e-12)));
+      cc.load(3);
+      cc.fpu(18 + 4 * refine_steps);
+      cc.div(2);
+      cc.store(1);
+    }
+  }
+  return cc.total();
+}
+
+wcet::ProgramPtr FftKernel::worst_case_program() const {
+  using wcet::BasicBlock;
+
+  BasicBlock reversal_body("fft.bitrev");
+  reversal_body.add(OpClass::kAlu, 6)
+      .add(OpClass::kLoad, 2)
+      .add(OpClass::kStore, 2)
+      .add(OpClass::kBranch, 2);
+
+  BasicBlock butterfly_body("fft.butterfly");
+  butterfly_body.add(OpClass::kLoad, 2)
+      .add(OpClass::kFpu, 10)
+      .add(OpClass::kStore, 2)
+      .add(OpClass::kBranch, 1);
+
+  BasicBlock magnitude_body("fft.magnitude");
+  magnitude_body.add(OpClass::kLoad, 1).add(OpClass::kFpu, 3).add(
+      OpClass::kBranch, 1);
+
+  // Worst case: every bin is a peak refined at the full 32-step budget.
+  BasicBlock peak_body("fft.peak");
+  peak_body.add(OpClass::kLoad, 4)
+      .add(OpClass::kFpu, 19 + 4 * 32)
+      .add(OpClass::kDiv, 2)
+      .add(OpClass::kStore, 1)
+      .add(OpClass::kBranch, 2);
+
+  BasicBlock loop_header("fft.loop");
+  loop_header.add(OpClass::kAlu, 2).add(OpClass::kBranch, 1);
+
+  BasicBlock setup("fft.setup");
+  setup.add(OpClass::kCall, 1).add(OpClass::kAlu, 8).add(OpClass::kLoad, 2);
+
+  // stages * (size/2) butterflies; bit reversal touches every element.
+  return wcet::seq(
+      {wcet::block(setup),
+       wcet::loop(size_, loop_header, wcet::block(reversal_body)),
+       wcet::loop(stages_, loop_header,
+                  wcet::loop(size_ / 2, loop_header,
+                             wcet::block(butterfly_body))),
+       wcet::loop(size_, loop_header, wcet::block(magnitude_body)),
+       wcet::loop(size_ / 2, loop_header, wcet::block(peak_body))});
+}
+
+}  // namespace mcs::apps

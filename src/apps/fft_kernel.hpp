@@ -1,0 +1,33 @@
+// Instrumented radix-2 FFT kernel (kernel-zoo extension beyond the
+// paper's seven Table I applications).
+//
+// The iterative Cooley-Tukey butterfly schedule is data-independent, so
+// the transform itself has near-constant cost; the variance comes from an
+// input-dependent post-processing stage (spectral peak extraction: only
+// bins above a threshold are refined). This gives the kernel the "mostly
+// flat with a content-driven tail" distribution shape, a useful contrast
+// to the heavily data-dependent kernels when testing assignment policies.
+#pragma once
+
+#include <cstddef>
+
+#include "apps/cycle_model.hpp"
+#include "apps/kernel.hpp"
+
+namespace mcs::apps {
+
+/// fft-<size> kernel. Size must be a power of two >= 8.
+class FftKernel final : public Kernel {
+ public:
+  explicit FftKernel(std::size_t size);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] common::Cycles run_once(common::Rng& rng) const override;
+  [[nodiscard]] wcet::ProgramPtr worst_case_program() const override;
+
+ private:
+  std::size_t size_;
+  std::size_t stages_;
+};
+
+}  // namespace mcs::apps

@@ -1,0 +1,37 @@
+// Benchmark kernel interface.
+//
+// A kernel is one of the paper's applications (qsort, corner, edge, smooth,
+// epic): it can (a) execute once on a freshly randomized input while
+// counting cycles — the measurement path that replaces MEET — and (b)
+// describe its worst case as a structured program for the static analyzer —
+// the path that replaces OTAWA and yields WCET^pes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "wcet/program.hpp"
+
+namespace mcs::apps {
+
+/// One instrumented application.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Application name as it appears in Table I (e.g. "qsort-100").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Generates a random input from `rng`, runs the algorithm, and returns
+  /// the dynamic cycle count.
+  [[nodiscard]] virtual common::Cycles run_once(common::Rng& rng) const = 0;
+
+  /// Structured worst-case program for static WCET analysis.
+  [[nodiscard]] virtual wcet::ProgramPtr worst_case_program() const = 0;
+};
+
+using KernelPtr = std::shared_ptr<const Kernel>;
+
+}  // namespace mcs::apps

@@ -1,0 +1,84 @@
+#include "apps/matmul_kernel.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::apps {
+
+namespace {
+using wcet::OpClass;
+}  // namespace
+
+MatmulKernel::MatmulKernel(std::size_t n) : n_(n) {
+  if (n < 2) throw std::invalid_argument("MatmulKernel: n must be >= 2");
+}
+
+std::string MatmulKernel::name() const {
+  return "matmul-" + std::to_string(n_);
+}
+
+common::Cycles MatmulKernel::run_once(common::Rng& rng) const {
+  // Per-input sparsity: between 10% and 90% nonzeros.
+  const double density = rng.uniform(0.1, 0.9);
+  std::vector<float> a(n_ * n_, 0.0F);
+  std::vector<float> b(n_ * n_, 0.0F);
+  for (auto* m : {&a, &b})
+    for (float& x : *m)
+      if (rng.bernoulli(density))
+        x = static_cast<float>(rng.uniform(-10.0, 10.0));
+
+  std::vector<float> c(n_ * n_, 0.0F);
+  CycleCounter cc;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      const float aik = a[i * n_ + k];
+      cc.load(1);
+      cc.branch(1);
+      if (aik == 0.0F) continue;  // skip the whole inner row
+      for (std::size_t j = 0; j < n_; ++j) {
+        const float bkj = b[k * n_ + j];
+        cc.load(1);
+        cc.branch(1);
+        if (bkj == 0.0F) continue;
+        c[i * n_ + j] += aik * bkj;
+        cc.load(1);
+        cc.fpu(2);
+        cc.store(1);
+      }
+    }
+  }
+  return cc.total();
+}
+
+wcet::ProgramPtr MatmulKernel::worst_case_program() const {
+  using wcet::BasicBlock;
+
+  // Worst case: fully dense operands — every multiply-accumulate runs.
+  BasicBlock inner_body("matmul.mac");
+  inner_body.add(OpClass::kLoad, 2)
+      .add(OpClass::kFpu, 2)
+      .add(OpClass::kStore, 1)
+      .add(OpClass::kBranch, 2);
+
+  BasicBlock mid_header("matmul.k");
+  mid_header.add(OpClass::kLoad, 1).add(OpClass::kAlu, 2).add(
+      OpClass::kBranch, 2);
+
+  BasicBlock outer_header("matmul.i");
+  outer_header.add(OpClass::kAlu, 2).add(OpClass::kBranch, 1);
+
+  BasicBlock inner_header("matmul.j");
+  inner_header.add(OpClass::kAlu, 1).add(OpClass::kBranch, 1);
+
+  BasicBlock setup("matmul.setup");
+  setup.add(OpClass::kCall, 1).add(OpClass::kAlu, 6).add(OpClass::kLoad, 3);
+
+  return wcet::seq(
+      {wcet::block(setup),
+       wcet::loop(n_, outer_header,
+                  wcet::loop(n_, mid_header,
+                             wcet::loop(n_, inner_header,
+                                        wcet::block(inner_body))))});
+}
+
+}  // namespace mcs::apps

@@ -1,0 +1,31 @@
+// Instrumented sparse-aware matrix multiply kernel (kernel-zoo extension
+// beyond the paper's Table I applications).
+//
+// Multiplies two randomly sparse matrices, skipping zero operands — the
+// classic embedded trick whose execution time depends on the operand
+// density. Density is drawn per input, so the distribution spans a wide
+// range between the all-zero best case and the dense worst case; the
+// static worst-case program assumes full density.
+#pragma once
+
+#include <cstddef>
+
+#include "apps/cycle_model.hpp"
+#include "apps/kernel.hpp"
+
+namespace mcs::apps {
+
+/// matmul-<n> kernel: n x n matrices. Requires n >= 2.
+class MatmulKernel final : public Kernel {
+ public:
+  explicit MatmulKernel(std::size_t n);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] common::Cycles run_once(common::Rng& rng) const override;
+  [[nodiscard]] wcet::ProgramPtr worst_case_program() const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace mcs::apps

@@ -1,0 +1,53 @@
+#include "apps/measurement.hpp"
+
+#include <stdexcept>
+
+#include "common/stats_accumulator.hpp"
+#include "wcet/analyzer.hpp"
+
+namespace mcs::apps {
+
+double ExecutionProfile::overrun_rate(double threshold) const {
+  if (samples.empty()) return 0.0;
+  std::size_t over = 0;
+  for (const double s : samples)
+    if (s > threshold) ++over;
+  return static_cast<double>(over) / static_cast<double>(samples.size());
+}
+
+double ExecutionProfile::pessimism_ratio() const {
+  if (acet <= 0.0) return 0.0;
+  return static_cast<double>(wcet_pes) / acet;
+}
+
+ExecutionProfile measure_kernel(const Kernel& kernel, std::size_t samples,
+                                std::uint64_t seed) {
+  if (samples == 0)
+    throw std::invalid_argument("measure_kernel: samples must be >= 1");
+  ExecutionProfile profile;
+  profile.name = kernel.name();
+  profile.samples.reserve(samples);
+
+  common::Rng rng(seed);
+  common::StatsAccumulator acc;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const common::Cycles cycles = kernel.run_once(rng);
+    const auto value = static_cast<double>(cycles);
+    profile.samples.push_back(value);
+    acc.add(value);
+  }
+  profile.acet = acc.mean();
+  profile.sigma = acc.stddev();
+  profile.observed_max = acc.max();
+
+  const wcet::AnalysisResult analysis =
+      wcet::analyze_program(*kernel.worst_case_program());
+  profile.wcet_pes = analysis.wcet();
+  if (static_cast<double>(profile.wcet_pes) < profile.observed_max)
+    throw std::logic_error("measure_kernel: static WCET below an observed "
+                           "execution time for " + profile.name +
+                           " — worst-case program is not conservative");
+  return profile;
+}
+
+}  // namespace mcs::apps

@@ -1,0 +1,49 @@
+// Measurement campaigns: run a kernel m times on randomized inputs and
+// summarize its execution-time distribution.
+//
+// This reproduces the paper's data-collection protocol (Section IV-A /
+// Section V-A: "we execute five applications with 20000 different inputs
+// with MEET to achieve their execution times") and pairs the dynamic
+// samples with the static analyzer's WCET^pes for the same kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/kernel.hpp"
+#include "common/units.hpp"
+#include "stats/empirical.hpp"
+
+namespace mcs::apps {
+
+/// Execution-time characterization of one application.
+struct ExecutionProfile {
+  std::string name;                    ///< kernel name (Table I row label)
+  std::vector<double> samples;         ///< cycle counts, one per run
+  double acet = 0.0;                   ///< sample mean (Eq. 3)
+  double sigma = 0.0;                  ///< population stddev (Eq. 4)
+  double observed_max = 0.0;           ///< high-water mark over the campaign
+  common::Cycles wcet_pes = 0;         ///< static bound (OTAWA substitute)
+
+  /// Empirical distribution over the campaign's samples.
+  [[nodiscard]] stats::EmpiricalDistribution empirical() const {
+    return stats::EmpiricalDistribution(samples);
+  }
+
+  /// Fraction of samples strictly above `threshold` cycles — the Table I
+  /// "% of samples that overruns" metric.
+  [[nodiscard]] double overrun_rate(double threshold) const;
+
+  /// WCET^pes / ACET gap factor (paper's motivation: 8x-64x).
+  [[nodiscard]] double pessimism_ratio() const;
+};
+
+/// Runs `samples` randomized executions of `kernel` (deterministic in
+/// `seed`), computes the moments and the static WCET, and checks the
+/// static bound dominates every observation. Requires samples >= 1.
+[[nodiscard]] ExecutionProfile measure_kernel(const Kernel& kernel,
+                                              std::size_t samples,
+                                              std::uint64_t seed);
+
+}  // namespace mcs::apps

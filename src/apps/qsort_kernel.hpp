@@ -1,0 +1,39 @@
+// Instrumented quicksort — the paper's "qsort-10/100/10000" applications.
+//
+// The dynamic path sorts a uniformly random permutation with Hoare
+// partitioning and first-element pivots, counting each comparison, swap and
+// recursive call. Average work is O(k log k); the adversarial worst case
+// (already-sorted input under a first-element pivot) degenerates towards
+// O(k^2), which is why the paper's WCET^pes/ACET ratio for qsort grows with
+// the input size. The static worst-case program bounds the recursion depth
+// by an introsort-style limit and per-level partition work by k, so the
+// ratio grows with k as in Table I.
+#pragma once
+
+#include <cstddef>
+
+#include "apps/kernel.hpp"
+
+namespace mcs::apps {
+
+/// qsort-<size> kernel.
+class QsortKernel final : public Kernel {
+ public:
+  /// Requires size >= 2.
+  explicit QsortKernel(std::size_t size);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] common::Cycles run_once(common::Rng& rng) const override;
+  [[nodiscard]] wcet::ProgramPtr worst_case_program() const override;
+
+  /// The analyzer's bound on quicksort recursion depth for `size` elements
+  /// (introsort-style: ~k^0.6, between the log-depth average and the
+  /// linear-depth adversarial worst case, calibrated so the WCET^pes/ACET
+  /// gap grows with the input size as in the paper's Table I).
+  [[nodiscard]] static std::size_t depth_bound(std::size_t size);
+
+ private:
+  std::size_t size_;
+};
+
+}  // namespace mcs::apps

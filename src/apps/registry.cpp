@@ -1,0 +1,42 @@
+#include "apps/registry.hpp"
+
+#include "apps/corner_kernel.hpp"
+#include "apps/edge_kernel.hpp"
+#include "apps/epic_kernel.hpp"
+#include "apps/fft_kernel.hpp"
+#include "apps/matmul_kernel.hpp"
+#include "apps/qsort_kernel.hpp"
+#include "apps/smooth_kernel.hpp"
+
+namespace mcs::apps {
+
+std::vector<KernelPtr> table1_kernels(std::size_t large_qsort) {
+  return {
+      std::make_shared<QsortKernel>(10),
+      std::make_shared<QsortKernel>(100),
+      std::make_shared<QsortKernel>(large_qsort),
+      std::make_shared<CornerKernel>(),
+      std::make_shared<EdgeKernel>(),
+      std::make_shared<SmoothKernel>(),
+      std::make_shared<EpicKernel>(),
+  };
+}
+
+std::vector<KernelPtr> table2_kernels() {
+  return {
+      std::make_shared<QsortKernel>(100),
+      std::make_shared<CornerKernel>(),
+      std::make_shared<EdgeKernel>(),
+      std::make_shared<SmoothKernel>(),
+      std::make_shared<EpicKernel>(),
+  };
+}
+
+std::vector<KernelPtr> all_kernels(std::size_t large_qsort) {
+  std::vector<KernelPtr> kernels = table1_kernels(large_qsort);
+  kernels.push_back(std::make_shared<FftKernel>(256));
+  kernels.push_back(std::make_shared<MatmulKernel>(24));
+  return kernels;
+}
+
+}  // namespace mcs::apps

@@ -1,0 +1,31 @@
+// Registry of the paper's benchmark applications.
+//
+// Table I characterizes seven applications: qsort at three input sizes
+// (10, 100, 10000) plus corner, edge, smooth and epic. Table II and the
+// motivational example use the five "real" applications (qsort-100,
+// corner, edge, smooth, epic).
+#pragma once
+
+#include <vector>
+
+#include "apps/kernel.hpp"
+
+namespace mcs::apps {
+
+/// The full Table I application list, in paper order. `large_qsort` scales
+/// the largest qsort instance (default 10000, as in the paper; benches
+/// offer a smaller default for quick runs).
+[[nodiscard]] std::vector<KernelPtr> table1_kernels(
+    std::size_t large_qsort = 10000);
+
+/// The five applications used in Table II and the motivational example:
+/// qsort-100, corner, edge, smooth, epic.
+[[nodiscard]] std::vector<KernelPtr> table2_kernels();
+
+/// The extended kernel zoo: the Table I applications plus the library's
+/// additional kernels (fft, matmul). Useful for policy studies beyond the
+/// paper's application set.
+[[nodiscard]] std::vector<KernelPtr> all_kernels(
+    std::size_t large_qsort = 10000);
+
+}  // namespace mcs::apps

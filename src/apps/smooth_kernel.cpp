@@ -1,0 +1,137 @@
+#include "apps/smooth_kernel.hpp"
+
+#include <cmath>
+
+#include "apps/cycle_model.hpp"
+
+namespace mcs::apps {
+
+namespace {
+
+using wcet::OpClass;
+constexpr double kNoiseTarget = 1.2;
+
+/// Mean absolute Laplacian — a standard cheap noise estimate.
+double estimate_noise(const Image& img, CycleCounter& cc) {
+  double sum = 0.0;
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const auto lx = static_cast<long>(x);
+      const auto ly = static_cast<long>(y);
+      const float lap = img.at_clamped(lx - 1, ly) + img.at_clamped(lx + 1, ly) +
+                        img.at_clamped(lx, ly - 1) + img.at_clamped(lx, ly + 1) -
+                        4.0F * img.at_clamped(lx, ly);
+      cc.load(5);
+      cc.fpu(6);
+      sum += std::abs(lap);
+      cc.branch(1);
+    }
+  }
+  cc.div(1);
+  return sum / static_cast<double>(img.pixel_count()) / 4.0;
+}
+
+/// One 3x3 Gaussian pass (1-2-1 separable weights, done directly), with a
+/// detail-preservation step: pixels that the blur displaces strongly get
+/// blended back towards the original (edge-aware smoothing). The blend
+/// count is content-dependent, so per-pass cost varies with the scene.
+void gaussian_pass(Image& img, CycleCounter& cc) {
+  Image out(img.width(), img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const auto lx = static_cast<long>(x);
+      const auto ly = static_cast<long>(y);
+      float acc = 0.0F;
+      static constexpr float kW[3] = {1.0F, 2.0F, 1.0F};
+      for (long dy = -1; dy <= 1; ++dy)
+        for (long dx = -1; dx <= 1; ++dx)
+          acc += kW[dx + 1] * kW[dy + 1] * img.at_clamped(lx + dx, ly + dy);
+      const float smoothed = acc / 16.0F;
+      const float original = img.at(x, y);
+      cc.load(9);
+      cc.fpu(20);
+      cc.branch(1);
+      if (std::abs(smoothed - original) > 4.0F) {
+        // Strong displacement: recover detail with a weighted blend.
+        out.at(x, y) = 0.6F * smoothed + 0.4F * original;
+        cc.fpu(4);
+        cc.load(1);
+      } else {
+        out.at(x, y) = smoothed;
+      }
+      cc.store(1);
+    }
+  }
+  img = std::move(out);
+}
+
+}  // namespace
+
+SmoothKernel::SmoothKernel(SceneConfig scene) : scene_(scene) {}
+
+std::size_t SmoothKernel::smooth(Image& img, CycleCounter& cc) const {
+  std::size_t iterations = 0;
+  while (iterations < kMaxIterations) {
+    const double noise = estimate_noise(img, cc);
+    cc.fpu(1);
+    cc.branch(1);
+    if (noise < kNoiseTarget) break;
+    gaussian_pass(img, cc);
+    ++iterations;
+  }
+  return iterations;
+}
+
+common::Cycles SmoothKernel::run_once(common::Rng& rng) const {
+  // Scenes differ in noise level, which drives the iteration count.
+  SceneConfig scene = scene_;
+  scene.noise_sigma = rng.uniform(1.0, 9.0);
+  Image img = random_scene(scene, rng);
+  CycleCounter cc;
+  (void)smooth(img, cc);
+  return cc.total();
+}
+
+wcet::ProgramPtr SmoothKernel::worst_case_program() const {
+  using wcet::BasicBlock;
+  const std::uint64_t pixels =
+      static_cast<std::uint64_t>(scene_.width) * scene_.height;
+
+  BasicBlock estimate_body("smooth.estimate");
+  estimate_body.add(OpClass::kLoad, 5)
+      .add(OpClass::kFpu, 7)
+      .add(OpClass::kBranch, 1);
+
+  // Worst case per pixel: convolution plus the detail-preservation blend.
+  BasicBlock pass_body("smooth.pass");
+  pass_body.add(OpClass::kLoad, 10)
+      .add(OpClass::kFpu, 24)
+      .add(OpClass::kStore, 1)
+      .add(OpClass::kBranch, 1);
+
+  BasicBlock loop_header("smooth.loop");
+  loop_header.add(OpClass::kAlu, 2).add(OpClass::kBranch, 1);
+
+  BasicBlock iter_header("smooth.iter");
+  iter_header.add(OpClass::kAlu, 2)
+      .add(OpClass::kDiv, 1)
+      .add(OpClass::kFpu, 2)
+      .add(OpClass::kBranch, 1);
+
+  BasicBlock setup("smooth.setup");
+  setup.add(OpClass::kCall, 1).add(OpClass::kAlu, 6).add(OpClass::kLoad, 2);
+
+  // Worst case: the full iteration budget, each iteration estimating noise
+  // and smoothing every pixel.
+  return wcet::seq(
+      {wcet::block(setup),
+       wcet::loop(kMaxIterations, iter_header,
+                  wcet::seq({wcet::loop(pixels, loop_header,
+                                        wcet::block(estimate_body)),
+                             wcet::loop(pixels, loop_header,
+                                        wcet::block(pass_body))})),
+       // Final noise estimate that terminates the loop.
+       wcet::loop(pixels, loop_header, wcet::block(estimate_body))});
+}
+
+}  // namespace mcs::apps

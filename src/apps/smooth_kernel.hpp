@@ -1,0 +1,35 @@
+// Instrumented adaptive smoothing filter — the paper's "smooth" application.
+//
+// The kernel estimates the image's noise level and runs between 1 and 8
+// Gaussian smoothing iterations until the residual noise falls under a
+// target, so execution time depends strongly on scene noise — this kernel
+// has the largest relative sigma in Table I. The static worst case runs the
+// maximum iteration count.
+#pragma once
+
+#include "apps/cycle_model.hpp"
+#include "apps/image.hpp"
+#include "apps/kernel.hpp"
+
+namespace mcs::apps {
+
+/// Adaptive iterated Gaussian smoothing kernel.
+class SmoothKernel final : public Kernel {
+ public:
+  explicit SmoothKernel(SceneConfig scene = {});
+
+  /// Maximum smoothing iterations (the analyzer's loop bound).
+  static constexpr std::size_t kMaxIterations = 8;
+
+  [[nodiscard]] std::string name() const override { return "smooth"; }
+  [[nodiscard]] common::Cycles run_once(common::Rng& rng) const override;
+  [[nodiscard]] wcet::ProgramPtr worst_case_program() const override;
+
+  /// Smooths a caller-provided image in place; returns iterations used.
+  std::size_t smooth(Image& img, CycleCounter& cc) const;
+
+ private:
+  SceneConfig scene_;
+};
+
+}  // namespace mcs::apps

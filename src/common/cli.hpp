@@ -1,0 +1,59 @@
+// Tiny declarative command-line parser for the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, boolean `--flag`, and `--help`.
+// Unknown options are an error so typos in sweep parameters do not silently
+// fall back to defaults. Also transparently skips google-benchmark's
+// `--benchmark_*` options so mixed binaries can share argv.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mcs::common {
+
+/// Declarative option set. Register options, then `parse(argc, argv)`.
+class Cli {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit Cli(std::string program_summary);
+
+  /// Registers a 64-bit unsigned option (e.g. --seed, --samples).
+  void add_u64(const std::string& name, std::uint64_t* target,
+               const std::string& help);
+
+  /// Registers a floating-point option (e.g. --utilization).
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+
+  /// Registers a string option.
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+
+  /// Registers a boolean flag (presence sets true; --name=false clears).
+  void add_flag(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help text already
+  /// printed) or on a parse error (message printed to stderr).
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// Renders the help text.
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    bool is_flag = false;
+    std::function<bool(const std::string&)> apply;
+    std::string default_repr;
+  };
+
+  const Option* find(const std::string& name) const;
+
+  std::string summary_;
+  std::vector<Option> options_;
+};
+
+}  // namespace mcs::common

@@ -1,0 +1,69 @@
+#include "common/csv.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace mcs::common {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_join(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> csv_parse_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes)
+    throw std::invalid_argument("csv_parse_line: unterminated quote");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << csv_join(fields) << "\n";
+  ++rows_;
+}
+
+}  // namespace mcs::common

@@ -1,0 +1,41 @@
+// Minimal RFC-4180-style CSV writing and parsing.
+//
+// Experiment drivers emit a machine-readable CSV block after every
+// human-readable table so downstream plotting can regenerate the paper's
+// figures from the bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs::common {
+
+/// Quotes a single CSV field if it contains a comma, quote or newline.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Joins fields into one CSV record (no trailing newline).
+[[nodiscard]] std::string csv_join(const std::vector<std::string>& fields);
+
+/// Parses one CSV record (handles quoted fields and embedded quotes).
+/// Throws std::invalid_argument on an unterminated quote.
+[[nodiscard]] std::vector<std::string> csv_parse_line(std::string_view line);
+
+/// Incremental CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one record.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Number of records written so far.
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace mcs::common

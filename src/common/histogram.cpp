@@ -1,0 +1,79 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcs::common {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: requires hi > lo");
+}
+
+Histogram Histogram::from_samples(std::span<const double> xs,
+                                  std::size_t bins) {
+  if (xs.empty()) return Histogram(0.0, 1.0, std::max<std::size_t>(bins, 1));
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (lo == hi) hi = lo + 1.0;  // all-equal samples: give them one bin
+  // Nudge the top edge so the maximum lands inside the last bin, not in the
+  // overflow tail.
+  hi = std::nextafter(hi, std::numeric_limits<double>::infinity());
+  Histogram h(lo, hi, bins);
+  h.add(xs);
+  return h;
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+void Histogram::add(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::density(std::size_t i) const {
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(in_range);
+}
+
+std::string Histogram::render_ascii(std::size_t width) const {
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * width / std::max<std::size_t>(peak, 1);
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ")  " << counts_[i] << "\t"
+        << std::string(bar, '#') << "\n";
+  }
+  if (underflow_ != 0) out << "underflow: " << underflow_ << "\n";
+  if (overflow_ != 0) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace mcs::common

@@ -1,0 +1,70 @@
+// Fixed-bin histogram with ASCII rendering.
+//
+// Used to reproduce Fig. 1 (execution-time distribution of a real-time task,
+// showing the large gap between the WCET and the ACET) and for diagnostic
+// output in the examples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcs::common {
+
+/// Equal-width histogram over [lo, hi) with out-of-range tails counted in
+/// dedicated underflow/overflow buckets.
+class Histogram {
+ public:
+  /// Creates a histogram with `bins` equal-width bins spanning [lo, hi).
+  /// Requires bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram spanning [min(xs), max(xs)] from the data itself.
+  /// An empty span yields a single empty bin over [0,1).
+  static Histogram from_samples(std::span<const double> xs, std::size_t bins);
+
+  /// Records one observation.
+  void add(double x);
+
+  /// Records many observations.
+  void add(std::span<const double> xs);
+
+  /// Number of bins (excluding the under/overflow tails).
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+
+  /// Count in bin `i` (0-based).
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_.at(i); }
+
+  /// Inclusive lower edge of bin `i`.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+
+  /// Exclusive upper edge of bin `i`.
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Observations below the histogram range.
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+
+  /// Observations at or above the histogram range upper edge.
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+
+  /// Total observations recorded, including the tails.
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Fraction of in-range observations in bin `i` (0 when empty).
+  [[nodiscard]] double density(std::size_t i) const;
+
+  /// Renders a horizontal-bar ASCII chart, `width` characters for the
+  /// largest bin. Each line shows the bin range, count and bar.
+  [[nodiscard]] std::string render_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mcs::common

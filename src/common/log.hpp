@@ -1,0 +1,53 @@
+// Leveled logging to stderr with a global threshold.
+//
+// The library proper never logs on the hot path; logging is used by the
+// experiment drivers and examples to narrate long-running sweeps.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mcs::common {
+
+/// Severity levels, ordered.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Returns the current global threshold.
+[[nodiscard]] LogLevel log_level();
+
+/// Emits `message` at `level` if it passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style one-shot logger; flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+/// Usage: MCS_LOG_INFO() << "ran " << n << " task sets";
+#define MCS_LOG_DEBUG() ::mcs::common::detail::LogLine(::mcs::common::LogLevel::kDebug)
+#define MCS_LOG_INFO() ::mcs::common::detail::LogLine(::mcs::common::LogLevel::kInfo)
+#define MCS_LOG_WARN() ::mcs::common::detail::LogLine(::mcs::common::LogLevel::kWarn)
+#define MCS_LOG_ERROR() ::mcs::common::detail::LogLine(::mcs::common::LogLevel::kError)
+
+}  // namespace mcs::common

@@ -1,0 +1,68 @@
+// Fixed-capacity reservoir sampling (Algorithm R).
+//
+// Long simulations complete millions of jobs; storing every response time
+// is not an option, but percentiles are exactly what a timing engineer
+// asks for. A reservoir keeps a uniform random subset of a stream in O(k)
+// memory, so the simulator can report approximate p95/p99 response times
+// for arbitrarily long horizons.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcs::common {
+
+/// Uniform reservoir sample over a stream of doubles.
+class ReservoirSampler {
+ public:
+  /// Requires capacity >= 1.
+  explicit ReservoirSampler(std::size_t capacity, std::uint64_t seed = 1)
+      : capacity_(capacity), rng_(seed) {
+    if (capacity == 0)
+      throw std::invalid_argument("ReservoirSampler: capacity must be >= 1");
+    sample_.reserve(capacity);
+  }
+
+  /// Offers one stream element.
+  void add(double value) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      return;
+    }
+    // Algorithm R: element i replaces a random slot with probability k/i.
+    const std::uint64_t slot = rng_.uniform_u64(0, seen_ - 1);
+    if (slot < capacity_) sample_[slot] = value;
+  }
+
+  /// Stream length so far.
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+
+  /// Current reservoir contents (unordered).
+  [[nodiscard]] const std::vector<double>& sample() const { return sample_; }
+
+  /// Nearest-rank quantile of the reservoir (approximates the stream
+  /// quantile). Requires q in [0, 1]; returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (q < 0.0 || q > 1.0)
+      throw std::invalid_argument("ReservoirSampler: q must be in [0,1]");
+    if (sample_.empty()) return 0.0;
+    std::vector<double> sorted = sample_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> sample_;
+};
+
+}  // namespace mcs::common

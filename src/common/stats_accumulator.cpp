@@ -1,0 +1,52 @@
+#include "common/stats_accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcs::common {
+
+void StatsAccumulator::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StatsAccumulator::add(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+void StatsAccumulator::merge(const StatsAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StatsAccumulator::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double StatsAccumulator::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatsAccumulator::stddev() const { return std::sqrt(variance()); }
+
+void StatsAccumulator::reset() { *this = StatsAccumulator{}; }
+
+}  // namespace mcs::common

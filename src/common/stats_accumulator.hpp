@@ -1,0 +1,67 @@
+// Single-pass streaming statistics (Welford's algorithm).
+//
+// Used throughout the library to compute ACET (Eq. 3) and the execution-time
+// standard deviation sigma (Eq. 4) from measurement campaigns without
+// storing the full sample vector, and to aggregate per-task-set metrics in
+// the experiment drivers.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace mcs::common {
+
+/// Streaming mean/variance/min/max accumulator.
+///
+/// Numerically stable (Welford). `variance()` follows the paper's Eq. 4 and
+/// divides by m (population variance), since the m = 20000 samples are
+/// treated as the full characterization of the task; `sample_variance()`
+/// provides the unbiased (m-1) estimator.
+class StatsAccumulator {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Adds every observation in the span.
+  void add(std::span<const double> xs);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const StatsAccumulator& other);
+
+  /// Number of observations so far.
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divide by m, Eq. 4); 0 when fewer than 1 sample.
+  [[nodiscard]] double variance() const;
+
+  /// Unbiased sample variance (divide by m-1); 0 when fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const;
+
+  /// Population standard deviation (sqrt of Eq. 4).
+  [[nodiscard]] double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Resets to the empty state.
+  void reset();
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mcs::common

@@ -1,0 +1,126 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/csv.hpp"
+
+namespace mcs::common {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (!aligns_.empty()) aligns_.front() = Align::kLeft;
+}
+
+void Table::set_align(std::size_t col, Align align) { aligns_.at(col) = align; }
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::vector<std::size_t> Table::column_widths() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  return widths;
+}
+
+namespace {
+
+void append_cell(std::ostringstream& out, const std::string& text,
+                 std::size_t width, Align align) {
+  const std::size_t pad = width > text.size() ? width - text.size() : 0;
+  if (align == Align::kRight) out << std::string(pad, ' ') << text;
+  else out << text << std::string(pad, ' ');
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  const auto widths = column_widths();
+  std::ostringstream out;
+  auto rule = [&] {
+    out << "+";
+    for (const std::size_t w : widths) out << std::string(w + 2, '-') << "+";
+    out << "\n";
+  };
+  if (!title_.empty()) out << title_ << "\n";
+  rule();
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << " ";
+    append_cell(out, headers_[c], widths[c], Align::kLeft);
+    out << " |";
+  }
+  out << "\n";
+  rule();
+  for (const auto& row : rows_) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << " ";
+      append_cell(out, row[c], widths[c], aligns_[c]);
+      out << " |";
+    }
+    out << "\n";
+  }
+  rule();
+  return out.str();
+}
+
+std::string Table::render_markdown() const {
+  const auto widths = column_widths();
+  std::ostringstream out;
+  if (!title_.empty()) out << "### " << title_ << "\n\n";
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << " ";
+    append_cell(out, headers_[c], widths[c], Align::kLeft);
+    out << " |";
+  }
+  out << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (aligns_[c] == Align::kRight ? std::string(widths[c] + 1, '-') + ":"
+                                        : std::string(widths[c] + 2, '-'));
+    out << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << " ";
+      append_cell(out, row[c], widths[c], aligns_[c]);
+      out << " |";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string Table::render_csv() const {
+  std::ostringstream out;
+  out << csv_join(headers_) << "\n";
+  for (const auto& row : rows_) out << csv_join(row) << "\n";
+  return out.str();
+}
+
+std::string format_double(double value, int digits) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+  return buf;
+}
+
+std::string format_percent(double ratio, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace mcs::common

@@ -1,0 +1,67 @@
+// Aligned plain-text / markdown table rendering.
+//
+// The benchmark harness prints every reproduced paper table and figure
+// series through this formatter, so the console output mirrors the paper's
+// presentation (TABLE I, TABLE II, Fig. 2-6 data series).
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mcs::common {
+
+/// Column alignment for `Table`.
+enum class Align { kLeft, kRight };
+
+/// A simple row/column text table with an optional title.
+///
+/// Cells are strings; `cell(double)` helpers in the experiment drivers take
+/// care of numeric formatting so tables stay deterministic.
+class Table {
+ public:
+  /// Creates a table with the given column headers (all right-aligned
+  /// except the first, matching the paper's layout).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets the title printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Overrides the alignment of column `col`.
+  void set_align(std::size_t col, Align align);
+
+  /// Appends a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Number of columns.
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+
+  /// Renders with box-drawing ASCII (`+---+` separators).
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as GitHub-flavoured markdown.
+  [[nodiscard]] std::string render_markdown() const;
+
+  /// Renders as CSV (see csv.hpp for quoting rules).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> column_widths() const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (trailing-zero free
+/// where possible); used by all experiment drivers for stable output.
+[[nodiscard]] std::string format_double(double value, int digits = 4);
+
+/// Formats a ratio as a percentage with two decimals, e.g. 0.0911 -> "9.11%".
+[[nodiscard]] std::string format_percent(double ratio, int decimals = 2);
+
+}  // namespace mcs::common

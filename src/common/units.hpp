@@ -1,0 +1,38 @@
+// Strong time units used across the task model and simulator.
+//
+// Execution times from the measurement substrate are in abstract CPU
+// *cycles*; the task model and simulator work in *milliseconds* (the paper
+// draws periods from [100, 900] ms). Conversions are explicit so cycle
+// counts can never silently flow into schedulability math.
+#pragma once
+
+#include <cstdint>
+
+namespace mcs::common {
+
+/// Abstract processor cycles (the unit of the measurement substrate and the
+/// static WCET analyzer).
+using Cycles = std::uint64_t;
+
+/// Simulated wall-clock time in milliseconds (double: the event-driven
+/// simulator uses continuous time).
+using Millis = double;
+
+/// Clock model used to convert kernel cycle counts to task execution times.
+struct ClockModel {
+  /// Processor frequency in cycles per millisecond (default: 100 MHz =>
+  /// 1e5 cycles/ms, a typical embedded ARM core).
+  double cycles_per_ms = 1e5;
+
+  /// Converts a cycle count to milliseconds under this clock.
+  [[nodiscard]] constexpr Millis to_ms(Cycles c) const {
+    return static_cast<double>(c) / cycles_per_ms;
+  }
+
+  /// Converts milliseconds to (truncated) cycles under this clock.
+  [[nodiscard]] constexpr Cycles to_cycles(Millis ms) const {
+    return static_cast<Cycles>(ms * cycles_per_ms);
+  }
+};
+
+}  // namespace mcs::common

@@ -1,0 +1,74 @@
+#include "core/acceptance.hpp"
+
+#include <algorithm>
+
+#include "core/chebyshev_wcet.hpp"
+#include "sched/edf_vd.hpp"
+#include "sched/policies.hpp"
+
+namespace mcs::core {
+
+namespace {
+
+constexpr double kLiuRho = 0.5;  // Liu et al. [2]: 50% degraded LC budgets
+
+/// Assigns C^LO to every HC task: lambda policy or Chebyshev n = 0
+/// (C^LO = ACET, the schedulability-optimal corner of the scheme).
+mc::TaskSet assign(const mc::TaskSet& tasks, bool chebyshev,
+                   common::Rng& rng) {
+  mc::TaskSet out = tasks;
+  const sched::LambdaRangePolicy lambda_policy(0.25, 1.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    mc::McTask& task = out[i];
+    if (task.criticality != mc::Criticality::kHigh) continue;
+    if (chebyshev) {
+      task.wcet_lo = chebyshev_wcet_opt(task.stats->acet, task.stats->sigma,
+                                        0.0, task.wcet_hi);
+    } else {
+      sched::HcTaskProfile profile{task.stats->acet, task.stats->sigma,
+                                   task.wcet_hi, task.period};
+      task.wcet_lo =
+          std::clamp(lambda_policy.wcet_opt(profile, rng), 1e-9, task.wcet_hi);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(Approach approach) {
+  switch (approach) {
+    case Approach::kBaruahLambda: return "Baruah[1] lambda[1/4,1]";
+    case Approach::kBaruahChebyshev: return "Baruah[1] + proposed";
+    case Approach::kLiuLambda: return "Liu[2] lambda[1/4,1]";
+    case Approach::kLiuChebyshev: return "Liu[2] + proposed";
+  }
+  return "?";
+}
+
+bool accepts(Approach approach, const mc::TaskSet& tasks, common::Rng& rng) {
+  const bool chebyshev = approach == Approach::kBaruahChebyshev ||
+                         approach == Approach::kLiuChebyshev;
+  const bool degraded = approach == Approach::kLiuLambda ||
+                        approach == Approach::kLiuChebyshev;
+  const mc::TaskSet assigned = assign(tasks, chebyshev, rng);
+  const sched::McUtilization u = sched::McUtilization::of(assigned);
+  return degraded ? sched::edf_vd_degraded_test(u, kLiuRho).schedulable
+                  : sched::edf_vd_test(u).schedulable;
+}
+
+double acceptance_ratio(Approach approach, double u_bound,
+                        std::size_t num_tasksets, std::uint64_t seed,
+                        const taskgen::GeneratorConfig& config) {
+  common::Rng rng(seed);
+  std::size_t accepted = 0;
+  for (std::size_t t = 0; t < num_tasksets; ++t) {
+    common::Rng set_rng = rng.split();
+    const mc::TaskSet tasks = taskgen::generate_mixed(config, u_bound,
+                                                      set_rng);
+    if (accepts(approach, tasks, set_rng)) ++accepted;
+  }
+  return static_cast<double>(accepted) / static_cast<double>(num_tasksets);
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,77 @@
+#include "core/chebyshev_wcet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/chebyshev.hpp"
+
+namespace mcs::core {
+
+namespace {
+constexpr double kMinWcet = 1e-9;
+}
+
+double task_overrun_bound(double n) {
+  return stats::chebyshev_exceedance_bound(n);
+}
+
+double system_mode_switch_probability(std::span<const double> n) {
+  double no_switch = 1.0;
+  for (const double ni : n) no_switch *= 1.0 - task_overrun_bound(ni);
+  return 1.0 - no_switch;
+}
+
+double max_multiplier(const mc::McTask& task) {
+  if (task.criticality != mc::Criticality::kHigh || !task.stats.has_value())
+    throw std::invalid_argument("max_multiplier: HC task with stats required");
+  const double headroom = task.wcet_hi - task.stats->acet;
+  if (headroom <= 0.0) return 0.0;
+  if (task.stats->sigma <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return headroom / task.stats->sigma;
+}
+
+double chebyshev_wcet_opt(double acet, double sigma, double n,
+                          double wcet_pes) {
+  if (n < 0.0)
+    throw std::invalid_argument("chebyshev_wcet_opt: n must be >= 0");
+  const double raw = acet + n * sigma;
+  return std::max(kMinWcet, std::min(raw, wcet_pes));
+}
+
+std::vector<double> apply_chebyshev_assignment(mc::TaskSet& tasks,
+                                               std::span<const double> n) {
+  const std::vector<std::size_t> hc = tasks.indices(mc::Criticality::kHigh);
+  if (hc.size() != n.size())
+    throw std::invalid_argument(
+        "apply_chebyshev_assignment: one multiplier per HC task required");
+  std::vector<double> effective;
+  effective.reserve(hc.size());
+  for (std::size_t k = 0; k < hc.size(); ++k) {
+    mc::McTask& task = tasks[hc[k]];
+    if (!task.stats.has_value())
+      throw std::invalid_argument(
+          "apply_chebyshev_assignment: HC task without execution stats");
+    const double acet = task.stats->acet;
+    const double sigma = task.stats->sigma;
+    task.wcet_lo = chebyshev_wcet_opt(acet, sigma, n[k], task.wcet_hi);
+    effective.push_back(stats::implied_n(acet, sigma, task.wcet_lo));
+  }
+  return effective;
+}
+
+std::vector<double> implied_multipliers(const mc::TaskSet& tasks) {
+  std::vector<double> out;
+  for (const mc::McTask& task : tasks) {
+    if (task.criticality != mc::Criticality::kHigh) continue;
+    if (!task.stats.has_value())
+      throw std::invalid_argument(
+          "implied_multipliers: HC task without execution stats");
+    out.push_back(stats::implied_n(task.stats->acet, task.stats->sigma,
+                                   task.wcet_lo));
+  }
+  return out;
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,52 @@
+// The paper's central mechanism: optimistic WCET assignment by Chebyshev's
+// theorem (Section IV-B).
+//
+//   C_i^LO = WCET_i^opt = ACET_i + n_i * sigma_i            (Eq. 6)
+//   subject to ACET_i + n_i * sigma_i <= WCET_i^pes          (Eq. 9)
+//   with per-task overrun bound P_i^MS <= 1 / (1 + n_i^2)    (Eq. 5)
+//   and system bound P_sys^MS = 1 - prod(1 - P_i^MS)         (Eq. 10)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mc/taskset.hpp"
+
+namespace mcs::core {
+
+/// Per-task overrun probability bound 1/(1+n^2) (Eq. 5). Negative n
+/// (C^LO below the mean) yields the vacuous bound 1.
+[[nodiscard]] double task_overrun_bound(double n);
+
+/// System mode-switch probability bound over HC tasks' multipliers
+/// (Eq. 10). An empty span yields 0 (no HC task can overrun).
+[[nodiscard]] double system_mode_switch_probability(std::span<const double> n);
+
+/// The largest admissible multiplier for an HC task under Eq. 9:
+/// n_max = (C^HI - ACET) / sigma. Requires the task to be HC with stats;
+/// returns +inf when sigma == 0 (any n keeps C^LO == ACET <= C^HI... the
+/// assignment clamps), 0 when ACET >= C^HI.
+[[nodiscard]] double max_multiplier(const mc::McTask& task);
+
+/// Computes C^LO for one profile: min(acet + n * sigma, wcet_pes),
+/// floored at a tiny positive value. Requires n >= 0.
+[[nodiscard]] double chebyshev_wcet_opt(double acet, double sigma, double n,
+                                        double wcet_pes);
+
+/// Applies per-HC-task multipliers to a task set in place: the i-th value
+/// of `n` corresponds to the i-th HC task in task order; every HC task
+/// must carry ExecutionStats. LC tasks are untouched. Returns the
+/// *effective* multipliers after the Eq. 9 clamp (used for probability
+/// bookkeeping). Throws std::invalid_argument on size mismatch or missing
+/// stats.
+std::vector<double> apply_chebyshev_assignment(mc::TaskSet& tasks,
+                                               std::span<const double> n);
+
+/// Extracts the effective multipliers implied by the current C^LO values
+/// of the HC tasks: n_i = (C_i^LO - ACET_i) / sigma_i. This is how
+/// baseline lambda policies are scored under the probabilistic lens
+/// (Section V-C).
+[[nodiscard]] std::vector<double> implied_multipliers(
+    const mc::TaskSet& tasks);
+
+}  // namespace mcs::core

@@ -1,0 +1,87 @@
+#include "core/comparison.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "taskgen/generator.hpp"
+
+namespace mcs::core {
+
+ObjectiveBreakdown apply_and_evaluate_policy(const mc::TaskSet& tasks,
+                                             const sched::WcetOptPolicy& policy,
+                                             common::Rng& rng) {
+  mc::TaskSet assigned = tasks;  // work on a copy
+  for (std::size_t i = 0; i < assigned.size(); ++i) {
+    mc::McTask& task = assigned[i];
+    if (task.criticality != mc::Criticality::kHigh) continue;
+    if (!task.stats.has_value())
+      throw std::invalid_argument(
+          "apply_and_evaluate_policy: HC task without execution stats");
+    sched::HcTaskProfile profile;
+    profile.acet = task.stats->acet;
+    profile.sigma = task.stats->sigma;
+    profile.wcet_pes = task.wcet_hi;
+    profile.period = task.period;
+    const double wcet_opt = policy.wcet_opt(profile, rng);
+    task.wcet_lo = std::clamp(wcet_opt, 1e-9, task.wcet_hi);
+  }
+  return evaluate_current_assignment(assigned);
+}
+
+std::vector<sched::WcetOptPolicyPtr> baseline_policies() {
+  return {
+      std::make_shared<sched::LambdaRangePolicy>(0.25, 1.0),
+      std::make_shared<sched::LambdaRangePolicy>(0.125, 1.0),
+      std::make_shared<sched::LambdaRangePolicy>(1.0 / 2.5, 1.0 / 1.5),
+      std::make_shared<sched::LambdaSetPolicy>(
+          std::vector<double>{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1.0}),
+      std::make_shared<sched::AcetPolicy>(),
+  };
+}
+
+std::vector<PolicyScore> compare_policies(double u_hc_hi,
+                                          std::size_t num_tasksets,
+                                          std::uint64_t seed,
+                                          const OptimizerConfig& optimizer) {
+  const auto baselines = baseline_policies();
+  std::vector<PolicyScore> scores(baselines.size() + 1);
+  for (std::size_t p = 0; p < baselines.size(); ++p)
+    scores[p].policy = baselines[p]->name();
+  scores.back().policy = "proposed(GA)";
+
+  common::Rng rng(seed);
+  const taskgen::GeneratorConfig gen_config;
+  for (std::size_t t = 0; t < num_tasksets; ++t) {
+    common::Rng set_rng = rng.split();
+    const mc::TaskSet tasks =
+        taskgen::generate_hc_only(gen_config, u_hc_hi, set_rng);
+
+    for (std::size_t p = 0; p < baselines.size(); ++p) {
+      const ObjectiveBreakdown b =
+          apply_and_evaluate_policy(tasks, *baselines[p], set_rng);
+      scores[p].p_ms += b.p_ms;
+      scores[p].max_u_lc += b.max_u_lc;
+      scores[p].objective += b.objective;
+      scores[p].feasible_fraction += b.feasible ? 1.0 : 0.0;
+    }
+
+    OptimizerConfig opt = optimizer;
+    opt.ga.seed = set_rng();
+    const OptimizationResult ga = optimize_multipliers_ga(tasks, opt);
+    scores.back().p_ms += ga.breakdown.p_ms;
+    scores.back().max_u_lc += ga.breakdown.max_u_lc;
+    scores.back().objective += ga.breakdown.objective;
+    scores.back().feasible_fraction += ga.breakdown.feasible ? 1.0 : 0.0;
+  }
+
+  const auto denom = static_cast<double>(num_tasksets);
+  for (PolicyScore& s : scores) {
+    s.p_ms /= denom;
+    s.max_u_lc /= denom;
+    s.objective /= denom;
+    s.feasible_fraction /= denom;
+  }
+  return scores;
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,49 @@
+// Baseline-policy comparison machinery for Figs. 4 and 5 (Section V-C).
+//
+// Every baseline assigns C^LO from WCET^pes (lambda policies) or ACET;
+// the proposed scheme assigns it from ACET + n_i * sigma_i with GA-chosen
+// n_i. All approaches are scored with the same probabilistic lens:
+// P_sys^MS from the implied multipliers (Eq. 10 via Eq. 6 inverted) and
+// max(U_LC^LO) from the resulting utilizations (Eq. 11-12).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/optimizer.hpp"
+#include "mc/taskset.hpp"
+#include "sched/policies.hpp"
+
+namespace mcs::core {
+
+/// Score of one approach on one (or many averaged) task set(s).
+struct PolicyScore {
+  std::string policy;
+  double p_ms = 0.0;       ///< mean system mode-switch probability
+  double max_u_lc = 0.0;   ///< mean max(U_LC^LO)
+  double objective = 0.0;  ///< mean Eq. 13 value
+  double feasible_fraction = 0.0;  ///< task sets with schedulable HC load
+};
+
+/// Applies `policy` to every HC task of a copy of `tasks` and evaluates
+/// the result. `rng` drives per-task policy randomness.
+[[nodiscard]] ObjectiveBreakdown apply_and_evaluate_policy(
+    const mc::TaskSet& tasks, const sched::WcetOptPolicy& policy,
+    common::Rng& rng);
+
+/// The standard baseline roster of Section V-C:
+///   lambda[1/4, 1], lambda[1/8, 1]      (Baruah et al. [1])
+///   lambda[1/2.5, 1/1.5]                 (Liu et al. [9])
+///   lambda{1/16, 1/8, 1/4, 1/2, 1}       (Guo et al. [4])
+///   ACET                                 (motivational example)
+[[nodiscard]] std::vector<sched::WcetOptPolicyPtr> baseline_policies();
+
+/// Compares all baselines plus the GA scheme over `num_tasksets` HC-only
+/// task sets at HI utilization `u_hc_hi`, returning one averaged score per
+/// approach (the proposed scheme is the last entry, named "proposed(GA)").
+[[nodiscard]] std::vector<PolicyScore> compare_policies(
+    double u_hc_hi, std::size_t num_tasksets, std::uint64_t seed,
+    const OptimizerConfig& optimizer = {});
+
+}  // namespace mcs::core

@@ -1,0 +1,72 @@
+#include "core/lint.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "sched/edf_vd.hpp"
+
+namespace mcs::core {
+
+std::vector<LintFinding> lint_taskset(const mc::TaskSet& tasks) {
+  std::vector<LintFinding> findings;
+  auto add = [&](LintSeverity severity, const std::string& task,
+                 const std::string& message) {
+    findings.push_back({severity, task, message});
+  };
+
+  std::set<std::string> names;
+  bool any_optimism = false;
+  for (const mc::McTask& task : tasks) {
+    if (!names.insert(task.name).second)
+      add(LintSeverity::kError, task.name, "duplicate task name");
+    if (!task.valid())
+      add(LintSeverity::kError, task.name,
+          "violates 0 < wcet_lo <= wcet_hi <= deadline <= period");
+    if (task.criticality == mc::Criticality::kHigh) {
+      if (!task.stats.has_value()) {
+        add(LintSeverity::kError, task.name,
+            "HC task without ACET/sigma — the Chebyshev scheme cannot "
+            "assign C^LO");
+      } else {
+        if (task.stats->acet > task.wcet_hi)
+          add(LintSeverity::kError, task.name,
+              "ACET exceeds the pessimistic WCET — the profile is "
+              "inconsistent with the static bound");
+        if (task.stats->sigma == 0.0)
+          add(LintSeverity::kWarning, task.name,
+              "sigma == 0: the Chebyshev multiplier degenerates "
+              "(C^LO pinned at the ACET)");
+      }
+      if (task.wcet_lo < task.wcet_hi) any_optimism = true;
+      else
+        add(LintSeverity::kWarning, task.name,
+            "C^LO == C^HI: no optimism assigned yet (run the optimizer)");
+    }
+  }
+
+  const sched::McUtilization u = sched::McUtilization::of(tasks);
+  if (u.hc_hi > 1.0)
+    add(LintSeverity::kWarning, "",
+        "U_HC^HI > 1: the HC load alone overloads one processor — no "
+        "C^LO assignment can make this schedulable (partition it)");
+  if (any_optimism) {
+    const double max_lc = sched::max_lc_utilization(u.hc_lo, u.hc_hi);
+    if (u.lc_lo > max_lc + 1e-12)
+      add(LintSeverity::kWarning, "",
+          "LC utilization exceeds max(U_LC^LO) for the current "
+          "assignment — EDF-VD will reject the set");
+  }
+  return findings;
+}
+
+std::string render_lint(const std::vector<LintFinding>& findings) {
+  std::ostringstream out;
+  for (const LintFinding& f : findings) {
+    out << (f.severity == LintSeverity::kError ? "error" : "warning");
+    if (!f.task.empty()) out << ": task '" << f.task << "'";
+    out << ": " << f.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcs::core

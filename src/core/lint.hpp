@@ -1,0 +1,41 @@
+// Task-set linting: machine-checkable diagnostics for the common ways a
+// hand-written or imported task set silently breaks the scheme's
+// assumptions. Used by `mcs-cli analyze` ahead of the design report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/taskset.hpp"
+
+namespace mcs::core {
+
+/// Severity of a lint finding.
+enum class LintSeverity {
+  kWarning,  ///< legal but suspicious (results may be meaningless)
+  kError,    ///< violates a model invariant; analyses will reject or lie
+};
+
+/// One finding.
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string task;     ///< task name ("" for set-level findings)
+  std::string message;  ///< human-readable diagnosis
+};
+
+/// Checks performed:
+///  * (error)   any task violating 0 < C^LO <= C^HI <= D <= T
+///  * (error)   HC task without execution stats (the scheme needs ACET/sigma)
+///  * (error)   HC stats with ACET > C^HI (bound below the mean)
+///  * (error)   duplicate task names (breaks reports and serialization)
+///  * (warning) HC task with sigma == 0 (Chebyshev degenerates)
+///  * (warning) HC task whose C^LO equals C^HI (no optimism assigned yet)
+///  * (warning) U_HC^HI > 1 (no assignment can ever be schedulable)
+///  * (warning) LC utilization already above max(U_LC^LO) at the current
+///              assignment
+[[nodiscard]] std::vector<LintFinding> lint_taskset(const mc::TaskSet& tasks);
+
+/// Renders findings one per line ("error: task 'x': ...").
+[[nodiscard]] std::string render_lint(const std::vector<LintFinding>& findings);
+
+}  // namespace mcs::core

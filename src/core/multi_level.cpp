@@ -1,0 +1,50 @@
+#include "core/multi_level.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/chebyshev.hpp"
+
+namespace mcs::core {
+
+WcetLadder build_wcet_ladder(double acet, double sigma, double wcet_pes,
+                             std::span<const double> n_levels) {
+  if (n_levels.empty())
+    throw std::invalid_argument("build_wcet_ladder: empty multiplier ladder");
+  if (acet <= 0.0 || sigma < 0.0 || wcet_pes < acet)
+    throw std::invalid_argument("build_wcet_ladder: invalid profile");
+  double prev_n = -1.0;
+  for (const double n : n_levels) {
+    if (n < 0.0 || n < prev_n)
+      throw std::invalid_argument(
+          "build_wcet_ladder: multipliers must be non-negative and "
+          "non-decreasing");
+    prev_n = n;
+  }
+
+  WcetLadder ladder;
+  ladder.wcets.reserve(n_levels.size());
+  ladder.exceedance_bounds.reserve(n_levels.size());
+  for (const double n : n_levels) {
+    const double raw = acet + n * sigma;
+    const double clamped = std::min(raw, wcet_pes);
+    ladder.wcets.push_back(clamped);
+    const double effective_n =
+        sigma > 0.0 ? (clamped - acet) / sigma : n;
+    ladder.exceedance_bounds.push_back(
+        stats::chebyshev_exceedance_bound(effective_n));
+  }
+  // The topmost level is always the certified pessimistic bound.
+  ladder.wcets.back() = wcet_pes;
+  return ladder;
+}
+
+double system_escalation_probability(
+    std::span<const double> per_task_exceedance) {
+  double stay = 1.0;
+  for (const double p : per_task_exceedance)
+    stay *= 1.0 - std::clamp(p, 0.0, 1.0);
+  return 1.0 - stay;
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,40 @@
+// Extension beyond the paper's dual-criticality evaluation: Chebyshev WCET
+// ladders for systems with more than two criticality levels.
+//
+// The paper states (Section I and VI) that the scheme "could be used for
+// MC systems with several criticality levels"; this module implements that
+// generalization. A task at criticality level L gets one WCET per mode
+// 1..L: mode l uses C^l = ACET + n_l * sigma with a strictly increasing
+// multiplier ladder, the topmost clamped to WCET^pes. The probability of
+// escalating past mode l is bounded by 1/(1 + n_l^2) per task, and the
+// probability that the system reaches mode l generalizes Eq. 10.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mcs::core {
+
+/// WCET ladder of one task across criticality modes.
+struct WcetLadder {
+  /// C^1 <= C^2 <= ... <= C^L, the last equal to min(ACET+n_L*sigma, pes).
+  std::vector<double> wcets;
+  /// Chebyshev exceedance bound of each level (after clamping).
+  std::vector<double> exceedance_bounds;
+};
+
+/// Builds the ladder for one task. Requires a non-empty, non-decreasing,
+/// non-negative multiplier sequence; acet > 0, sigma >= 0,
+/// wcet_pes >= acet.
+[[nodiscard]] WcetLadder build_wcet_ladder(double acet, double sigma,
+                                           double wcet_pes,
+                                           std::span<const double> n_levels);
+
+/// Probability bound that the system escalates to (or beyond) mode
+/// `level` (1-based; level 1 is the base mode and returns 1). Takes the
+/// per-task exceedance bound of level-1 transitions for every task that
+/// participates in mode `level-1`; independence across tasks as in Eq. 10.
+[[nodiscard]] double system_escalation_probability(
+    std::span<const double> per_task_exceedance);
+
+}  // namespace mcs::core

@@ -1,0 +1,42 @@
+// The optimization objective of Section IV-C.
+//
+// For a candidate multiplier vector {n_i} over the HC tasks:
+//   U_HC^LO = sum (ACET_i + n_i sigma_i)/T_i    (Eq. 7, after Eq. 9 clamp)
+//   P_sys^MS from Eq. 10
+//   max(U_LC^LO) = min(Eq. 11, Eq. 12)
+//   objective = (1 - P_sys^MS) * max(U_LC^LO)   (Eq. 13)
+// A candidate is infeasible when the HC tasks alone cannot be scheduled
+// (either mode's HC utilization exceeds 1); infeasible candidates score 0.
+#pragma once
+
+#include <span>
+
+#include "mc/taskset.hpp"
+
+namespace mcs::core {
+
+/// Full breakdown of one objective evaluation.
+struct ObjectiveBreakdown {
+  double u_hc_lo = 0.0;    ///< HC utilization in LO mode under {n_i}
+  double u_hc_hi = 0.0;    ///< HC utilization in HI mode (fixed)
+  double p_ms = 1.0;       ///< system mode-switch probability bound
+  double max_u_lc = 0.0;   ///< largest admissible U_LC^LO
+  double objective = 0.0;  ///< Eq. 13 value
+  bool feasible = false;   ///< HC tasks schedulable on their own
+};
+
+/// Evaluates the multiplier vector `n` (one entry per HC task, in task
+/// order) against `tasks` WITHOUT mutating it. Multipliers are clamped to
+/// [0, n_max] per Eq. 9 before evaluation. Throws on size mismatch or
+/// missing stats.
+[[nodiscard]] ObjectiveBreakdown evaluate_multipliers(
+    const mc::TaskSet& tasks, std::span<const double> n);
+
+/// Evaluates the task set exactly as currently assigned (HC wcet_lo values
+/// as they stand) under the probabilistic lens: implied multipliers give
+/// P_sys^MS and the current utilizations give max(U_LC^LO). Used to score
+/// baseline policies.
+[[nodiscard]] ObjectiveBreakdown evaluate_current_assignment(
+    const mc::TaskSet& tasks);
+
+}  // namespace mcs::core

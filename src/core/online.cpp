@@ -1,0 +1,72 @@
+#include "core/online.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/chebyshev.hpp"
+
+namespace mcs::core {
+
+OnlineMonitor::OnlineMonitor(std::vector<MonitoredTask> tasks,
+                             double moment_tolerance, std::size_t min_jobs)
+    : tasks_(std::move(tasks)),
+      state_(tasks_.size()),
+      moment_tolerance_(moment_tolerance),
+      min_jobs_(min_jobs) {
+  if (tasks_.empty())
+    throw std::invalid_argument("OnlineMonitor: no tasks to monitor");
+  if (moment_tolerance <= 0.0)
+    throw std::invalid_argument(
+        "OnlineMonitor: moment_tolerance must be > 0");
+  for (const MonitoredTask& task : tasks_) {
+    if (task.acet <= 0.0 || task.sigma < 0.0 || task.wcet_lo <= 0.0 ||
+        task.n < 0.0)
+      throw std::invalid_argument("OnlineMonitor: invalid task reference");
+  }
+}
+
+void OnlineMonitor::record(std::size_t index, double execution_time) {
+  State& state = state_.at(index);
+  state.acc.add(execution_time);
+  if (execution_time > tasks_[index].wcet_lo) ++state.overruns;
+}
+
+DriftReport OnlineMonitor::report(std::size_t index) const {
+  const MonitoredTask& task = tasks_.at(index);
+  const State& state = state_.at(index);
+  DriftReport report;
+  report.jobs = state.acc.count();
+  report.observed_acet = state.acc.mean();
+  report.observed_sigma = state.acc.stddev();
+  report.design_bound = stats::chebyshev_exceedance_bound(task.n);
+  report.observed_overrun_rate =
+      report.jobs == 0 ? 0.0
+                       : static_cast<double>(state.overruns) /
+                             static_cast<double>(report.jobs);
+  if (report.jobs < min_jobs_) return report;  // not enough evidence yet
+
+  const double acet_error =
+      std::abs(report.observed_acet - task.acet) / task.acet;
+  const double sigma_error =
+      task.sigma > 0.0
+          ? std::abs(report.observed_sigma - task.sigma) / task.sigma
+          : 0.0;
+  report.moments_drifted =
+      acet_error > moment_tolerance_ || sigma_error > moment_tolerance_;
+  // The Chebyshev bound is an upper bound, so only a clear violation
+  // (beyond Monte-Carlo noise ~ 3 * sqrt(p(1-p)/m)) triggers.
+  const double p = report.design_bound;
+  const double noise =
+      3.0 * std::sqrt(p * (1.0 - p) /
+                      static_cast<double>(report.jobs));
+  report.bound_violated = report.observed_overrun_rate > p + noise;
+  return report;
+}
+
+bool OnlineMonitor::any_reassignment_recommended() const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (report(i).reassignment_recommended()) return true;
+  return false;
+}
+
+}  // namespace mcs::core

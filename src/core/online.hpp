@@ -1,0 +1,77 @@
+// Online drift monitoring for deployed Chebyshev assignments.
+//
+// The scheme fixes C^LO at design time from a measurement campaign; in the
+// field, workloads drift (new inputs, thermal throttling, software
+// updates) and the campaign's moments go stale — the runtime counterpart
+// of the sensitivity analysis (core/sensitivity.hpp) and the dynamic
+// budget-management line of related work ([15], [16]). This monitor
+// consumes per-job execution times, maintains running moments per task
+// (Welford) and the observed overrun rate against the deployed C^LO, and
+// recommends re-optimization when either leaves its design envelope.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats_accumulator.hpp"
+
+namespace mcs::core {
+
+/// Design-time reference for one monitored HC task.
+struct MonitoredTask {
+  double acet = 0.0;     ///< campaign mean
+  double sigma = 0.0;    ///< campaign stddev
+  double wcet_lo = 0.0;  ///< deployed C^LO
+  double n = 0.0;        ///< deployed multiplier (for the design bound)
+};
+
+/// Drift verdict for one task.
+struct DriftReport {
+  double observed_acet = 0.0;
+  double observed_sigma = 0.0;
+  double observed_overrun_rate = 0.0;
+  double design_bound = 0.0;        ///< 1/(1+n^2)
+  bool moments_drifted = false;     ///< relative moment error > tolerance
+  bool bound_violated = false;      ///< overruns exceed the design bound
+  std::size_t jobs = 0;
+
+  /// True when either trigger fired (with enough evidence).
+  [[nodiscard]] bool reassignment_recommended() const {
+    return moments_drifted || bound_violated;
+  }
+};
+
+/// Streaming monitor over a fixed set of HC tasks.
+class OnlineMonitor {
+ public:
+  /// `moment_tolerance` is the allowed relative deviation of the observed
+  /// mean from the design ACET (and observed sigma from the design
+  /// sigma); `min_jobs` gates verdicts until enough evidence accumulated.
+  explicit OnlineMonitor(std::vector<MonitoredTask> tasks,
+                         double moment_tolerance = 0.15,
+                         std::size_t min_jobs = 100);
+
+  /// Records one completed job's execution time for task `index`.
+  void record(std::size_t index, double execution_time);
+
+  /// Current verdict for task `index`.
+  [[nodiscard]] DriftReport report(std::size_t index) const;
+
+  /// True when any task recommends reassignment.
+  [[nodiscard]] bool any_reassignment_recommended() const;
+
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+ private:
+  struct State {
+    common::StatsAccumulator acc;
+    std::size_t overruns = 0;
+  };
+
+  std::vector<MonitoredTask> tasks_;
+  std::vector<State> state_;
+  double moment_tolerance_;
+  std::size_t min_jobs_;
+};
+
+}  // namespace mcs::core

@@ -1,0 +1,79 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/chebyshev_wcet.hpp"
+
+namespace mcs::core {
+
+namespace {
+
+/// GA problem wrapper: genes are the per-HC-task multipliers.
+class MultiplierProblem final : public ga::Problem {
+ public:
+  MultiplierProblem(const mc::TaskSet& tasks, double n_cap)
+      : tasks_(tasks), hc_(tasks.indices(mc::Criticality::kHigh)) {
+    if (hc_.empty())
+      throw std::invalid_argument(
+          "optimize_multipliers_ga: no HC task to optimize");
+    upper_.reserve(hc_.size());
+    for (const std::size_t idx : hc_) {
+      const double n_max = max_multiplier(tasks_[idx]);
+      upper_.push_back(std::min(n_cap, n_max));
+    }
+  }
+
+  [[nodiscard]] std::size_t dimension() const override { return hc_.size(); }
+  [[nodiscard]] double lower_bound(std::size_t) const override { return 0.0; }
+  [[nodiscard]] double upper_bound(std::size_t i) const override {
+    return upper_[i];
+  }
+  [[nodiscard]] double evaluate(std::span<const double> genes) const override {
+    return evaluate_multipliers(tasks_, genes).objective;
+  }
+
+ private:
+  const mc::TaskSet& tasks_;
+  std::vector<std::size_t> hc_;
+  std::vector<double> upper_;
+};
+
+}  // namespace
+
+OptimizationResult optimize_multipliers_ga(const mc::TaskSet& tasks,
+                                           const OptimizerConfig& config) {
+  const MultiplierProblem problem(tasks, config.n_cap);
+  const ga::GaResult ga_result = ga::run_ga(problem, config.ga);
+  OptimizationResult result;
+  result.n = ga_result.best.genes;
+  result.breakdown = evaluate_multipliers(tasks, result.n);
+  return result;
+}
+
+std::vector<UniformSweepPoint> sweep_uniform_n(const mc::TaskSet& tasks,
+                                               double n_min, double n_max,
+                                               double step) {
+  if (n_min < 0.0 || step <= 0.0 || n_max < n_min)
+    throw std::invalid_argument("sweep_uniform_n: invalid range");
+  const std::size_t hc_count = tasks.count(mc::Criticality::kHigh);
+  std::vector<UniformSweepPoint> points;
+  for (double n = n_min; n <= n_max + 1e-12; n += step) {
+    const std::vector<double> genes(hc_count, n);
+    points.push_back({n, evaluate_multipliers(tasks, genes)});
+  }
+  return points;
+}
+
+UniformSweepPoint best_uniform_n(const mc::TaskSet& tasks, double n_min,
+                                 double n_max, double step) {
+  const auto points = sweep_uniform_n(tasks, n_min, n_max, step);
+  const auto it = std::max_element(
+      points.begin(), points.end(),
+      [](const UniformSweepPoint& a, const UniformSweepPoint& b) {
+        return a.breakdown.objective < b.breakdown.objective;
+      });
+  return *it;
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,50 @@
+// Solvers for the Eq. 13 optimization problem: per-task multipliers via
+// the genetic algorithm (the paper's approach), and a uniform-n sweep (the
+// Section V-B analysis and a deterministic fallback/ablation baseline).
+#pragma once
+
+#include <vector>
+
+#include "core/objective.hpp"
+#include "ga/engine.hpp"
+#include "mc/taskset.hpp"
+
+namespace mcs::core {
+
+/// Result of an optimization run.
+struct OptimizationResult {
+  std::vector<double> n;          ///< chosen multipliers (per HC task)
+  ObjectiveBreakdown breakdown;   ///< objective at the chosen point
+};
+
+/// Knobs for the GA-based optimizer. The GA hyper-parameters default to
+/// the paper's settings (see ga::GaConfig); `n_cap` bounds the search
+/// range for tasks whose Eq. 9 headroom is very large (bounds the genome
+/// box; the Eq. 9 clamp still applies inside the objective).
+struct OptimizerConfig {
+  ga::GaConfig ga;
+  double n_cap = 64.0;
+};
+
+/// Optimizes per-task multipliers with the GA (Section IV-C "Problem
+/// Solving"). Requires at least one HC task with stats.
+[[nodiscard]] OptimizationResult optimize_multipliers_ga(
+    const mc::TaskSet& tasks, const OptimizerConfig& config = {});
+
+/// One point of a uniform-n sweep.
+struct UniformSweepPoint {
+  double n = 0.0;
+  ObjectiveBreakdown breakdown;
+};
+
+/// Evaluates a uniform multiplier n for all HC tasks over
+/// [n_min, n_max] in steps of `step` (Fig. 2 / Fig. 3 analyses).
+/// Requires n_min >= 0, step > 0, n_max >= n_min.
+[[nodiscard]] std::vector<UniformSweepPoint> sweep_uniform_n(
+    const mc::TaskSet& tasks, double n_min, double n_max, double step);
+
+/// The sweep point with the largest objective (ties: smallest n).
+[[nodiscard]] UniformSweepPoint best_uniform_n(
+    const mc::TaskSet& tasks, double n_min, double n_max, double step);
+
+}  // namespace mcs::core

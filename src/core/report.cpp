@@ -1,0 +1,86 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+#include "core/chebyshev_wcet.hpp"
+#include "core/objective.hpp"
+#include "sched/amc.hpp"
+#include "sched/dbf.hpp"
+#include "sched/edf_vd.hpp"
+#include "stats/chebyshev.hpp"
+
+namespace mcs::core {
+
+std::string render_design_report(const mc::TaskSet& tasks) {
+  std::ostringstream out;
+
+  common::Table task_table({"task", "crit", "C^LO (ms)", "C^HI (ms)",
+                            "T (ms)", "D (ms)", "u^LO", "u^HI", "implied n",
+                            "overrun bound"});
+  task_table.set_title("Task set design report");
+  bool all_hc_have_stats = true;
+  for (const mc::McTask& task : tasks) {
+    std::string implied = "-";
+    std::string bound = "-";
+    if (task.criticality == mc::Criticality::kHigh) {
+      if (task.stats.has_value()) {
+        const double n = stats::implied_n(task.stats->acet,
+                                          task.stats->sigma, task.wcet_lo);
+        implied = common::format_double(n, 4);
+        bound = common::format_percent(stats::chebyshev_exceedance_bound(n));
+      } else {
+        all_hc_have_stats = false;
+      }
+    }
+    task_table.add_row(
+        {task.name, std::string(mc::to_string(task.criticality)),
+         common::format_double(task.wcet_lo, 4),
+         common::format_double(task.wcet_hi, 4),
+         common::format_double(task.period, 4),
+         common::format_double(task.deadline(), 4),
+         common::format_double(task.utilization(mc::Mode::kLow), 4),
+         common::format_double(task.utilization(mc::Mode::kHigh), 4),
+         implied, bound});
+  }
+  out << task_table.render();
+
+  const sched::McUtilization u = sched::McUtilization::of(tasks);
+  out << "\naggregates: U_LC^LO = " << common::format_double(u.lc_lo, 4)
+      << ", U_HC^LO = " << common::format_double(u.hc_lo, 4)
+      << ", U_HC^HI = " << common::format_double(u.hc_hi, 4) << "\n";
+
+  const sched::EdfVdResult edf_vd = sched::edf_vd_test(u);
+  out << "EDF-VD (Eq. 8, drop-all): "
+      << (edf_vd.schedulable ? "schedulable" : "NOT schedulable");
+  if (edf_vd.schedulable)
+    out << " with x = " << common::format_double(edf_vd.x, 4)
+        << (edf_vd.plain_edf ? " (plain EDF)" : "");
+  out << "\n";
+
+  const sched::EdfVdResult degraded = sched::edf_vd_degraded_test(u, 0.5);
+  out << "EDF-VD (degrade-50%, Liu [2]): "
+      << (degraded.schedulable ? "schedulable" : "NOT schedulable") << "\n";
+
+  const sched::AmcResult amc = sched::amc_rtb_test(tasks);
+  out << "AMC-rtb (fixed priority, DM): "
+      << (amc.schedulable ? "schedulable" : "NOT schedulable") << "\n";
+
+  const sched::DbfResult dbf = sched::edf_dbf_test(tasks, mc::Mode::kLow);
+  out << "EDF demand-bound (LO mode, constrained deadlines): "
+      << (dbf.schedulable ? "schedulable" : "NOT schedulable") << "\n";
+
+  if (all_hc_have_stats && tasks.count(mc::Criticality::kHigh) > 0) {
+    const ObjectiveBreakdown breakdown = evaluate_current_assignment(tasks);
+    out << "\nprobabilistic summary (current C^LO assignment):\n";
+    out << "  P_sys^MS (Eq. 10)    <= "
+        << common::format_percent(breakdown.p_ms) << "\n";
+    out << "  max(U_LC^LO) (11/12)  = "
+        << common::format_percent(breakdown.max_u_lc) << "\n";
+    out << "  objective (Eq. 13)    = "
+        << common::format_double(breakdown.objective, 4) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,17 @@
+// Human-readable design report for an assigned task set: per-task budgets
+// and overrun bounds, aggregate utilizations, schedulability verdicts
+// under every analysis the library implements, and the Eq. 13 breakdown.
+// Used by the CLI tool and the examples.
+#pragma once
+
+#include <string>
+
+#include "mc/taskset.hpp"
+
+namespace mcs::core {
+
+/// Renders the full report. Works on any valid task set; HC tasks without
+/// stats are reported without probabilistic columns.
+[[nodiscard]] std::string render_design_report(const mc::TaskSet& tasks);
+
+}  // namespace mcs::core

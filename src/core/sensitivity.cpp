@@ -1,0 +1,73 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/chebyshev_wcet.hpp"
+#include "core/objective.hpp"
+#include "sched/edf_vd.hpp"
+
+namespace mcs::core {
+
+double realized_multiplier(double acet, double sigma, double wcet_lo,
+                           double acet_error, double sigma_error) {
+  const double true_acet = (1.0 + acet_error) * acet;
+  const double true_sigma = (1.0 + sigma_error) * sigma;
+  if (sigma > 0.0 && true_sigma <= 0.0)
+    throw std::invalid_argument(
+        "realized_multiplier: sigma_error must keep sigma positive");
+  if (true_sigma <= 0.0) {
+    // Degenerate deterministic task: the bound is 0 or 1.
+    return wcet_lo >= true_acet ? std::numeric_limits<double>::infinity()
+                                : -1.0;
+  }
+  return (wcet_lo - true_acet) / true_sigma;
+}
+
+std::vector<SensitivityPoint> analyze_sensitivity(
+    const mc::TaskSet& tasks, std::span<const double> error_levels) {
+  // Design-time view.
+  const ObjectiveBreakdown designed = evaluate_current_assignment(tasks);
+  const std::vector<std::size_t> hc = tasks.indices(mc::Criticality::kHigh);
+
+  std::vector<SensitivityPoint> points;
+  for (const double error : error_levels) {
+    SensitivityPoint point;
+    point.acet_error = error;
+    point.sigma_error = error;
+    point.designed_p_ms = designed.p_ms;
+
+    std::vector<double> realized;
+    double u_hc_lo_true = 0.0;
+    for (const std::size_t idx : hc) {
+      const mc::McTask& task = tasks[idx];
+      if (!task.stats.has_value())
+        throw std::invalid_argument(
+            "analyze_sensitivity: HC task without execution stats");
+      realized.push_back(realized_multiplier(task.stats->acet,
+                                             task.stats->sigma, task.wcet_lo,
+                                             error, error));
+      // The budget C^LO is fixed; its utilization does not move. What
+      // moves is the *demand*: jobs centred at the true ACET. The LO-mode
+      // demand the processor must absorb without overrunning is still
+      // bounded by C^LO, so the schedulability question is whether the
+      // designed LC load still passes Eq. 8 with the unchanged C^LO/C^HI
+      // (it does) — the real degradation is the switch probability.
+      u_hc_lo_true += task.wcet_lo / task.period;
+    }
+    point.realized_p_ms = system_mode_switch_probability(realized);
+    point.u_hc_lo_true = u_hc_lo_true;
+
+    // designed.max_u_lc sits exactly on the Eq. 8 boundary; back off by an
+    // epsilon so floating-point rounding cannot flip the verdict.
+    const sched::McUtilization u{
+        designed.max_u_lc * (1.0 - 1e-9), u_hc_lo_true,
+        tasks.utilization(mc::Criticality::kHigh, mc::Mode::kHigh)};
+    point.schedulability_preserved = sched::edf_vd_test(u).schedulable;
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace mcs::core

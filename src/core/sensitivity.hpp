@@ -1,0 +1,51 @@
+// Sensitivity of the Chebyshev scheme to measurement error.
+//
+// The scheme's inputs — ACET and sigma — come from a finite measurement
+// campaign; Section II's critique of pWCET methods (representativity,
+// [19]-[21]) applies in milder form here too. This module quantifies the
+// degradation analytically: if the *true* moments are off by a relative
+// factor (acet' = (1+e_a)*acet, sigma' = (1+e_s)*sigma), the assigned
+// C^LO = acet + n*sigma corresponds to a *realized* multiplier
+//     n' = (C^LO - acet') / sigma'
+// and the distribution-free overrun bound degrades from 1/(1+n^2) to
+// 1/(1+n'^2) (or collapses to 1 if C^LO fell below the true mean).
+// Because the Chebyshev bound holds for every distribution, this is a
+// complete description of the damage — no tail-model assumption can
+// silently break, which is precisely the scheme's robustness argument.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mc/taskset.hpp"
+
+namespace mcs::core {
+
+/// Effect of one perturbation level on one task set's guarantees.
+struct SensitivityPoint {
+  double acet_error = 0.0;   ///< relative error e_a applied to every ACET
+  double sigma_error = 0.0;  ///< relative error e_s applied to every sigma
+  double designed_p_ms = 0.0;  ///< Eq. 10 bound believed at design time
+  double realized_p_ms = 0.0;  ///< Eq. 10 bound under the true moments
+  double u_hc_lo_true = 0.0;   ///< true LO-mode HC utilization demand
+  bool schedulability_preserved = false;  ///< Eq. 8 still holds for the
+                                          ///< chosen max(U_LC^LO)
+};
+
+/// Realized multiplier of one task after perturbing its moments:
+/// n' = (wcet_lo - (1+acet_error)*acet) / ((1+sigma_error)*sigma).
+/// Returns -inf style values naturally (negative n' -> vacuous bound).
+/// sigma_error must keep sigma positive when sigma > 0.
+[[nodiscard]] double realized_multiplier(double acet, double sigma,
+                                         double wcet_lo, double acet_error,
+                                         double sigma_error);
+
+/// Evaluates the currently assigned task set (HC wcet_lo values as they
+/// stand) under a grid of symmetric moment errors. For each point, the
+/// designed bound uses the nominal moments, the realized bound the
+/// perturbed ones; schedulability_preserved re-checks Eq. 8 with the
+/// *designed* max(U_LC^LO) LC load against the *true* HC demand.
+[[nodiscard]] std::vector<SensitivityPoint> analyze_sensitivity(
+    const mc::TaskSet& tasks, std::span<const double> error_levels);
+
+}  // namespace mcs::core

@@ -1,0 +1,167 @@
+#include "exp/ablation.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/chebyshev_wcet.hpp"
+#include "sched/edf_vd.hpp"
+#include "taskgen/generator.hpp"
+#include "taskgen/uunifast.hpp"
+
+namespace mcs::exp {
+
+namespace {
+
+/// Adds LC filler tasks with total utilization `target` to `tasks`.
+void add_lc_fill(mc::TaskSet& tasks, double target, common::Rng& rng) {
+  if (target <= 1e-6) return;
+  const auto count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(target / 0.15 + 0.5));
+  const std::vector<double> utils =
+      taskgen::uunifast(count, target, rng);
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    const double period = rng.uniform(100.0, 900.0);
+    const double wcet = std::max(1e-6, utils[i] * period);
+    tasks.add(mc::McTask::low("lcfill" + std::to_string(i), wcet, period));
+  }
+}
+
+}  // namespace
+
+std::vector<GaVsUniformPoint> run_ga_vs_uniform(
+    const std::vector<double>& u_values, std::size_t tasksets,
+    std::uint64_t seed, const core::OptimizerConfig& optimizer) {
+  std::vector<GaVsUniformPoint> points;
+  const taskgen::GeneratorConfig config;
+  for (const double u : u_values) {
+    common::Rng rng(seed + static_cast<std::uint64_t>(u * 1000.0));
+    GaVsUniformPoint point;
+    point.u_hc_hi = u;
+    for (std::size_t t = 0; t < tasksets; ++t) {
+      common::Rng set_rng = rng.split();
+      const mc::TaskSet tasks =
+          taskgen::generate_hc_only(config, u, set_rng);
+      const core::UniformSweepPoint uniform =
+          core::best_uniform_n(tasks, 0.0, optimizer.n_cap, 0.5);
+      core::OptimizerConfig opt = optimizer;
+      opt.ga.seed = set_rng();
+      const core::OptimizationResult ga =
+          core::optimize_multipliers_ga(tasks, opt);
+      core::OptimizerConfig gaussian_opt = opt;
+      gaussian_opt.ga.mutation = ga::MutationKind::kGaussian;
+      const core::OptimizationResult ga_gaussian =
+          core::optimize_multipliers_ga(tasks, gaussian_opt);
+      point.uniform_objective += uniform.breakdown.objective;
+      point.ga_objective += ga.breakdown.objective;
+      point.ga_gaussian_objective += ga_gaussian.breakdown.objective;
+      if (uniform.breakdown.objective > 1e-9)
+        point.mean_gain += (ga.breakdown.objective -
+                            uniform.breakdown.objective) /
+                           uniform.breakdown.objective;
+    }
+    const auto denom = static_cast<double>(tasksets);
+    point.uniform_objective /= denom;
+    point.ga_objective /= denom;
+    point.ga_gaussian_objective /= denom;
+    point.mean_gain /= denom;
+    points.push_back(point);
+  }
+  return points;
+}
+
+common::Table render_ga_vs_uniform(
+    const std::vector<GaVsUniformPoint>& points) {
+  common::Table table({"U_HC^HI", "best uniform-n obj.", "GA per-task obj.",
+                       "GA (gaussian mut.)", "mean GA gain"});
+  table.set_title("Ablation A1: GA per-task multipliers vs. best uniform n");
+  for (const GaVsUniformPoint& p : points) {
+    table.add_row({common::format_double(p.u_hc_hi, 3),
+                   common::format_double(p.uniform_objective, 4),
+                   common::format_double(p.ga_objective, 4),
+                   common::format_double(p.ga_gaussian_objective, 4),
+                   common::format_percent(p.mean_gain)});
+  }
+  return table;
+}
+
+std::vector<SimValidationPoint> run_sim_validation(
+    const std::vector<double>& u_values, std::size_t tasksets,
+    common::Millis horizon, std::uint64_t seed,
+    const core::OptimizerConfig& optimizer) {
+  std::vector<SimValidationPoint> points;
+  const taskgen::GeneratorConfig config;
+  for (const double u : u_values) {
+    common::Rng rng(seed + 7 + static_cast<std::uint64_t>(u * 1000.0));
+    SimValidationPoint point;
+    point.u_hc_hi = u;
+    std::size_t valid_sets = 0;
+    for (std::size_t t = 0; t < tasksets; ++t) {
+      common::Rng set_rng = rng.split();
+      mc::TaskSet tasks = taskgen::generate_hc_only(config, u, set_rng);
+      core::OptimizerConfig opt = optimizer;
+      opt.ga.seed = set_rng();
+      const core::OptimizationResult best =
+          core::optimize_multipliers_ga(tasks, opt);
+      if (!best.breakdown.feasible) continue;
+      (void)core::apply_chebyshev_assignment(tasks, best.n);
+      // Fill with LC tasks slightly under the admissible maximum so the
+      // EDF-VD test passes with margin.
+      add_lc_fill(tasks, 0.9 * best.breakdown.max_u_lc, set_rng);
+      const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
+      if (!vd.schedulable) continue;
+      ++valid_sets;
+      point.analytic_p_ms += best.breakdown.p_ms;
+
+      sim::SimConfig sim_config;
+      sim_config.horizon = horizon;
+      sim_config.x = vd.x;
+      sim_config.seed = set_rng();
+
+      sim_config.lc_policy = sim::LcPolicy::kDropAll;
+      const sim::SimResult drop = sim::simulate(tasks, sim_config);
+      sim_config.lc_policy = sim::LcPolicy::kDegradeHalf;
+      const sim::SimResult degrade = sim::simulate(tasks, sim_config);
+
+      point.sim_overrun_rate += drop.metrics.hc_overrun_rate();
+      point.sim_drop_rate_dropall += drop.metrics.lc_drop_rate();
+      point.sim_drop_rate_degrade += degrade.metrics.lc_drop_rate();
+      point.sim_hc_miss_dropall +=
+          static_cast<double>(drop.metrics.hc_deadline_misses);
+      point.sim_hc_miss_degrade +=
+          static_cast<double>(degrade.metrics.hc_deadline_misses);
+    }
+    if (valid_sets > 0) {
+      const auto denom = static_cast<double>(valid_sets);
+      point.analytic_p_ms /= denom;
+      point.sim_overrun_rate /= denom;
+      point.sim_drop_rate_dropall /= denom;
+      point.sim_drop_rate_degrade /= denom;
+      point.sim_hc_miss_dropall /= denom;
+      point.sim_hc_miss_degrade /= denom;
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+common::Table render_sim_validation(
+    const std::vector<SimValidationPoint>& points) {
+  common::Table table({"U_HC^HI", "Eq.10 bound", "sim overrun rate",
+                       "LC drop (drop-all)", "LC drop (degrade)",
+                       "HC misses (drop-all)", "HC misses (degrade)"});
+  table.set_title(
+      "Ablations A2+A3: runtime policy comparison and analytic-vs-simulated "
+      "validation");
+  for (const SimValidationPoint& p : points) {
+    table.add_row({common::format_double(p.u_hc_hi, 3),
+                   common::format_percent(p.analytic_p_ms),
+                   common::format_percent(p.sim_overrun_rate),
+                   common::format_percent(p.sim_drop_rate_dropall),
+                   common::format_percent(p.sim_drop_rate_degrade),
+                   common::format_double(p.sim_hc_miss_dropall, 3),
+                   common::format_double(p.sim_hc_miss_degrade, 3)});
+  }
+  return table;
+}
+
+}  // namespace mcs::exp

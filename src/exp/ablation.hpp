@@ -1,0 +1,58 @@
+// Ablation studies beyond the paper's figures:
+//  A1 — GA (per-task n_i) vs. exhaustive uniform-n: how much does the
+//       per-task degree of freedom buy? (DESIGN.md design-choice ablation)
+//  A2 — runtime LC policy: drop-all [1] vs. degrade-50% [2] under the same
+//       Chebyshev assignment, measured in the discrete-event simulator.
+//  A3 — analytic vs. simulated validation: Eq. 10's bound against the
+//       simulator's measured per-job overrun and mode-switch behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/optimizer.hpp"
+#include "sim/engine.hpp"
+
+namespace mcs::exp {
+
+/// A1 result at one utilization point.
+struct GaVsUniformPoint {
+  double u_hc_hi = 0.0;
+  double uniform_objective = 0.0;   ///< best single-n objective (mean)
+  double ga_objective = 0.0;        ///< GA per-task objective (mean)
+  double ga_gaussian_objective = 0.0;  ///< GA with Gaussian mutation (mean)
+  double mean_gain = 0.0;           ///< mean relative improvement of GA
+};
+
+/// Runs A1 over `u_values`, `tasksets` sets per point.
+[[nodiscard]] std::vector<GaVsUniformPoint> run_ga_vs_uniform(
+    const std::vector<double>& u_values, std::size_t tasksets,
+    std::uint64_t seed, const core::OptimizerConfig& optimizer = {});
+
+[[nodiscard]] common::Table render_ga_vs_uniform(
+    const std::vector<GaVsUniformPoint>& points);
+
+/// A2/A3 result: analytic bounds next to simulator measurements for one
+/// task-set family under both runtime policies.
+struct SimValidationPoint {
+  double u_hc_hi = 0.0;
+  double analytic_p_ms = 0.0;        ///< Eq. 10 bound at the chosen n
+  double sim_overrun_rate = 0.0;     ///< measured per-HC-job overrun rate
+  double sim_drop_rate_dropall = 0.0;
+  double sim_drop_rate_degrade = 0.0;
+  double sim_hc_miss_dropall = 0.0;  ///< HC deadline misses (should be 0)
+  double sim_hc_miss_degrade = 0.0;
+};
+
+/// Runs A2+A3: optimizes each task set with the GA, simulates it with
+/// both LC policies, and averages.
+[[nodiscard]] std::vector<SimValidationPoint> run_sim_validation(
+    const std::vector<double>& u_values, std::size_t tasksets,
+    common::Millis horizon, std::uint64_t seed,
+    const core::OptimizerConfig& optimizer = {});
+
+[[nodiscard]] common::Table render_sim_validation(
+    const std::vector<SimValidationPoint>& points);
+
+}  // namespace mcs::exp

@@ -1,0 +1,56 @@
+// Ablation A4 (beyond the paper): Chebyshev vs measurement-based C^LO
+// assignment, on held-out data.
+//
+// Section II of the paper argues for Chebyshev over EVT/pWCET estimation
+// because the latter's guarantees depend on sample representativity. This
+// experiment quantifies the trade-off: each method chooses C^LO from a
+// *training* half of a kernel's measurement campaign targeting a 10%
+// overrun rate, and is then scored on a *held-out* half:
+//   * Chebyshev n=3 (bound 10%)        — distribution-free, conservative
+//   * empirical 90th percentile        — tight but purely empirical
+//   * EVT pWCET                        — model-based tail extrapolation
+// A method is "safe" when its held-out overrun stays at or below the 10%
+// target; "tight" when C^LO (and thus the LO-mode utilization cost) is
+// small.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace mcs::exp {
+
+/// Score of one method on one application.
+struct MethodScore {
+  std::string method;
+  double wcet_opt = 0.0;          ///< chosen C^LO (cycles)
+  double train_overrun = 0.0;     ///< overrun rate on the training half
+  double holdout_overrun = 0.0;   ///< overrun rate on the held-out half
+  double utilization_cost = 0.0;  ///< C^LO / ACET (lower = tighter)
+};
+
+/// All methods evaluated on one application.
+struct AssignmentComparison {
+  std::string application;
+  double acet = 0.0;
+  double sigma = 0.0;
+  /// Two-sample KS verdict between the train and holdout halves — the
+  /// representativity precondition every measurement-based method rests
+  /// on (true = same distribution at alpha = 0.05).
+  bool representative = false;
+  std::vector<MethodScore> methods;
+};
+
+/// Runs the experiment on the five Table II applications with `samples`
+/// runs each (split 50/50 train/holdout). Target overrun rate is 10%
+/// (Chebyshev n=3).
+[[nodiscard]] std::vector<AssignmentComparison> run_assignment_methods(
+    std::size_t samples, std::uint64_t seed);
+
+/// Renders one row per (application, method).
+[[nodiscard]] common::Table render_assignment_methods(
+    const std::vector<AssignmentComparison>& comparisons);
+
+}  // namespace mcs::exp

@@ -1,0 +1,37 @@
+// Fig. 1 driver: the execution-time distribution of a real-time task,
+// showing the large gap between the ACET and the (pessimistic) WCET.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hpp"
+
+namespace mcs::exp {
+
+/// Fig. 1 data for one application.
+struct Fig1Data {
+  std::string application;
+  common::Histogram histogram;   ///< over the measured samples
+  double acet = 0.0;
+  double sigma = 0.0;
+  double observed_max = 0.0;
+  double wcet_pes = 0.0;
+
+  /// WCET^pes / ACET — the "large gap" headline number.
+  [[nodiscard]] double gap() const {
+    return acet > 0.0 ? wcet_pes / acet : 0.0;
+  }
+};
+
+/// Measures `application` (a Table I name, e.g. "smooth"; throws
+/// std::invalid_argument if unknown) with `samples` runs and `bins`
+/// histogram bins.
+[[nodiscard]] Fig1Data run_fig1(const std::string& application,
+                                std::size_t samples, std::size_t bins,
+                                std::uint64_t seed);
+
+/// Renders the histogram plus the ACET / max / WCET^pes markers.
+[[nodiscard]] std::string render_fig1(const Fig1Data& data);
+
+}  // namespace mcs::exp

@@ -1,0 +1,35 @@
+#include "exp/fig2.hpp"
+
+#include "taskgen/generator.hpp"
+
+namespace mcs::exp {
+
+Fig2Data run_fig2(double u_hc_hi, double n_max, double step,
+                  std::uint64_t seed) {
+  common::Rng rng(seed);
+  const taskgen::GeneratorConfig config;
+  const mc::TaskSet tasks = taskgen::generate_hc_only(config, u_hc_hi, rng);
+  Fig2Data data;
+  data.u_hc_hi = u_hc_hi;
+  data.sweep = core::sweep_uniform_n(tasks, 0.0, n_max, step);
+  data.optimum = core::best_uniform_n(tasks, 0.0, n_max, step);
+  return data;
+}
+
+common::Table render_fig2(const Fig2Data& data) {
+  common::Table table({"n", "P_sys^MS", "max(U_LC^LO)",
+                       "(1-P_MS)*maxU (Eq.13)"});
+  table.set_title("Fig. 2: uniform-n sweep at U_HC^HI = " +
+                  common::format_double(data.u_hc_hi, 3) +
+                  " (optimum n = " +
+                  common::format_double(data.optimum.n, 4) + ")");
+  for (const core::UniformSweepPoint& p : data.sweep) {
+    table.add_row({common::format_double(p.n, 4),
+                   common::format_double(p.breakdown.p_ms, 4),
+                   common::format_double(p.breakdown.max_u_lc, 4),
+                   common::format_double(p.breakdown.objective, 4)});
+  }
+  return table;
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,30 @@
+// Fig. 2 driver: the effect of a uniform n on max(U_LC^LO) and P_sys^MS
+// for one example task set (the paper's text uses U_HC^HI = 0.85; the
+// figure caption says U = 0.45 — the parameter is exposed, and the bench
+// notes the discrepancy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/optimizer.hpp"
+
+namespace mcs::exp {
+
+/// Fig. 2 data: the sweep (2a) and its Eq. 13 optimum (2b).
+struct Fig2Data {
+  double u_hc_hi = 0.0;
+  std::vector<core::UniformSweepPoint> sweep;  ///< n, P_MS, max U, product
+  core::UniformSweepPoint optimum;             ///< argmax of Eq. 13
+};
+
+/// Generates one HC-only example task set at `u_hc_hi` and sweeps
+/// n in [0, n_max] with the given step.
+[[nodiscard]] Fig2Data run_fig2(double u_hc_hi, double n_max, double step,
+                                std::uint64_t seed);
+
+/// Renders both panels as a series table.
+[[nodiscard]] common::Table render_fig2(const Fig2Data& data);
+
+}  // namespace mcs::exp

@@ -1,0 +1,38 @@
+// Fig. 3 driver: effect of n and of the HC tasks' HI utilization on
+// P_sys^MS (3a), max(U_LC^LO) (3b) and their Eq. 13 product (3c), averaged
+// over many random task sets per utilization point (paper: 1000).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace mcs::exp {
+
+/// One grid cell: fixed n and U_HC^HI, averaged over task sets.
+struct Fig3Cell {
+  double n = 0.0;
+  double u_hc_hi = 0.0;
+  double mean_p_ms = 0.0;
+  double mean_max_u_lc = 0.0;
+  double mean_objective = 0.0;
+};
+
+/// Full grid data.
+struct Fig3Data {
+  std::vector<double> n_values;
+  std::vector<double> u_values;
+  std::vector<Fig3Cell> cells;  ///< row-major: n outer, u inner
+};
+
+/// Runs the grid: for each (n, U_HC^HI) pair, `tasksets` random HC-only
+/// sets are generated and evaluated at uniform multiplier n.
+[[nodiscard]] Fig3Data run_fig3(const std::vector<double>& n_values,
+                                const std::vector<double>& u_values,
+                                std::size_t tasksets, std::uint64_t seed);
+
+/// Renders the three panels (one row per grid cell).
+[[nodiscard]] common::Table render_fig3(const Fig3Data& data);
+
+}  // namespace mcs::exp

@@ -1,0 +1,41 @@
+#include "exp/fig6.hpp"
+
+namespace mcs::exp {
+
+std::vector<Fig6Point> run_fig6(const std::vector<double>& u_values,
+                                std::size_t tasksets, std::uint64_t seed) {
+  std::vector<Fig6Point> points;
+  for (const double u : u_values) {
+    const std::uint64_t point_seed =
+        seed + static_cast<std::uint64_t>(u * 1000.0);
+    Fig6Point point;
+    point.u_bound = u;
+    point.baruah_lambda = core::acceptance_ratio(
+        core::Approach::kBaruahLambda, u, tasksets, point_seed);
+    point.baruah_chebyshev = core::acceptance_ratio(
+        core::Approach::kBaruahChebyshev, u, tasksets, point_seed);
+    point.liu_lambda = core::acceptance_ratio(core::Approach::kLiuLambda, u,
+                                              tasksets, point_seed);
+    point.liu_chebyshev = core::acceptance_ratio(
+        core::Approach::kLiuChebyshev, u, tasksets, point_seed);
+    points.push_back(point);
+  }
+  return points;
+}
+
+common::Table render_fig6(const std::vector<Fig6Point>& points) {
+  common::Table table({"U_bound", "Baruah[1]", "Baruah[1]+proposed",
+                       "Liu[2]", "Liu[2]+proposed"});
+  table.set_title("Fig. 6: acceptance ratio of scheduling approaches with "
+                  "and without the proposed scheme");
+  for (const Fig6Point& p : points) {
+    table.add_row({common::format_double(p.u_bound, 3),
+                   common::format_percent(p.baruah_lambda),
+                   common::format_percent(p.baruah_chebyshev),
+                   common::format_percent(p.liu_lambda),
+                   common::format_percent(p.liu_chebyshev)});
+  }
+  return table;
+}
+
+}  // namespace mcs::exp

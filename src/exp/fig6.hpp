@@ -1,0 +1,32 @@
+// Fig. 6 driver: acceptance ratio (fraction of schedulable task sets) vs.
+// utilization bound for Baruah [1] and Liu [2], each with and without the
+// proposed scheme.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/acceptance.hpp"
+
+namespace mcs::exp {
+
+/// Acceptance ratios of all four approaches at one U_bound.
+struct Fig6Point {
+  double u_bound = 0.0;
+  double baruah_lambda = 0.0;
+  double baruah_chebyshev = 0.0;
+  double liu_lambda = 0.0;
+  double liu_chebyshev = 0.0;
+};
+
+/// Runs the acceptance experiment over `u_values` with `tasksets` random
+/// task sets per point (paper: 1000, P(HC) = 0.5, periods [100,900] ms).
+[[nodiscard]] std::vector<Fig6Point> run_fig6(
+    const std::vector<double>& u_values, std::size_t tasksets,
+    std::uint64_t seed);
+
+/// Renders the four series.
+[[nodiscard]] common::Table render_fig6(const std::vector<Fig6Point>& points);
+
+}  // namespace mcs::exp

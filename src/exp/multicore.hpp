@@ -1,0 +1,37 @@
+// Extension experiment E1: partitioned multicore acceptance ratios.
+//
+// Extends the Fig. 6 acceptance experiment to m processors: synthetic
+// task sets at utilization bound U_bound * m are partitioned with a
+// bin-packing heuristic onto m cores, each running the uniprocessor
+// EDF-VD test — once with the lambda-fraction C^LO baseline and once with
+// the Chebyshev corner assignment (as in core/acceptance.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sched/partition.hpp"
+
+namespace mcs::exp {
+
+/// Acceptance ratios at one (cores, U_bound-per-core) grid point.
+struct MulticorePoint {
+  std::size_t cores = 1;
+  double u_bound_per_core = 0.0;
+  double lambda_acceptance = 0.0;
+  double chebyshev_acceptance = 0.0;
+};
+
+/// Runs the grid: cores x u_values, `tasksets` random task sets per point,
+/// worst-fit decreasing partitioning.
+[[nodiscard]] std::vector<MulticorePoint> run_multicore(
+    const std::vector<std::size_t>& cores,
+    const std::vector<double>& u_values, std::size_t tasksets,
+    std::uint64_t seed);
+
+/// Renders one row per grid point.
+[[nodiscard]] common::Table render_multicore(
+    const std::vector<MulticorePoint>& points);
+
+}  // namespace mcs::exp

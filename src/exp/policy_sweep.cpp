@@ -1,0 +1,68 @@
+#include "exp/policy_sweep.hpp"
+
+#include <algorithm>
+
+namespace mcs::exp {
+
+std::vector<PolicySweepPoint> run_policy_sweep(
+    const std::vector<double>& u_values, std::size_t tasksets,
+    std::uint64_t seed, const core::OptimizerConfig& optimizer) {
+  std::vector<PolicySweepPoint> points;
+  for (const double u : u_values) {
+    PolicySweepPoint point;
+    point.u_hc_hi = u;
+    point.scores = core::compare_policies(
+        u, tasksets, seed + static_cast<std::uint64_t>(u * 1000.0),
+        optimizer);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+PolicySweepHeadline summarize_policy_sweep(
+    const std::vector<PolicySweepPoint>& points) {
+  PolicySweepHeadline headline;
+  for (const PolicySweepPoint& point : points) {
+    if (point.scores.empty()) continue;
+    const core::PolicyScore& proposed = point.scores.back();
+    headline.worst_case_p_ms =
+        std::max(headline.worst_case_p_ms, proposed.p_ms);
+    for (std::size_t p = 0; p + 1 < point.scores.size(); ++p) {
+      const core::PolicyScore& base = point.scores[p];
+      if (base.max_u_lc <= 1e-9) continue;
+      const double gain = (proposed.max_u_lc - base.max_u_lc) / base.max_u_lc;
+      headline.max_utilization_gain =
+          std::max(headline.max_utilization_gain, gain);
+    }
+  }
+  return headline;
+}
+
+common::Table render_fig4(const std::vector<PolicySweepPoint>& points) {
+  common::Table table({"U_HC^HI", "policy", "P_sys^MS", "max(U_LC^LO)"});
+  table.set_title(
+      "Fig. 4: proposed scheme vs. WCET^pes-fraction policies "
+      "(mode switching and LC utilization)");
+  for (const PolicySweepPoint& point : points) {
+    for (const core::PolicyScore& s : point.scores) {
+      table.add_row({common::format_double(point.u_hc_hi, 3), s.policy,
+                     common::format_percent(s.p_ms),
+                     common::format_percent(s.max_u_lc)});
+    }
+  }
+  return table;
+}
+
+common::Table render_fig5(const std::vector<PolicySweepPoint>& points) {
+  common::Table table({"U_HC^HI", "policy", "(1-P_MS)*maxU (Eq.13)"});
+  table.set_title("Fig. 5: objective comparison by varying U_HC^HI");
+  for (const PolicySweepPoint& point : points) {
+    for (const core::PolicyScore& s : point.scores) {
+      table.add_row({common::format_double(point.u_hc_hi, 3), s.policy,
+                     common::format_double(s.objective, 4)});
+    }
+  }
+  return table;
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,47 @@
+// Figs. 4 and 5 driver: the proposed GA scheme versus the lambda-fraction
+// baselines across HC utilizations. Fig. 4 reads the P_sys^MS and
+// max(U_LC^LO) columns; Fig. 5 reads the Eq. 13 product column. The
+// headline numbers (utilization improved by up to 85.29%, P_sys^MS bounded
+// by 9.11%) are derived from the same sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/comparison.hpp"
+
+namespace mcs::exp {
+
+/// Scores of every approach at one utilization point.
+struct PolicySweepPoint {
+  double u_hc_hi = 0.0;
+  std::vector<core::PolicyScore> scores;  ///< baselines..., proposed last
+};
+
+/// Headline summary derived from a sweep.
+struct PolicySweepHeadline {
+  double max_utilization_gain = 0.0;  ///< best relative max(U_LC^LO) gain
+                                      ///< of the scheme over each baseline
+  double worst_case_p_ms = 0.0;       ///< scheme's largest P_sys^MS
+};
+
+/// Runs the sweep over `u_values` with `tasksets` sets per point.
+[[nodiscard]] std::vector<PolicySweepPoint> run_policy_sweep(
+    const std::vector<double>& u_values, std::size_t tasksets,
+    std::uint64_t seed, const core::OptimizerConfig& optimizer = {});
+
+/// Computes the headline comparison numbers. Only baselines that remain
+/// feasible are counted in the gain.
+[[nodiscard]] PolicySweepHeadline summarize_policy_sweep(
+    const std::vector<PolicySweepPoint>& points);
+
+/// Fig. 4 rendering: P_sys^MS and max(U_LC^LO) per approach per point.
+[[nodiscard]] common::Table render_fig4(
+    const std::vector<PolicySweepPoint>& points);
+
+/// Fig. 5 rendering: Eq. 13 product per approach per point.
+[[nodiscard]] common::Table render_fig5(
+    const std::vector<PolicySweepPoint>& points);
+
+}  // namespace mcs::exp

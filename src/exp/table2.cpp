@@ -1,0 +1,47 @@
+#include "exp/table2.hpp"
+
+#include "apps/measurement.hpp"
+#include "apps/registry.hpp"
+#include "stats/chebyshev.hpp"
+
+namespace mcs::exp {
+
+Table2Data run_table2(std::size_t samples, std::uint64_t seed) {
+  Table2Data data;
+  const auto kernels = apps::table2_kernels();
+  std::vector<stats::EmpiricalDistribution> empiricals;
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    const apps::ExecutionProfile profile =
+        apps::measure_kernel(*kernels[k], samples, seed + 100 + k);
+    data.applications.push_back(profile.name);
+    empiricals.push_back(profile.empirical());
+  }
+  for (int n = 0; n <= 4; ++n) {
+    Table2Row row;
+    row.n = n;
+    row.analysis_bound = stats::chebyshev_exceedance_bound(n);
+    for (const auto& emp : empiricals)
+      row.measured.push_back(emp.exceedance_at_n(n));
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+common::Table render_table2(const Table2Data& data) {
+  std::vector<std::string> headers = {"n", "Analysis"};
+  headers.insert(headers.end(), data.applications.begin(),
+                 data.applications.end());
+  common::Table table(std::move(headers));
+  table.set_title("TABLE II: The effect of n on task overrunning");
+  for (const Table2Row& row : data.rows) {
+    std::vector<std::string> cells = {
+        "n=" + std::to_string(row.n),
+        common::format_percent(row.analysis_bound)};
+    for (const double m : row.measured)
+      cells.push_back(common::format_percent(m));
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,33 @@
+// TABLE II driver: the effect of n on task overrunning — the analytic
+// Chebyshev bound 1/(1+n^2) versus the measured overrun rate at
+// ACET + n*sigma for each of the five applications.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace mcs::exp {
+
+/// One Table II row (one value of n).
+struct Table2Row {
+  int n = 0;
+  double analysis_bound = 1.0;          ///< 1/(1+n^2)
+  std::vector<double> measured;         ///< per application, in [0,1]
+};
+
+/// Full Table II data.
+struct Table2Data {
+  std::vector<std::string> applications;  ///< column labels
+  std::vector<Table2Row> rows;            ///< n = 0..4
+};
+
+/// Runs the campaign (`samples` per application) and evaluates n = 0..4.
+[[nodiscard]] Table2Data run_table2(std::size_t samples, std::uint64_t seed);
+
+/// Renders in the paper's layout.
+[[nodiscard]] common::Table render_table2(const Table2Data& data);
+
+}  // namespace mcs::exp

@@ -1,0 +1,117 @@
+#include "ga/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mcs::ga {
+
+namespace {
+
+void evaluate(Individual& ind, const Problem& problem, std::size_t& evals) {
+  if (ind.evaluated) return;
+  ind.fitness = problem.evaluate(ind.genes);
+  ind.evaluated = true;
+  ++evals;
+}
+
+GenerationStats summarize(const std::vector<Individual>& population) {
+  GenerationStats s;
+  s.best = -std::numeric_limits<double>::infinity();
+  s.worst = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (const Individual& ind : population) {
+    s.best = std::max(s.best, ind.fitness);
+    s.worst = std::min(s.worst, ind.fitness);
+    sum += ind.fitness;
+  }
+  s.mean = sum / static_cast<double>(population.size());
+  return s;
+}
+
+}  // namespace
+
+GaResult run_ga(const Problem& problem, const GaConfig& config) {
+  if (config.population_size < 2)
+    throw std::invalid_argument("run_ga: population_size must be >= 2");
+  if (problem.dimension() == 0)
+    throw std::invalid_argument("run_ga: problem dimension must be >= 1");
+  if (config.elitism >= config.population_size)
+    throw std::invalid_argument("run_ga: elitism must be < population_size");
+
+  common::Rng rng(config.seed);
+  GaResult result;
+
+  std::vector<Individual> population(config.population_size);
+  for (Individual& ind : population) {
+    ind.genes = random_genome(problem, rng);
+    evaluate(ind, problem, result.evaluations);
+  }
+
+  auto fitter = [](const Individual& a, const Individual& b) {
+    return a.fitness > b.fitness;
+  };
+
+  result.best = *std::max_element(
+      population.begin(), population.end(),
+      [&](const Individual& a, const Individual& b) { return fitter(b, a); });
+
+  for (std::size_t gen = 0; gen < config.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(config.population_size);
+
+    // Elitism: carry over the current best individuals unchanged.
+    std::vector<Individual> sorted = population;
+    std::partial_sort(sorted.begin(),
+                      sorted.begin() + static_cast<std::ptrdiff_t>(
+                                           config.elitism),
+                      sorted.end(), fitter);
+    for (std::size_t e = 0; e < config.elitism; ++e)
+      next.push_back(sorted[e]);
+
+    while (next.size() < config.population_size) {
+      Individual child_a =
+          population[tournament_select(population, config.tournament_size,
+                                       rng)];
+      Individual child_b =
+          population[tournament_select(population, config.tournament_size,
+                                       rng)];
+      if (rng.bernoulli(config.crossover_prob)) {
+        two_point_crossover(child_a.genes, child_b.genes, rng);
+        child_a.evaluated = false;
+        child_b.evaluated = false;
+      }
+      auto mutate = [&](Genome& genes) {
+        if (config.mutation == MutationKind::kGaussian)
+          gaussian_mutation(genes, problem, rng,
+                            config.gaussian_sigma_fraction);
+        else
+          single_point_mutation(genes, problem, rng);
+      };
+      if (rng.bernoulli(config.mutation_prob)) {
+        mutate(child_a.genes);
+        child_a.evaluated = false;
+      }
+      if (rng.bernoulli(config.mutation_prob)) {
+        mutate(child_b.genes);
+        child_b.evaluated = false;
+      }
+      clamp_to_bounds(child_a.genes, problem);
+      clamp_to_bounds(child_b.genes, problem);
+      next.push_back(std::move(child_a));
+      if (next.size() < config.population_size)
+        next.push_back(std::move(child_b));
+    }
+
+    for (Individual& ind : next) evaluate(ind, problem, result.evaluations);
+    population = std::move(next);
+
+    const GenerationStats stats = summarize(population);
+    result.history.push_back(stats);
+    for (const Individual& ind : population)
+      if (ind.fitness > result.best.fitness) result.best = ind;
+  }
+  return result;
+}
+
+}  // namespace mcs::ga

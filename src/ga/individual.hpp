@@ -1,0 +1,15 @@
+// GA individual: a genome with its (lazily computed) fitness.
+#pragma once
+
+#include "ga/problem.hpp"
+
+namespace mcs::ga {
+
+/// One member of the population.
+struct Individual {
+  Genome genes;
+  double fitness = 0.0;
+  bool evaluated = false;
+};
+
+}  // namespace mcs::ga

@@ -1,0 +1,37 @@
+// Optimization-problem interface for the genetic algorithm.
+//
+// A problem owns the genome's box bounds and the fitness function. The
+// paper's WCET-assignment problem (core/optimizer.hpp) implements this
+// with genes n_i in [0, n_max(i)] and fitness (1 - P_sys^MS) * U_LC^LO
+// (Eq. 13).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcs::ga {
+
+/// Real-vector genome.
+using Genome = std::vector<double>;
+
+/// A maximization problem over a box-bounded real vector.
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  /// Genome length.
+  [[nodiscard]] virtual std::size_t dimension() const = 0;
+
+  /// Inclusive lower bound of gene `i`.
+  [[nodiscard]] virtual double lower_bound(std::size_t i) const = 0;
+
+  /// Inclusive upper bound of gene `i`.
+  [[nodiscard]] virtual double upper_bound(std::size_t i) const = 0;
+
+  /// Fitness to MAXIMIZE. Genes are guaranteed to lie inside the bounds.
+  [[nodiscard]] virtual double evaluate(std::span<const double> genes)
+      const = 0;
+};
+
+}  // namespace mcs::ga

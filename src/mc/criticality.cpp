@@ -1,0 +1,27 @@
+#include "mc/criticality.hpp"
+
+namespace mcs::mc {
+
+std::string_view to_string(Criticality c) {
+  return c == Criticality::kHigh ? "HC" : "LC";
+}
+
+std::string_view to_string(Mode m) { return m == Mode::kHigh ? "HI" : "LO"; }
+
+std::string_view to_string(Dal dal) {
+  switch (dal) {
+    case Dal::kA: return "A";
+    case Dal::kB: return "B";
+    case Dal::kC: return "C";
+    case Dal::kD: return "D";
+    case Dal::kE: return "E";
+  }
+  return "?";
+}
+
+Criticality dal_to_criticality(Dal dal) {
+  return (dal == Dal::kA || dal == Dal::kB) ? Criticality::kHigh
+                                            : Criticality::kLow;
+}
+
+}  // namespace mcs::mc

@@ -1,0 +1,39 @@
+// Criticality levels and modes for the Vestal-style MC task model
+// (Section III of the paper).
+//
+// The paper's scheme targets dual-criticality systems (LC/HC tasks, LO/HI
+// modes) but notes it extends to more levels; the DO-178B design assurance
+// levels (A-E) used in avionics are provided with a mapping onto the dual
+// model, and the extension module (core/multi_level.hpp) uses the full
+// five-level ladder.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mcs::mc {
+
+/// Task criticality: low or high (dual-criticality model).
+enum class Criticality : std::uint8_t { kLow = 0, kHigh = 1 };
+
+/// System operating mode: LO (optimistic WCETs) or HI (pessimistic WCETs).
+enum class Mode : std::uint8_t { kLow = 0, kHigh = 1 };
+
+/// DO-178B / ED-12B design assurance levels; A is the most critical
+/// ("catastrophic failure condition"), E the least ("no effect").
+enum class Dal : std::uint8_t { kA = 0, kB = 1, kC = 2, kD = 3, kE = 4 };
+
+/// Short name ("LC"/"HC").
+[[nodiscard]] std::string_view to_string(Criticality c);
+
+/// Short name ("LO"/"HI").
+[[nodiscard]] std::string_view to_string(Mode m);
+
+/// DAL letter ("A".."E").
+[[nodiscard]] std::string_view to_string(Dal dal);
+
+/// Standard dual-criticality mapping: DAL A/B tasks are high-criticality,
+/// DAL C/D/E tasks are low-criticality.
+[[nodiscard]] Criticality dal_to_criticality(Dal dal);
+
+}  // namespace mcs::mc

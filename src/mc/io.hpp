@@ -1,0 +1,49 @@
+// Task-set serialization.
+//
+// A simple line-oriented text format so task sets can be exported from
+// one experiment and replayed in another (or edited by hand):
+//
+//   # comment
+//   taskset v1
+//   task <name> <LC|HC> wcet_lo=<ms> wcet_hi=<ms> period=<ms>
+//        [deadline=<ms>] [acet=<ms> sigma=<ms>]     (one line per task)
+//
+// HC tasks with acet/sigma get an ExecutionStats block on load (with a
+// lognormal sampling distribution fitted to the moments, matching the
+// synthetic generator). Sampling distributions themselves are not
+// serialized — they are derived state.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "mc/taskset.hpp"
+
+namespace mcs::mc {
+
+/// Thrown by load_taskset on malformed input (message carries the line
+/// number).
+class TaskSetParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes `tasks` in the v1 text format.
+void save_taskset(std::ostream& out, const TaskSet& tasks);
+
+/// Renders the v1 text format to a string.
+[[nodiscard]] std::string taskset_to_string(const TaskSet& tasks);
+
+/// Parses the v1 text format. `attach_distributions` controls whether HC
+/// tasks with moments get a lognormal sampler for simulation. Throws
+/// TaskSetParseError on malformed input; the returned set always passes
+/// TaskSet::valid().
+[[nodiscard]] TaskSet load_taskset(std::istream& in,
+                                   bool attach_distributions = true);
+
+/// Parses the v1 text format from a string.
+[[nodiscard]] TaskSet taskset_from_string(const std::string& text,
+                                          bool attach_distributions = true);
+
+}  // namespace mcs::mc

@@ -1,0 +1,49 @@
+#include "mc/task.hpp"
+
+namespace mcs::mc {
+
+double McTask::utilization(Mode mode) const {
+  const double wcet =
+      (mode == Mode::kHigh && criticality == Criticality::kHigh) ? wcet_hi
+                                                                 : wcet_lo;
+  return wcet / period;
+}
+
+double McTask::wcet(Mode mode) const {
+  return (mode == Mode::kHigh && criticality == Criticality::kHigh) ? wcet_hi
+                                                                    : wcet_lo;
+}
+
+bool McTask::valid() const {
+  return period > 0.0 && wcet_lo > 0.0 && wcet_lo <= wcet_hi &&
+         wcet_hi <= deadline() && deadline() <= period;
+}
+
+McTask McTask::with_deadline(double deadline) const {
+  McTask copy = *this;
+  copy.deadline_override = deadline;
+  return copy;
+}
+
+McTask McTask::low(std::string name, double wcet, double period) {
+  McTask t;
+  t.name = std::move(name);
+  t.criticality = Criticality::kLow;
+  t.wcet_lo = wcet;
+  t.wcet_hi = wcet;
+  t.period = period;
+  return t;
+}
+
+McTask McTask::high(std::string name, double wcet_lo, double wcet_hi,
+                    double period) {
+  McTask t;
+  t.name = std::move(name);
+  t.criticality = Criticality::kHigh;
+  t.wcet_lo = wcet_lo;
+  t.wcet_hi = wcet_hi;
+  t.period = period;
+  return t;
+}
+
+}  // namespace mcs::mc

@@ -1,0 +1,77 @@
+// The MC task model of Section III.
+//
+// A task tau_i = (zeta_i, C_i^LO, C_i^HI, P_i, D_i) with implicit deadlines
+// (D_i = P_i). HC tasks carry an execution-time profile (ACET, sigma, and
+// optionally the generating distribution) from which the Chebyshev scheme
+// derives C_i^LO = ACET_i + n_i * sigma_i (Eq. 6).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/units.hpp"
+#include "mc/criticality.hpp"
+#include "stats/distribution.hpp"
+
+namespace mcs::mc {
+
+/// Execution-time statistics of a task, as obtained from a measurement
+/// campaign (apps::measure_kernel) or synthesized by the task generator.
+struct ExecutionStats {
+  double acet = 0.0;   ///< mean execution time (Eq. 3), in ms
+  double sigma = 0.0;  ///< population stddev (Eq. 4), in ms
+  /// Sampling distribution for runtime simulation (may be null when only
+  /// analytic experiments are run).
+  stats::DistributionPtr distribution;
+};
+
+/// One periodic MC task. Times are in milliseconds.
+struct McTask {
+  std::string name;
+  Criticality criticality = Criticality::kLow;
+  double wcet_lo = 0.0;  ///< C_i^LO (= WCET^opt for HC tasks)
+  double wcet_hi = 0.0;  ///< C_i^HI (= WCET^pes; equals wcet_lo for LC tasks)
+  double period = 1.0;   ///< P_i
+  /// Relative deadline D_i; 0 (the default) means implicit (D_i = P_i),
+  /// the paper's model. The EDF-VD analysis (Eq. 8) requires implicit
+  /// deadlines; the demand-bound analysis (sched/dbf.hpp) supports
+  /// constrained ones (D_i <= P_i).
+  double deadline_override = 0.0;
+  /// Present for HC tasks assigned by the Chebyshev scheme.
+  std::optional<ExecutionStats> stats;
+
+  /// Utilization u_i^l = C_i^l / P_i in the given mode (LC tasks use
+  /// wcet_lo in both modes; they are dropped, not inflated, in HI).
+  [[nodiscard]] double utilization(Mode mode) const;
+
+  /// The WCET used in the given mode.
+  [[nodiscard]] double wcet(Mode mode) const;
+
+  /// D_i: the override when set, else P_i (implicit).
+  [[nodiscard]] double deadline() const {
+    return deadline_override > 0.0 ? deadline_override : period;
+  }
+
+  /// True when this task uses the implicit-deadline model.
+  [[nodiscard]] bool implicit_deadline() const {
+    return deadline_override <= 0.0 || deadline_override == period;
+  }
+
+  /// True when the parameters satisfy the model's invariants:
+  /// 0 < wcet_lo <= wcet_hi <= deadline <= period.
+  [[nodiscard]] bool valid() const;
+
+  /// Builds an LC task (single WCET).
+  [[nodiscard]] static McTask low(std::string name, double wcet,
+                                  double period);
+
+  /// Builds an HC task with both WCET levels.
+  [[nodiscard]] static McTask high(std::string name, double wcet_lo,
+                                   double wcet_hi, double period);
+
+  /// Returns a copy with a constrained deadline (requires
+  /// wcet_hi <= deadline <= period to stay valid).
+  [[nodiscard]] McTask with_deadline(double deadline) const;
+};
+
+}  // namespace mcs::mc

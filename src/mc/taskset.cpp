@@ -1,0 +1,36 @@
+#include "mc/taskset.hpp"
+
+namespace mcs::mc {
+
+TaskSet::TaskSet(std::vector<McTask> tasks) : tasks_(std::move(tasks)) {}
+
+void TaskSet::add(McTask task) { tasks_.push_back(std::move(task)); }
+
+double TaskSet::utilization(Criticality crit, Mode mode) const {
+  double total = 0.0;
+  for (const McTask& t : tasks_)
+    if (t.criticality == crit) total += t.utilization(mode);
+  return total;
+}
+
+std::size_t TaskSet::count(Criticality crit) const {
+  std::size_t n = 0;
+  for (const McTask& t : tasks_)
+    if (t.criticality == crit) ++n;
+  return n;
+}
+
+std::vector<std::size_t> TaskSet::indices(Criticality crit) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (tasks_[i].criticality == crit) out.push_back(i);
+  return out;
+}
+
+bool TaskSet::valid() const {
+  for (const McTask& t : tasks_)
+    if (!t.valid()) return false;
+  return true;
+}
+
+}  // namespace mcs::mc

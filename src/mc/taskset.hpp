@@ -1,0 +1,49 @@
+// Task-set container with the per-mode aggregate utilizations of Eq. 7.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mc/task.hpp"
+
+namespace mcs::mc {
+
+/// An MC task set executing on one processor.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<McTask> tasks);
+
+  /// Appends a task.
+  void add(McTask task);
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+  [[nodiscard]] const McTask& operator[](std::size_t i) const {
+    return tasks_[i];
+  }
+  [[nodiscard]] McTask& operator[](std::size_t i) { return tasks_[i]; }
+  [[nodiscard]] std::span<const McTask> tasks() const { return tasks_; }
+
+  [[nodiscard]] auto begin() const { return tasks_.begin(); }
+  [[nodiscard]] auto end() const { return tasks_.end(); }
+
+  /// U_{crit}^{mode}: total utilization of tasks with criticality `crit`
+  /// evaluated in `mode` (Eq. 7).
+  [[nodiscard]] double utilization(Criticality crit, Mode mode) const;
+
+  /// Number of tasks at `crit`.
+  [[nodiscard]] std::size_t count(Criticality crit) const;
+
+  /// Indices of tasks at `crit`, in task order.
+  [[nodiscard]] std::vector<std::size_t> indices(Criticality crit) const;
+
+  /// True when every task satisfies McTask::valid().
+  [[nodiscard]] bool valid() const;
+
+ private:
+  std::vector<McTask> tasks_;
+};
+
+}  // namespace mcs::mc

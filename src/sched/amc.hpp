@@ -1,0 +1,62 @@
+// Fixed-priority Adaptive Mixed-Criticality (AMC) response-time analysis.
+//
+// The paper notes its C^LO assignment scheme "can be applied to any
+// scheduling algorithm" (Section V-D); this module demonstrates that with
+// the second classic MC scheduler family: fixed priorities with the
+// AMC-rtb analysis of Baruah, Burns & Davis (RTSS'11). Priorities are
+// deadline-monotonic. Three response-time bounds are computed per task:
+//
+//   LO mode:     R_i^LO = C_i(LO) + sum_{j in hp(i)} ceil(R/T_j) C_j(LO)
+//   HI steady:   R_i^HI = C_i(HI) + sum_{j in hpH(i)} ceil(R/T_j) C_j(HI)
+//                (HC tasks only; LC tasks are dropped in HI mode)
+//   transition:  R_i^*  = C_i(HI) + sum_{j in hpH(i)} ceil(R/T_j) C_j(HI)
+//                        + sum_{j in hpL(i)} ceil(R_i^LO/T_j) C_j(LO)
+//                (LC interference frozen at the switch instant)
+//
+// A task set is AMC-rtb schedulable when every task's relevant bounds stay
+// within its deadline: LC tasks need R^LO <= D; HC tasks need all three.
+#pragma once
+
+#include <vector>
+
+#include "mc/taskset.hpp"
+
+namespace mcs::sched {
+
+/// Per-task response-time bounds (infinity when the fixed point diverges
+/// past the deadline).
+struct AmcTaskResult {
+  double response_lo = 0.0;          ///< R^LO
+  double response_hi = 0.0;          ///< R^HI (HC tasks; 0 for LC)
+  double response_transition = 0.0;  ///< R^* (HC tasks; 0 for LC)
+  bool schedulable = false;
+};
+
+/// Whole-set AMC-rtb outcome.
+struct AmcResult {
+  bool schedulable = false;
+  /// Indexed like the input task set.
+  std::vector<AmcTaskResult> tasks;
+  /// Priority order used (indices, highest priority first).
+  std::vector<std::size_t> priority_order;
+};
+
+/// Runs the AMC-rtb analysis with deadline-monotonic priorities (ties
+/// broken by task order). Requires a valid task set.
+[[nodiscard]] AmcResult amc_rtb_test(const mc::TaskSet& tasks);
+
+/// Runs the AMC-rtb analysis under a caller-supplied priority order
+/// (indices, highest priority first; must be a permutation of the task
+/// indices).
+[[nodiscard]] AmcResult amc_rtb_test_with_priorities(
+    const mc::TaskSet& tasks, std::vector<std::size_t> priority_order);
+
+/// Audsley's Optimal Priority Assignment over the AMC-rtb test: assigns
+/// priorities bottom-up, at each level choosing any task that is
+/// schedulable there given the rest above it. OPA is optimal for
+/// AMC-rtb (Davis & Burns), so it accepts every task set DM accepts and
+/// possibly more. Returns the schedulability verdict and, when feasible,
+/// the discovered order.
+[[nodiscard]] AmcResult amc_opa_test(const mc::TaskSet& tasks);
+
+}  // namespace mcs::sched

@@ -1,0 +1,11 @@
+#include "sched/edf.hpp"
+
+namespace mcs::sched {
+
+bool edf_schedulable(const mc::TaskSet& tasks, mc::Mode mode) {
+  double total = 0.0;
+  for (const mc::McTask& t : tasks) total += t.utilization(mode);
+  return edf_schedulable(total);
+}
+
+}  // namespace mcs::sched

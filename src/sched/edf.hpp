@@ -1,0 +1,19 @@
+// Classical uniprocessor EDF schedulability for implicit-deadline periodic
+// tasks (Liu & Layland): a task set is schedulable iff total utilization
+// <= 1. Used as the single-mode baseline and inside the EDF-VD conditions.
+#pragma once
+
+#include "mc/taskset.hpp"
+
+namespace mcs::sched {
+
+/// Utilization-bound EDF test for the given mode: sum of all tasks'
+/// utilizations in `mode` must not exceed 1 (exact for implicit deadlines).
+[[nodiscard]] bool edf_schedulable(const mc::TaskSet& tasks, mc::Mode mode);
+
+/// EDF test on a raw utilization value.
+[[nodiscard]] inline bool edf_schedulable(double total_utilization) {
+  return total_utilization <= 1.0;
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,69 @@
+#include "sched/edf_vd.hpp"
+
+#include <algorithm>
+
+namespace mcs::sched {
+
+McUtilization McUtilization::of(const mc::TaskSet& tasks) {
+  McUtilization u;
+  u.lc_lo = tasks.utilization(mc::Criticality::kLow, mc::Mode::kLow);
+  u.hc_lo = tasks.utilization(mc::Criticality::kHigh, mc::Mode::kLow);
+  u.hc_hi = tasks.utilization(mc::Criticality::kHigh, mc::Mode::kHigh);
+  return u;
+}
+
+EdfVdResult edf_vd_test(const McUtilization& u) {
+  EdfVdResult r;
+  // Plain EDF suffices when even pessimistic budgets fit alongside LC.
+  if (u.hc_hi + u.lc_lo <= 1.0) {
+    r.schedulable = true;
+    r.x = 1.0;
+    r.plain_edf = true;
+    return r;
+  }
+  // LO-mode condition (x <= 1 requires u_HC^LO + u_LC^LO <= 1).
+  if (u.hc_lo + u.lc_lo > 1.0) return r;
+  if (u.lc_lo >= 1.0) return r;
+  const double x = u.hc_lo / (1.0 - u.lc_lo);
+  // HI-mode + mode-switch condition (Eq. 8, second clause), which is
+  // x * u_LC^LO + u_HC^HI <= 1 for the minimal feasible x.
+  if (u.hc_hi + x * u.lc_lo > 1.0) return r;
+  r.schedulable = true;
+  r.x = x;
+  return r;
+}
+
+EdfVdResult edf_vd_test(const mc::TaskSet& tasks) {
+  return edf_vd_test(McUtilization::of(tasks));
+}
+
+EdfVdResult edf_vd_degraded_test(const McUtilization& u, double rho) {
+  EdfVdResult r;
+  const double lc_hi = rho * u.lc_lo;  // degraded LC demand in HI mode
+  if (u.hc_hi + u.lc_lo <= 1.0) {
+    // Plain EDF: LC tasks keep full budgets in both modes.
+    r.schedulable = true;
+    r.x = 1.0;
+    r.plain_edf = true;
+    return r;
+  }
+  if (u.hc_lo + u.lc_lo > 1.0) return r;
+  if (u.lc_lo >= 1.0) return r;
+  const double x = u.hc_lo / (1.0 - u.lc_lo);
+  // HI mode now serves the degraded LC load as well as the carry-over
+  // charge of LC jobs released before the switch.
+  if (u.hc_hi + lc_hi + x * (u.lc_lo - lc_hi) > 1.0) return r;
+  r.schedulable = true;
+  r.x = x;
+  return r;
+}
+
+double max_lc_utilization(double hc_lo, double hc_hi) {
+  if (hc_lo > 1.0 || hc_hi > 1.0) return 0.0;
+  const double by_lo_mode = 1.0 - hc_lo;                       // Eq. 11
+  const double denom = 1.0 - hc_hi + hc_lo;                    // Eq. 12
+  const double by_hi_mode = denom <= 0.0 ? 0.0 : (1.0 - hc_hi) / denom;
+  return std::max(0.0, std::min(by_lo_mode, by_hi_mode));
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,63 @@
+// EDF-VD (EDF with Virtual Deadlines) schedulability analysis.
+//
+// Implements the test of Baruah et al. [1] in the form the paper uses as
+// Eq. 8: with aggregate utilizations u_LC^LO, u_HC^LO, u_HC^HI, the system
+// is schedulable iff
+//    u_HC^LO + u_LC^LO <= 1                                 (LO mode, x<=1)
+//    u_HC^HI + u_HC^LO * u_LC^LO / (1 - u_LC^LO) <= 1       (HI + switch)
+// where the virtual-deadline shrink factor is x = u_HC^LO / (1 - u_LC^LO).
+// When u_HC^HI + u_LC^LO <= 1, plain EDF (x = 1) already suffices.
+//
+// Also provides the degraded-quality variant in the spirit of Liu et al.
+// [2]: LC tasks are not dropped in HI mode but continue with a fraction
+// rho of their LO budget; the HI-mode condition charges the degraded LC
+// utilization on top of the carry-over term. rho = 0 recovers Baruah's
+// drop-all test.
+#pragma once
+
+#include "mc/taskset.hpp"
+
+namespace mcs::sched {
+
+/// Aggregate utilizations used by all EDF-VD conditions (Eq. 7).
+struct McUtilization {
+  double lc_lo = 0.0;  ///< U_LC^LO
+  double hc_lo = 0.0;  ///< U_HC^LO
+  double hc_hi = 0.0;  ///< U_HC^HI
+
+  /// Extracts the aggregates from a task set.
+  [[nodiscard]] static McUtilization of(const mc::TaskSet& tasks);
+};
+
+/// Outcome of an EDF-VD schedulability test.
+struct EdfVdResult {
+  bool schedulable = false;
+  /// Virtual-deadline factor to use at runtime (1 when plain EDF
+  /// suffices); meaningful only when schedulable.
+  double x = 1.0;
+  /// True when the set passed with x == 1 (no deadline shrinking needed).
+  bool plain_edf = false;
+};
+
+/// Baruah et al. drop-all-LC EDF-VD test (the paper's Eq. 8).
+[[nodiscard]] EdfVdResult edf_vd_test(const McUtilization& u);
+
+/// Convenience overload on a task set.
+[[nodiscard]] EdfVdResult edf_vd_test(const mc::TaskSet& tasks);
+
+/// Degraded-quality EDF-VD test: LC tasks keep `rho` (in [0,1]) of their
+/// LO budget in HI mode (rho = 0.5 matches the evaluation of [2]; rho = 0
+/// degenerates to edf_vd_test).
+[[nodiscard]] EdfVdResult edf_vd_degraded_test(const McUtilization& u,
+                                               double rho);
+
+/// The largest U_LC^LO admissible by edf_vd_test for fixed HC
+/// utilizations — the paper's max(U_LC^LO) objective component, i.e. the
+/// min of Eq. 11 and Eq. 12 (clamped to >= 0):
+///   Eq. 11: 1 - u_HC^LO
+///   Eq. 12: (1 - u_HC^HI) / (1 - u_HC^HI + u_HC^LO)
+/// Returns 0 when the HC tasks alone are infeasible (u_HC^HI > 1 or
+/// u_HC^LO > 1).
+[[nodiscard]] double max_lc_utilization(double hc_lo, double hc_hi);
+
+}  // namespace mcs::sched

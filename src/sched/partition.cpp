@@ -1,0 +1,110 @@
+#include "sched/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace mcs::sched {
+
+namespace {
+
+double hi_capacity_left(const mc::TaskSet& core) {
+  return 1.0 - core.utilization(mc::Criticality::kHigh, mc::Mode::kHigh) -
+         core.utilization(mc::Criticality::kLow, mc::Mode::kLow);
+}
+
+bool fits(const mc::TaskSet& core, const mc::McTask& task) {
+  mc::TaskSet candidate = core;
+  candidate.add(task);
+  return edf_vd_test(candidate).schedulable;
+}
+
+}  // namespace
+
+std::string_view to_string(PartitionHeuristic heuristic) {
+  switch (heuristic) {
+    case PartitionHeuristic::kFirstFit: return "first-fit";
+    case PartitionHeuristic::kBestFit: return "best-fit";
+    case PartitionHeuristic::kWorstFit: return "worst-fit";
+  }
+  return "?";
+}
+
+double PartitionResult::max_core_hi_utilization() const {
+  double max_util = 0.0;
+  for (const mc::TaskSet& core : cores) {
+    const double u =
+        core.utilization(mc::Criticality::kHigh, mc::Mode::kHigh) +
+        core.utilization(mc::Criticality::kLow, mc::Mode::kLow);
+    max_util = std::max(max_util, u);
+  }
+  return max_util;
+}
+
+PartitionResult partition_tasks(const mc::TaskSet& tasks, std::size_t cores,
+                                PartitionHeuristic heuristic) {
+  if (cores == 0)
+    throw std::invalid_argument("partition_tasks: cores must be >= 1");
+
+  // Decreasing HI-mode utilization order (classic bin-packing ordering).
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].utilization(mc::Mode::kHigh) >
+           tasks[b].utilization(mc::Mode::kHigh);
+  });
+
+  PartitionResult result;
+  result.core_of.assign(tasks.size(), 0);
+  result.cores.assign(cores, mc::TaskSet{});
+
+  for (const std::size_t idx : order) {
+    const mc::McTask& task = tasks[idx];
+    std::size_t chosen = cores;  // sentinel: none
+    double chosen_key = 0.0;
+    for (std::size_t c = 0; c < cores; ++c) {
+      if (!fits(result.cores[c], task)) continue;
+      const double key = hi_capacity_left(result.cores[c]);
+      switch (heuristic) {
+        case PartitionHeuristic::kFirstFit:
+          chosen = c;
+          break;
+        case PartitionHeuristic::kBestFit:
+          if (chosen == cores || key < chosen_key) {
+            chosen = c;
+            chosen_key = key;
+          }
+          break;
+        case PartitionHeuristic::kWorstFit:
+          if (chosen == cores || key > chosen_key) {
+            chosen = c;
+            chosen_key = key;
+          }
+          break;
+      }
+      if (heuristic == PartitionHeuristic::kFirstFit && chosen != cores)
+        break;
+    }
+    if (chosen == cores) return result;  // infeasible (feasible == false)
+    result.cores[chosen].add(task);
+    result.core_of[idx] = chosen;
+  }
+
+  result.feasible = true;
+  result.per_core.reserve(cores);
+  for (const mc::TaskSet& core : result.cores)
+    result.per_core.push_back(edf_vd_test(core));
+  return result;
+}
+
+std::optional<std::size_t> minimum_cores(const mc::TaskSet& tasks,
+                                         std::size_t max_cores,
+                                         PartitionHeuristic heuristic) {
+  for (std::size_t cores = 1; cores <= max_cores; ++cores) {
+    if (partition_tasks(tasks, cores, heuristic).feasible) return cores;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,61 @@
+// Partitioned multiprocessor mixed-criticality scheduling.
+//
+// The paper evaluates a uniprocessor, but its related work includes
+// partitioned MC scheduling on multiprocessors (Gu et al. [12]); this
+// module extends the library in that direction: tasks are statically
+// assigned to cores by a bin-packing heuristic (first-fit / best-fit /
+// worst-fit, decreasing by HI-mode utilization) and each core runs the
+// uniprocessor EDF-VD analysis (Eq. 8). The Chebyshev C^LO assignment is
+// orthogonal: apply it before partitioning, exactly as on one core.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "mc/taskset.hpp"
+#include "sched/edf_vd.hpp"
+
+namespace mcs::sched {
+
+/// Bin-packing heuristics for task-to-core assignment.
+enum class PartitionHeuristic {
+  kFirstFit,  ///< first core that passes the EDF-VD test
+  kBestFit,   ///< feasible core with the least remaining HI capacity
+  kWorstFit,  ///< feasible core with the most remaining HI capacity
+};
+
+/// Short name of a heuristic.
+[[nodiscard]] std::string_view to_string(PartitionHeuristic heuristic);
+
+/// Result of a partitioning attempt.
+struct PartitionResult {
+  bool feasible = false;
+  /// core_of[i] is the core of task i (valid when feasible).
+  std::vector<std::size_t> core_of;
+  /// Per-core task sets (valid when feasible).
+  std::vector<mc::TaskSet> cores;
+  /// Per-core EDF-VD outcomes (x factors for the runtime dispatchers).
+  std::vector<EdfVdResult> per_core;
+
+  /// Largest per-core HI-mode utilization (load-balance indicator).
+  [[nodiscard]] double max_core_hi_utilization() const;
+};
+
+/// Partitions `tasks` onto `cores` processors with the given heuristic.
+/// Tasks are placed in decreasing HI-mode-utilization order; a placement
+/// is admissible when the receiving core still passes edf_vd_test with
+/// the task added. Requires cores >= 1. Returns feasible == false when
+/// some task fits on no core.
+[[nodiscard]] PartitionResult partition_tasks(const mc::TaskSet& tasks,
+                                              std::size_t cores,
+                                              PartitionHeuristic heuristic);
+
+/// The smallest core count in [1, max_cores] for which `heuristic`
+/// partitions `tasks`, or nullopt if even max_cores fails.
+[[nodiscard]] std::optional<std::size_t> minimum_cores(
+    const mc::TaskSet& tasks, std::size_t max_cores,
+    PartitionHeuristic heuristic);
+
+}  // namespace mcs::sched

@@ -1,0 +1,123 @@
+#include "sched/policies.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcs::sched {
+
+LambdaRangePolicy::LambdaRangePolicy(double lambda_min, double lambda_max)
+    : lambda_min_(lambda_min), lambda_max_(lambda_max) {
+  if (!(lambda_min > 0.0 && lambda_min <= lambda_max && lambda_max <= 1.0))
+    throw std::invalid_argument(
+        "LambdaRangePolicy: requires 0 < min <= max <= 1");
+}
+
+double LambdaRangePolicy::wcet_opt(const HcTaskProfile& profile,
+                                   common::Rng& rng) const {
+  const double lambda = rng.uniform(lambda_min_, lambda_max_);
+  return lambda * profile.wcet_pes;
+}
+
+std::string LambdaRangePolicy::name() const {
+  std::ostringstream out;
+  out << "lambda[" << lambda_min_ << "," << lambda_max_ << "]";
+  return out.str();
+}
+
+LambdaSetPolicy::LambdaSetPolicy(std::vector<double> lambdas)
+    : lambdas_(std::move(lambdas)) {
+  if (lambdas_.empty())
+    throw std::invalid_argument("LambdaSetPolicy: empty value set");
+  for (const double l : lambdas_)
+    if (!(l > 0.0 && l <= 1.0))
+      throw std::invalid_argument("LambdaSetPolicy: values must be in (0,1]");
+}
+
+double LambdaSetPolicy::wcet_opt(const HcTaskProfile& profile,
+                                 common::Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_u64(0, lambdas_.size() - 1));
+  return lambdas_[idx] * profile.wcet_pes;
+}
+
+std::string LambdaSetPolicy::name() const {
+  std::ostringstream out;
+  out << "lambda{";
+  for (std::size_t i = 0; i < lambdas_.size(); ++i) {
+    if (i != 0) out << ",";
+    out << lambdas_[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+double AcetPolicy::wcet_opt(const HcTaskProfile& profile,
+                            common::Rng& /*rng*/) const {
+  return std::min(profile.acet, profile.wcet_pes);
+}
+
+ChebyshevUniformPolicy::ChebyshevUniformPolicy(double n) : n_(n) {
+  if (n < 0.0)
+    throw std::invalid_argument("ChebyshevUniformPolicy: n must be >= 0");
+}
+
+double ChebyshevUniformPolicy::wcet_opt(const HcTaskProfile& profile,
+                                        common::Rng& /*rng*/) const {
+  return std::min(profile.acet + n_ * profile.sigma, profile.wcet_pes);
+}
+
+std::string ChebyshevUniformPolicy::name() const {
+  std::ostringstream out;
+  out << "chebyshev(n=" << n_ << ")";
+  return out.str();
+}
+
+EmpiricalQuantilePolicy::EmpiricalQuantilePolicy(double q) : q_(q) {
+  if (!(q > 0.0 && q <= 1.0))
+    throw std::invalid_argument(
+        "EmpiricalQuantilePolicy: q must be in (0, 1]");
+}
+
+double EmpiricalQuantilePolicy::wcet_opt(const HcTaskProfile& profile,
+                                         common::Rng& /*rng*/) const {
+  if (profile.samples == nullptr || profile.samples->empty())
+    throw std::invalid_argument(
+        "EmpiricalQuantilePolicy: profile has no samples");
+  const stats::EmpiricalDistribution emp(*profile.samples);
+  return std::min(emp.quantile(q_), profile.wcet_pes);
+}
+
+std::string EmpiricalQuantilePolicy::name() const {
+  std::ostringstream out;
+  out << "quantile(q=" << q_ << ")";
+  return out.str();
+}
+
+EvtPwcetPolicy::EvtPwcetPolicy(double exceedance, std::size_t block_size)
+    : exceedance_(exceedance), block_size_(block_size) {
+  if (!(exceedance > 0.0 && exceedance < 1.0))
+    throw std::invalid_argument(
+        "EvtPwcetPolicy: exceedance must be in (0, 1)");
+  if (block_size == 0)
+    throw std::invalid_argument("EvtPwcetPolicy: block_size must be >= 1");
+}
+
+double EvtPwcetPolicy::wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& /*rng*/) const {
+  if (profile.samples == nullptr)
+    throw std::invalid_argument("EvtPwcetPolicy: profile has no samples");
+  const double level =
+      stats::pwcet_block_maxima(*profile.samples, block_size_, exceedance_);
+  // pWCET estimates are not certified; clamp into the valid C^LO range.
+  return std::clamp(level, 1e-9, profile.wcet_pes);
+}
+
+std::string EvtPwcetPolicy::name() const {
+  std::ostringstream out;
+  out << "evt(p=" << exceedance_ << ", block=" << block_size_ << ")";
+  return out.str();
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,141 @@
+// Optimistic-WCET (C^LO) assignment policies.
+//
+// The experiments of Section V-C compare the paper's Chebyshev scheme
+// against the state-of-the-art practice of setting C^LO as a fraction
+// lambda of the pessimistic WCET:
+//   * Baruah et al. [1]: lambda drawn from [1/4, 1] or [1/8, 1]
+//   * Liu et al.    [9]: lambda in [1/2.5, 1/1.5]
+//   * Guo et al.    [4]: lambda in {1/16, 1/8, 1/4, 1/2, 1}
+// plus the naive C^LO = ACET policy from the motivational example. Every
+// policy here maps an HC task's execution profile to a C^LO value; the
+// Chebyshev policies derive it from ACET + n*sigma (Eq. 6) instead of
+// from WCET^pes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/empirical.hpp"
+#include "stats/evt.hpp"
+
+namespace mcs::sched {
+
+/// What a policy gets to look at for one HC task (times in ms).
+struct HcTaskProfile {
+  double acet = 0.0;      ///< mean execution time (Eq. 3)
+  double sigma = 0.0;     ///< execution-time stddev (Eq. 4)
+  double wcet_pes = 0.0;  ///< static pessimistic WCET (C^HI)
+  double period = 0.0;    ///< P_i
+  /// Raw measurement samples, when available (required by the
+  /// measurement-based policies below; may be null for analytic policies).
+  const std::vector<double>* samples = nullptr;
+};
+
+/// Strategy interface for choosing C^LO of an HC task.
+class WcetOptPolicy {
+ public:
+  virtual ~WcetOptPolicy() = default;
+
+  /// Returns C^LO in (0, wcet_pes]. `rng` serves policies that draw
+  /// per-task parameters (the lambda-range baselines).
+  [[nodiscard]] virtual double wcet_opt(const HcTaskProfile& profile,
+                                        common::Rng& rng) const = 0;
+
+  /// Display name used in result tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using WcetOptPolicyPtr = std::shared_ptr<const WcetOptPolicy>;
+
+/// C^LO = lambda * WCET^pes with lambda drawn uniformly from
+/// [lambda_min, lambda_max] per task — the [1], [9] baseline family.
+class LambdaRangePolicy final : public WcetOptPolicy {
+ public:
+  /// Requires 0 < lambda_min <= lambda_max <= 1.
+  LambdaRangePolicy(double lambda_min, double lambda_max);
+  [[nodiscard]] double wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lambda_min_;
+  double lambda_max_;
+};
+
+/// C^LO = lambda * WCET^pes with lambda drawn uniformly from a discrete
+/// set — the [4] baseline.
+class LambdaSetPolicy final : public WcetOptPolicy {
+ public:
+  /// Requires a non-empty set of values in (0, 1].
+  explicit LambdaSetPolicy(std::vector<double> lambdas);
+  [[nodiscard]] double wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::vector<double> lambdas_;
+};
+
+/// C^LO = ACET — the motivational example's naive policy (overruns on
+/// roughly half of all jobs).
+class AcetPolicy final : public WcetOptPolicy {
+ public:
+  [[nodiscard]] double wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "ACET"; }
+};
+
+/// The paper's scheme with one uniform n for all tasks:
+/// C^LO = min(ACET + n*sigma, WCET^pes) (Eq. 6 + Eq. 9 clamp).
+class ChebyshevUniformPolicy final : public WcetOptPolicy {
+ public:
+  /// Requires n >= 0.
+  explicit ChebyshevUniformPolicy(double n);
+  [[nodiscard]] double wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double n() const { return n_; }
+
+ private:
+  double n_;
+};
+
+/// Measurement-based baseline: C^LO = the empirical q-quantile of the
+/// observed execution times. Tighter than Chebyshev when the measurements
+/// are representative, but offers no distribution-free guarantee — the
+/// trade-off the paper's Section II discusses for pWCET approaches.
+/// Requires profile.samples != nullptr.
+class EmpiricalQuantilePolicy final : public WcetOptPolicy {
+ public:
+  /// Requires q in (0, 1].
+  explicit EmpiricalQuantilePolicy(double q);
+  [[nodiscard]] double wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double q_;
+};
+
+/// EVT baseline (the pWCET family [17], [18]): fits a Gumbel law to
+/// block maxima of the samples and sets C^LO at the level whose per-block
+/// exceedance probability is `exceedance`. Model-dependent: can under- or
+/// over-shoot when the tail is not in the Gumbel domain — the reliability
+/// concern of [19]-[21]. Requires profile.samples != nullptr with at
+/// least 2 * block_size samples.
+class EvtPwcetPolicy final : public WcetOptPolicy {
+ public:
+  /// Requires exceedance in (0, 1) and block_size >= 1.
+  EvtPwcetPolicy(double exceedance, std::size_t block_size = 50);
+  [[nodiscard]] double wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double exceedance_;
+  std::size_t block_size_;
+};
+
+}  // namespace mcs::sched

@@ -1,0 +1,386 @@
+#include "sim/engine.hpp"
+
+#include "common/reservoir.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::sim {
+
+namespace {
+
+constexpr double kTimeEps = 1e-9;
+
+/// A released, not-yet-finished job instance.
+struct Job {
+  std::size_t task = 0;
+  common::Millis release = 0.0;
+  common::Millis deadline = 0.0;          ///< absolute (real) deadline
+  common::Millis virtual_deadline = 0.0;  ///< dispatch key for HC in LO mode
+  common::Millis exec_total = 0.0;        ///< this instance's true demand
+  common::Millis exec_done = 0.0;
+  common::Millis budget = 0.0;            ///< allowed execution (C^LO/C^HI)
+  bool hc = false;
+  bool overran = false;  ///< already counted as a C^LO overrun
+  bool degraded = false; ///< running under a degraded LC budget
+};
+
+/// Draws one job's actual execution demand for `task`.
+common::Millis draw_execution_time(const mc::McTask& task,
+                                   const SimConfig& config,
+                                   common::Rng& rng) {
+  if (task.stats.has_value() && task.stats->distribution != nullptr) {
+    const double sample = task.stats->distribution->sample(rng);
+    // Certified bound: no job may demand more than C^HI; and every job
+    // needs some positive demand.
+    return std::clamp(sample, kTimeEps, task.wcet_hi);
+  }
+  const double fraction =
+      rng.uniform(config.exec_fraction_lo, config.exec_fraction_hi);
+  return std::max(kTimeEps, fraction * task.wcet_lo);
+}
+
+}  // namespace
+
+SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
+  if (!tasks.valid())
+    throw std::invalid_argument("simulate: invalid task set");
+  if (config.horizon <= 0.0)
+    throw std::invalid_argument("simulate: horizon must be > 0");
+  if (config.x <= 0.0 || config.x > 1.0)
+    throw std::invalid_argument("simulate: x must be in (0, 1]");
+  if (config.lc_policy == LcPolicy::kServer &&
+      (config.server_capacity <= 0.0 || config.server_period <= 0.0))
+    throw std::invalid_argument(
+        "simulate: server policy requires positive capacity and period");
+  if (config.release_jitter < 0.0)
+    throw std::invalid_argument("simulate: release_jitter must be >= 0");
+
+  SimResult result;
+  result.trace = Trace(config.trace_capacity);
+  SimMetrics& m = result.metrics;
+  m.horizon = config.horizon;
+  m.per_task.resize(tasks.size());
+  Trace& trace = result.trace;
+
+  common::Rng rng(config.seed);
+  mc::Mode mode = mc::Mode::kLow;
+  common::Millis now = 0.0;
+  common::Millis hi_since = 0.0;
+  common::Millis pending_overhead = 0.0;
+  std::size_t last_task = static_cast<std::size_t>(-1);
+  common::Millis last_release = -1.0;
+  // LC budget server (LcPolicy::kServer): polling-style replenishment.
+  double server_budget = config.server_capacity;
+  common::Millis next_replenish = config.server_period;
+  const bool server_mode = config.lc_policy == LcPolicy::kServer;
+  // Optional response-time reservoirs (one per task).
+  std::vector<common::ReservoirSampler> response_samplers;
+  if (config.response_reservoir > 0) {
+    response_samplers.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      response_samplers.emplace_back(config.response_reservoir,
+                                     config.seed + 977 * (i + 1));
+  }
+
+  std::vector<common::Millis> next_release(tasks.size(), 0.0);
+  std::vector<Job> ready;
+
+  auto release_due_jobs = [&] {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      while (next_release[i] <= now + kTimeEps &&
+             next_release[i] < config.horizon) {
+        const mc::McTask& task = tasks[i];
+        const bool hc = task.criticality == mc::Criticality::kHigh;
+        if (hc) ++m.hc_jobs_released;
+        else ++m.lc_jobs_released;
+        ++m.per_task[i].released;
+
+        if (!hc && mode == mc::Mode::kHigh &&
+            config.lc_policy == LcPolicy::kDropAll) {  // server/degrade admit
+          // LC releases are rejected outright while in HI mode.
+          ++m.lc_jobs_dropped;
+          trace.record(now, TraceEventKind::kDropLc, task.name);
+        } else {
+          Job job;
+          job.task = i;
+          job.release = next_release[i];
+          job.deadline = job.release + task.deadline();
+          job.virtual_deadline = job.release + config.x * task.period;
+          job.exec_total = draw_execution_time(task, config, rng);
+          job.budget = hc ? (mode == mc::Mode::kHigh ? task.wcet_hi
+                                                     : task.wcet_lo)
+                          : task.wcet_lo;
+          job.hc = hc;
+          if (!hc && mode == mc::Mode::kHigh &&
+              config.lc_policy == LcPolicy::kDegradeHalf) {
+            job.budget = 0.5 * task.wcet_lo;
+            job.degraded = true;
+          }
+          ready.push_back(job);
+          trace.record(now, TraceEventKind::kRelease, task.name);
+        }
+        next_release[i] += task.period;
+        if (config.release_jitter > 0.0)
+          next_release[i] +=
+              rng.uniform(0.0, config.release_jitter * task.period);
+      }
+    }
+  };
+
+  auto effective_deadline = [&](const Job& job) {
+    return (job.hc && mode == mc::Mode::kLow) ? job.virtual_deadline
+                                              : job.deadline;
+  };
+
+  auto lc_server_blocked = [&](const Job& job) {
+    return server_mode && !job.hc && mode == mc::Mode::kHigh &&
+           server_budget <= kTimeEps;
+  };
+
+  auto pick_job = [&]() -> std::size_t {
+    std::size_t best = ready.size();
+    for (std::size_t j = 0; j < ready.size(); ++j) {
+      if (lc_server_blocked(ready[j])) continue;  // wait for replenishment
+      if (best == ready.size() ||
+          effective_deadline(ready[j]) <
+              effective_deadline(ready[best]) - kTimeEps)
+        best = j;
+    }
+    return best;
+  };
+
+  auto next_release_time = [&] {
+    common::Millis t = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      if (next_release[i] < config.horizon)
+        t = std::min(t, next_release[i]);
+    return t;
+  };
+
+  auto switch_to_hi = [&](const Job& overrunner) {
+    mode = mc::Mode::kHigh;
+    hi_since = now;
+    ++m.mode_switches;
+    pending_overhead += config.mode_switch_ms;
+    trace.record(now, TraceEventKind::kModeSwitchHi,
+                 tasks[overrunner.task].name);
+    // HC budgets inflate to C^HI.
+    for (Job& job : ready)
+      if (job.hc) job.budget = tasks[job.task].wcet_hi;
+    // LC jobs: dropped, degraded to half of the *remaining* budget, or
+    // left intact behind the budget server.
+    if (config.lc_policy == LcPolicy::kServer) {
+      // Nothing to do: LC jobs stay ready but execute through the server.
+    } else if (config.lc_policy == LcPolicy::kDropAll) {
+      auto it = std::remove_if(ready.begin(), ready.end(), [&](const Job& j) {
+        if (j.hc) return false;
+        ++m.lc_jobs_dropped;
+        trace.record(now, TraceEventKind::kDropLc, tasks[j.task].name);
+        return true;
+      });
+      ready.erase(it, ready.end());
+    } else {
+      for (Job& job : ready) {
+        if (job.hc || job.degraded) continue;
+        job.budget = job.exec_done + 0.5 * (job.budget - job.exec_done);
+        job.degraded = true;
+      }
+    }
+  };
+
+  auto maybe_switch_to_lo = [&] {
+    if (mode != mc::Mode::kHigh) return;
+    const bool blocked =
+        config.back_switch == BackSwitchPolicy::kIdleInstant
+            ? !ready.empty()
+            : std::any_of(ready.begin(), ready.end(),
+                          [](const Job& j) { return j.hc; });
+    if (blocked) return;
+    mode = mc::Mode::kLow;
+    m.hi_mode_time += now - hi_since;
+    pending_overhead += config.mode_switch_ms;
+    trace.record(now, TraceEventKind::kModeSwitchLo, "");
+  };
+
+  release_due_jobs();
+  while (now < config.horizon - kTimeEps) {
+    // Expire jobs whose deadline passed while pending (overload handling).
+    for (std::size_t j = 0; j < ready.size();) {
+      if (ready[j].deadline <= now + kTimeEps) {
+        const Job& job = ready[j];
+        if (job.hc) ++m.hc_deadline_misses;
+        else ++m.lc_deadline_misses;
+        trace.record(now, TraceEventKind::kDeadlineMiss,
+                     tasks[job.task].name);
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(j));
+      } else {
+        ++j;
+      }
+    }
+    // Replenish the LC server at its period boundaries.
+    if (server_mode) {
+      while (next_replenish <= now + kTimeEps) {
+        server_budget = config.server_capacity;
+        next_replenish += config.server_period;
+      }
+    }
+    maybe_switch_to_lo();
+
+    // Pay any accumulated overhead (mode-switch / context-switch costs)
+    // as processor time before dispatching.
+    if (pending_overhead > kTimeEps) {
+      const common::Millis step =
+          std::min(pending_overhead, config.horizon - now);
+      if (step <= kTimeEps) break;
+      now += step;
+      m.busy_time += step;
+      m.overhead_time += step;
+      pending_overhead -= step;
+      release_due_jobs();
+      continue;
+    }
+
+    const std::size_t current = pick_job();
+    if (current == ready.size()) {
+      // Idle until the next release, the next server replenishment (when
+      // LC work is waiting on budget), or the horizon.
+      common::Millis t = std::min(next_release_time(), config.horizon);
+      const bool lc_waiting = std::any_of(
+          ready.begin(), ready.end(),
+          [&](const Job& j) { return lc_server_blocked(j); });
+      if (lc_waiting) t = std::min(t, next_replenish);
+      if (t <= now + kTimeEps) break;  // nothing left to simulate
+      now = t;
+      release_due_jobs();
+      continue;
+    }
+
+    Job& job = ready[current];
+    const mc::McTask& task = tasks[job.task];
+
+    // Dispatching a different job than last time is a context switch.
+    if (job.task != last_task ||
+        std::abs(job.release - last_release) > kTimeEps) {
+      ++m.context_switches;
+      last_task = job.task;
+      last_release = job.release;
+      if (config.context_switch_ms > 0.0) {
+        pending_overhead += config.context_switch_ms;
+        continue;
+      }
+    }
+
+    // The job runs until the soonest of: completion, budget exhaustion
+    // (mode-switch trigger for HC in LO mode), next release, deadline
+    // expiry of any pending job, or the horizon.
+    const common::Millis effective_demand =
+        std::min(job.exec_total, job.budget);
+    common::Millis step = effective_demand - job.exec_done;
+    step = std::min(step, next_release_time() - now);
+    for (const Job& other : ready)
+      step = std::min(step, other.deadline - now);
+    step = std::min(step, config.horizon - now);
+    // LC execution in HI mode under the server consumes server budget and
+    // is interrupted by replenishment boundaries.
+    const bool on_server =
+        server_mode && !job.hc && mode == mc::Mode::kHigh;
+    if (on_server) {
+      step = std::min(step, server_budget);
+      step = std::min(step, next_replenish - now);
+    }
+    step = std::max(step, 0.0);
+
+    job.exec_done += step;
+    m.busy_time += step;
+    now += step;
+    if (on_server) server_budget -= step;
+
+    if (job.exec_done + kTimeEps >= job.exec_total) {
+      // Completed within budget.
+      if (job.hc) ++m.hc_jobs_completed;
+      else {
+        ++m.lc_jobs_completed;
+        if (job.degraded) ++m.lc_jobs_degraded;
+      }
+      TaskSimStats& ts = m.per_task[job.task];
+      ++ts.completed;
+      const common::Millis response = now - job.release;
+      ts.total_response += response;
+      ts.max_response = std::max(ts.max_response, response);
+      if (!response_samplers.empty())
+        response_samplers[job.task].add(response);
+      if (now > job.deadline + kTimeEps) {
+        if (job.hc) ++m.hc_deadline_misses;
+        else ++m.lc_deadline_misses;
+        trace.record(now, TraceEventKind::kDeadlineMiss, task.name);
+      }
+      trace.record(now, TraceEventKind::kComplete, task.name);
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(current));
+    } else if (job.exec_done + kTimeEps >= job.budget) {
+      if (job.hc && mode == mc::Mode::kLow) {
+        // C^LO exhausted but the job is not done: overrun -> HI mode.
+        ++m.hc_jobs_overrun;
+        job.overran = true;
+        trace.record(now, TraceEventKind::kOverrun, task.name);
+        switch_to_hi(job);
+      } else {
+        // Budget exhausted in HI mode (HC at C^HI cannot happen — demand
+        // is clamped — so this is a degraded LC job): abandon it.
+        ++m.lc_jobs_dropped;
+        trace.record(now, TraceEventKind::kDropLc, task.name);
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(current));
+      }
+    }
+    release_due_jobs();
+  }
+
+  if (mode == mc::Mode::kHigh) m.hi_mode_time += config.horizon - hi_since;
+  if (!response_samplers.empty()) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      m.per_task[i].p95_response = response_samplers[i].quantile(0.95);
+      m.per_task[i].p99_response = response_samplers[i].quantile(0.99);
+    }
+  }
+  return result;
+}
+
+MulticoreSimResult simulate_partitioned(const std::vector<mc::TaskSet>& cores,
+                                        const std::vector<double>& xs,
+                                        const SimConfig& config) {
+  if (cores.size() != xs.size())
+    throw std::invalid_argument(
+        "simulate_partitioned: one x factor per core required");
+  MulticoreSimResult result;
+  result.combined.horizon = config.horizon;
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    if (cores[c].empty()) {
+      result.cores.emplace_back();
+      continue;
+    }
+    SimConfig core_config = config;
+    core_config.x = xs[c];
+    core_config.seed = config.seed + 0x9E37'79B9U * (c + 1);
+    result.cores.push_back(simulate(cores[c], core_config));
+    const SimMetrics& m = result.cores.back().metrics;
+    result.combined.busy_time += m.busy_time;
+    result.combined.hi_mode_time += m.hi_mode_time;
+    result.combined.hc_jobs_released += m.hc_jobs_released;
+    result.combined.hc_jobs_completed += m.hc_jobs_completed;
+    result.combined.hc_jobs_overrun += m.hc_jobs_overrun;
+    result.combined.hc_deadline_misses += m.hc_deadline_misses;
+    result.combined.lc_jobs_released += m.lc_jobs_released;
+    result.combined.lc_jobs_completed += m.lc_jobs_completed;
+    result.combined.lc_jobs_dropped += m.lc_jobs_dropped;
+    result.combined.lc_jobs_degraded += m.lc_jobs_degraded;
+    result.combined.lc_deadline_misses += m.lc_deadline_misses;
+    result.combined.mode_switches += m.mode_switches;
+    result.combined.context_switches += m.context_switches;
+    result.combined.overhead_time += m.overhead_time;
+  }
+  return result;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,10 @@
+// EventQueue is header-only (templated); this translation unit exists to
+// anchor the module in the build and to host an explicit instantiation used
+// by the tests for link-time verification.
+#include "sim/event_queue.hpp"
+
+namespace mcs::sim {
+
+template class EventQueue<int>;
+
+}  // namespace mcs::sim

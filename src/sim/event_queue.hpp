@@ -1,0 +1,57 @@
+// Deterministic time-ordered event queue for the discrete-event simulator.
+//
+// A thin binary-heap wrapper keyed by (time, sequence number): ties are
+// broken by insertion order so simulations are bit-reproducible regardless
+// of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace mcs::sim {
+
+/// A min-heap of (time, payload) pairs with FIFO tie-breaking.
+template <typename Payload>
+class EventQueue {
+ public:
+  /// Inserts an event at `time`.
+  void push(common::Millis time, Payload payload) {
+    heap_.push(Entry{time, next_seq_++, std::move(payload)});
+  }
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest event. Requires !empty().
+  [[nodiscard]] common::Millis next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event's payload. Requires !empty().
+  Payload pop() {
+    Payload payload = std::move(const_cast<Entry&>(heap_.top()).payload);
+    heap_.pop();
+    return payload;
+  }
+
+ private:
+  struct Entry {
+    common::Millis time;
+    std::uint64_t seq;
+    Payload payload;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mcs::sim

@@ -1,0 +1,80 @@
+// Aggregate statistics reported by a simulation run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace mcs::sim {
+
+/// Per-task counters and response-time statistics.
+struct TaskSimStats {
+  std::uint64_t released = 0;
+  std::uint64_t completed = 0;
+  common::Millis max_response = 0.0;    ///< worst observed response time
+  common::Millis total_response = 0.0;  ///< sum over completed jobs
+  /// Approximate response-time percentiles (0 unless the simulation ran
+  /// with SimConfig::response_reservoir > 0).
+  common::Millis p95_response = 0.0;
+  common::Millis p99_response = 0.0;
+
+  /// Mean response time over completed jobs (0 when none completed).
+  [[nodiscard]] common::Millis mean_response() const {
+    return completed == 0 ? 0.0
+                          : total_response / static_cast<double>(completed);
+  }
+};
+
+/// Counters and derived rates from one simulated horizon.
+struct SimMetrics {
+  common::Millis horizon = 0.0;       ///< simulated duration
+  common::Millis busy_time = 0.0;     ///< processor non-idle time
+  common::Millis hi_mode_time = 0.0;  ///< time spent in HI mode
+
+  std::uint64_t hc_jobs_released = 0;
+  std::uint64_t hc_jobs_completed = 0;
+  std::uint64_t hc_jobs_overrun = 0;  ///< HC jobs that exceeded C^LO
+  std::uint64_t hc_deadline_misses = 0;
+
+  std::uint64_t lc_jobs_released = 0;
+  std::uint64_t lc_jobs_completed = 0;
+  std::uint64_t lc_jobs_dropped = 0;  ///< dropped/rejected due to HI mode
+  std::uint64_t lc_jobs_degraded = 0; ///< completed with degraded budget
+  std::uint64_t lc_deadline_misses = 0;
+
+  std::uint64_t mode_switches = 0;    ///< LO -> HI transitions
+  std::uint64_t context_switches = 0; ///< dispatches of a different job
+  common::Millis overhead_time = 0.0; ///< time lost to modelled overheads
+
+  /// Indexed like the simulated task set.
+  std::vector<TaskSimStats> per_task;
+
+  /// Fraction of HC jobs that overran C^LO (empirical per-job P^MS).
+  [[nodiscard]] double hc_overrun_rate() const {
+    return hc_jobs_released == 0
+               ? 0.0
+               : static_cast<double>(hc_jobs_overrun) /
+                     static_cast<double>(hc_jobs_released);
+  }
+
+  /// Fraction of LC jobs lost to mode switches.
+  [[nodiscard]] double lc_drop_rate() const {
+    return lc_jobs_released == 0
+               ? 0.0
+               : static_cast<double>(lc_jobs_dropped) /
+                     static_cast<double>(lc_jobs_released);
+  }
+
+  /// Fraction of simulated time in HI mode.
+  [[nodiscard]] double hi_mode_fraction() const {
+    return horizon <= 0.0 ? 0.0 : hi_mode_time / horizon;
+  }
+
+  /// Processor utilization actually observed.
+  [[nodiscard]] double observed_utilization() const {
+    return horizon <= 0.0 ? 0.0 : busy_time / horizon;
+  }
+};
+
+}  // namespace mcs::sim

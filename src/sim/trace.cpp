@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace mcs::sim {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRelease: return "release";
+    case TraceEventKind::kStart: return "start";
+    case TraceEventKind::kPreempt: return "preempt";
+    case TraceEventKind::kComplete: return "complete";
+    case TraceEventKind::kOverrun: return "overrun";
+    case TraceEventKind::kModeSwitchHi: return "mode->HI";
+    case TraceEventKind::kModeSwitchLo: return "mode->LO";
+    case TraceEventKind::kDropLc: return "drop-LC";
+    case TraceEventKind::kDeadlineMiss: return "deadline-miss";
+  }
+  return "?";
+}
+
+void Trace::record(common::Millis time, TraceEventKind kind,
+                   const std::string& task) {
+  ++total_;
+  if (events_.size() < capacity_)
+    events_.push_back(TraceEvent{time, kind, task});
+}
+
+std::string Trace::render() const {
+  std::ostringstream out;
+  for (const TraceEvent& e : events_) {
+    out << "[" << e.time << " ms] " << to_string(e.kind);
+    if (!e.task.empty()) out << " " << e.task;
+    out << "\n";
+  }
+  if (total_ > events_.size())
+    out << "... (" << total_ - events_.size() << " more events not stored)\n";
+  return out.str();
+}
+
+}  // namespace mcs::sim

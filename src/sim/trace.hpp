@@ -1,0 +1,63 @@
+// Optional event trace of a simulation run, for debugging and for the
+// examples' narrative output. Recording is bounded so long simulations
+// cannot exhaust memory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace mcs::sim {
+
+/// Kinds of recorded events.
+enum class TraceEventKind {
+  kRelease,
+  kStart,
+  kPreempt,
+  kComplete,
+  kOverrun,
+  kModeSwitchHi,
+  kModeSwitchLo,
+  kDropLc,
+  kDeadlineMiss,
+};
+
+/// Human-readable name of a trace event kind.
+[[nodiscard]] const char* to_string(TraceEventKind kind);
+
+/// One recorded event.
+struct TraceEvent {
+  common::Millis time = 0.0;
+  TraceEventKind kind = TraceEventKind::kRelease;
+  std::string task;  ///< task name ("" for system-level events)
+};
+
+/// Bounded in-memory trace.
+class Trace {
+ public:
+  /// `capacity` caps recorded events; further events are counted but not
+  /// stored. Capacity 0 disables recording entirely.
+  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Records (or counts) an event.
+  void record(common::Millis time, TraceEventKind kind,
+              const std::string& task);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t total_recorded() const { return total_; }
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  /// Renders the trace as one line per event.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t total_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mcs::sim

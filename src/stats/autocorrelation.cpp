@@ -1,0 +1,60 @@
+#include "stats/autocorrelation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcs::stats {
+
+namespace {
+
+double mean_of(std::span<const double> xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+double lag_autocorrelation(std::span<const double> samples, std::size_t lag) {
+  if (samples.empty() || lag >= samples.size())
+    throw std::invalid_argument(
+        "lag_autocorrelation: requires lag < samples.size()");
+  const double mean = mean_of(samples);
+  double denom = 0.0;
+  for (const double x : samples) denom += (x - mean) * (x - mean);
+  if (denom == 0.0) return 0.0;  // constant series
+  double numer = 0.0;
+  for (std::size_t t = 0; t + lag < samples.size(); ++t)
+    numer += (samples[t] - mean) * (samples[t + lag] - mean);
+  return numer / denom;
+}
+
+std::vector<double> autocorrelations(std::span<const double> samples,
+                                     std::size_t max_lag) {
+  if (samples.empty() || max_lag >= samples.size())
+    throw std::invalid_argument(
+        "autocorrelations: requires max_lag < samples.size()");
+  const double mean = mean_of(samples);
+  double denom = 0.0;
+  for (const double x : samples) denom += (x - mean) * (x - mean);
+  std::vector<double> out(max_lag, 0.0);
+  if (denom == 0.0) return out;
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    double numer = 0.0;
+    for (std::size_t t = 0; t + lag < samples.size(); ++t)
+      numer += (samples[t] - mean) * (samples[t + lag] - mean);
+    out[lag - 1] = numer / denom;
+  }
+  return out;
+}
+
+bool plausibly_iid(std::span<const double> samples, std::size_t max_lag,
+                   double z) {
+  const std::vector<double> rs = autocorrelations(samples, max_lag);
+  const double band = z / std::sqrt(static_cast<double>(samples.size()));
+  for (const double r : rs)
+    if (std::abs(r) > band) return false;
+  return true;
+}
+
+}  // namespace mcs::stats

@@ -1,0 +1,35 @@
+// Sample autocorrelation — an i.i.d. diagnostic for measurement campaigns.
+//
+// Both the Chebyshev scheme (Eq. 3/4 moments) and the baselines it is
+// compared against assume the execution-time samples are representative
+// draws. Serial correlation (warm caches between consecutive runs, input
+// generators with state, drifting interference) silently biases sigma and
+// with it every bound. This module computes lag autocorrelations and the
+// standard +/- z/sqrt(m) white-noise band so campaigns can be screened —
+// the library's measurement harness is tested against it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcs::stats {
+
+/// Sample autocorrelation at the given lag:
+///   r_k = sum_{t} (x_t - mean)(x_{t+k} - mean) / sum_t (x_t - mean)^2.
+/// Requires lag < samples.size(); a constant series returns 0.
+[[nodiscard]] double lag_autocorrelation(std::span<const double> samples,
+                                         std::size_t lag);
+
+/// r_1 .. r_max_lag in one pass over the centred series.
+/// Requires max_lag < samples.size().
+[[nodiscard]] std::vector<double> autocorrelations(
+    std::span<const double> samples, std::size_t max_lag);
+
+/// White-noise screening: true when every |r_k| for k = 1..max_lag stays
+/// inside the +/- z / sqrt(m) band (z defaults to 3, a conservative
+/// three-sigma gate). Requires max_lag < samples.size().
+[[nodiscard]] bool plausibly_iid(std::span<const double> samples,
+                                 std::size_t max_lag, double z = 3.0);
+
+}  // namespace mcs::stats

@@ -1,0 +1,43 @@
+// Chebyshev / Cantelli concentration bounds — the analytical heart of the
+// paper (Section IV-B, Theorem 1, Eq. 1-5).
+//
+// For any non-negative random variable X with mean E[X] and variance
+// sigma^2, the one-sided Chebyshev (Cantelli) inequality bounds
+//   Pr[X - E[X] >= a] <= sigma^2 / (sigma^2 + a^2)          (Eq. 1)
+// and with a = n * sigma,
+//   Pr[X - E[X] >= n*sigma] <= 1 / (1 + n^2).               (Eq. 2)
+// These hold for *any* distribution, which is why the paper uses them to
+// bound a task's overrun probability without fitting a model to measured
+// execution times.
+#pragma once
+
+namespace mcs::stats {
+
+/// Cantelli (one-sided Chebyshev) tail bound Pr[X - mean >= a] for the
+/// deviation `a >= 0` given `variance >= 0` (Eq. 1).
+///
+/// Degenerate cases: variance == 0 gives 0 for a > 0 and 1 for a == 0;
+/// negative `a` returns 1 (the bound is vacuous below the mean).
+[[nodiscard]] double cantelli_upper_bound(double variance, double a);
+
+/// The paper's Theorem 1 bound Pr[X >= ACET + n*sigma] <= 1/(1+n^2)
+/// (Eq. 2/5). `n` may be any non-negative real (the GA searches a
+/// continuous n); negative `n` returns 1.
+[[nodiscard]] double chebyshev_exceedance_bound(double n);
+
+/// Two-sided Chebyshev bound Pr[|X - mean| >= n*sigma] <= 1/n^2, clamped
+/// to 1. Provided for comparison in tests/docs; the paper uses the
+/// one-sided form.
+[[nodiscard]] double chebyshev_two_sided_bound(double n);
+
+/// Inverse of Eq. 2: the smallest n such that 1/(1+n^2) <= target_prob.
+/// Requires target_prob in (0, 1]; target_prob >= 1 yields 0.
+[[nodiscard]] double n_for_exceedance_bound(double target_prob);
+
+/// Converts an optimistic WCET back to its implied Chebyshev multiplier:
+/// n = (wcet_opt - acet) / sigma. This is how the lambda-fraction baseline
+/// policies are scored under the paper's probabilistic lens (Section V-C).
+/// When sigma == 0, returns +inf if wcet_opt >= acet, else -inf.
+[[nodiscard]] double implied_n(double acet, double sigma, double wcet_opt);
+
+}  // namespace mcs::stats

@@ -1,0 +1,255 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcs::stats {
+
+namespace {
+
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(message);
+}
+
+std::string fmt(const char* name, std::initializer_list<double> params) {
+  std::ostringstream out;
+  out << name << "(";
+  bool first = true;
+  for (const double p : params) {
+    if (!first) out << ", ";
+    out << p;
+    first = false;
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Normal
+
+NormalDistribution::NormalDistribution(double mean, double sigma)
+    : mean_(mean), sigma_(sigma) {
+  require(sigma >= 0.0, "NormalDistribution: sigma must be >= 0");
+}
+
+double NormalDistribution::sample(common::Rng& rng) const {
+  return rng.normal(mean_, sigma_);
+}
+
+std::string NormalDistribution::name() const {
+  return fmt("normal", {mean_, sigma_});
+}
+
+// ------------------------------------------------------ TruncatedNormal
+
+TruncatedNormalDistribution::TruncatedNormalDistribution(double mean,
+                                                         double sigma,
+                                                         double lo)
+    : mean_(mean), sigma_(sigma), lo_(lo) {
+  require(sigma >= 0.0, "TruncatedNormalDistribution: sigma must be >= 0");
+  require(lo <= mean, "TruncatedNormalDistribution: requires lo <= mean");
+}
+
+double TruncatedNormalDistribution::sample(common::Rng& rng) const {
+  double x = rng.normal(mean_, sigma_);
+  while (x < lo_) x = rng.normal(mean_, sigma_);
+  return x;
+}
+
+std::string TruncatedNormalDistribution::name() const {
+  return fmt("trunc_normal", {mean_, sigma_, lo_});
+}
+
+// --------------------------------------------------------------- Uniform
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  require(hi >= lo, "UniformDistribution: requires hi >= lo");
+}
+
+double UniformDistribution::sample(common::Rng& rng) const {
+  return rng.uniform(lo_, hi_);
+}
+
+double UniformDistribution::stddev() const {
+  return (hi_ - lo_) / std::sqrt(12.0);
+}
+
+std::string UniformDistribution::name() const {
+  return fmt("uniform", {lo_, hi_});
+}
+
+// --------------------------------------------------- ShiftedExponential
+
+ShiftedExponentialDistribution::ShiftedExponentialDistribution(double lambda,
+                                                               double shift)
+    : lambda_(lambda), shift_(shift) {
+  require(lambda > 0.0, "ShiftedExponentialDistribution: lambda must be > 0");
+  require(shift >= 0.0, "ShiftedExponentialDistribution: shift must be >= 0");
+}
+
+double ShiftedExponentialDistribution::sample(common::Rng& rng) const {
+  return shift_ + rng.exponential(lambda_);
+}
+
+std::string ShiftedExponentialDistribution::name() const {
+  return fmt("shifted_exp", {lambda_, shift_});
+}
+
+// ------------------------------------------------------------- LogNormal
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  require(sigma >= 0.0, "LogNormalDistribution: sigma must be >= 0");
+}
+
+std::shared_ptr<const LogNormalDistribution>
+LogNormalDistribution::from_moments(double mean, double stddev) {
+  require(mean > 0.0, "LogNormalDistribution: mean must be > 0");
+  require(stddev >= 0.0, "LogNormalDistribution: stddev must be >= 0");
+  const double cv2 = (stddev / mean) * (stddev / mean);
+  const double sigma2 = std::log(1.0 + cv2);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::make_shared<LogNormalDistribution>(mu, std::sqrt(sigma2));
+}
+
+double LogNormalDistribution::sample(common::Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormalDistribution::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormalDistribution::stddev() const {
+  const double s2 = sigma_ * sigma_;
+  return std::exp(mu_ + 0.5 * s2) * std::sqrt(std::exp(s2) - 1.0);
+}
+
+std::string LogNormalDistribution::name() const {
+  return fmt("lognormal", {mu_, sigma_});
+}
+
+// --------------------------------------------------------------- Weibull
+
+WeibullDistribution::WeibullDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  require(shape > 0.0, "WeibullDistribution: shape must be > 0");
+  require(scale > 0.0, "WeibullDistribution: scale must be > 0");
+}
+
+double WeibullDistribution::sample(common::Rng& rng) const {
+  // Inverse CDF: x = scale * (-ln(1-U))^{1/shape}.
+  const double u = rng.uniform01();
+  return scale_ * std::pow(-std::log(1.0 - u), 1.0 / shape_);
+}
+
+double WeibullDistribution::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double WeibullDistribution::stddev() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * std::sqrt(std::max(0.0, g2 - g1 * g1));
+}
+
+std::string WeibullDistribution::name() const {
+  return fmt("weibull", {shape_, scale_});
+}
+
+// ---------------------------------------------------------------- Gumbel
+
+GumbelDistribution::GumbelDistribution(double location, double scale)
+    : location_(location), scale_(scale) {
+  require(scale > 0.0, "GumbelDistribution: scale must be > 0");
+}
+
+double GumbelDistribution::sample(common::Rng& rng) const {
+  // Inverse CDF: x = mu - beta * ln(-ln U); avoid U == 0.
+  double u = rng.uniform01();
+  while (u == 0.0) u = rng.uniform01();
+  return location_ - scale_ * std::log(-std::log(u));
+}
+
+double GumbelDistribution::mean() const {
+  return location_ + scale_ * std::numbers::egamma;
+}
+
+double GumbelDistribution::stddev() const {
+  return scale_ * std::numbers::pi / std::sqrt(6.0);
+}
+
+double GumbelDistribution::exceedance(double x) const {
+  return 1.0 - std::exp(-std::exp(-(x - location_) / scale_));
+}
+
+std::string GumbelDistribution::name() const {
+  return fmt("gumbel", {location_, scale_});
+}
+
+// --------------------------------------------------------------- Mixture
+
+MixtureDistribution::MixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)), mean_(0.0), stddev_(0.0) {
+  require(!components_.empty(), "MixtureDistribution: needs >= 1 component");
+  double total = 0.0;
+  for (const auto& c : components_) {
+    require(c.weight >= 0.0, "MixtureDistribution: weights must be >= 0");
+    require(c.dist != nullptr, "MixtureDistribution: null component");
+    total += c.weight;
+  }
+  require(total > 0.0, "MixtureDistribution: total weight must be > 0");
+  for (auto& c : components_) c.weight /= total;
+
+  // Law of total expectation / variance.
+  for (const auto& c : components_) mean_ += c.weight * c.dist->mean();
+  double var = 0.0;
+  for (const auto& c : components_) {
+    const double m = c.dist->mean();
+    const double s = c.dist->stddev();
+    var += c.weight * (s * s + (m - mean_) * (m - mean_));
+  }
+  stddev_ = std::sqrt(var);
+}
+
+double MixtureDistribution::sample(common::Rng& rng) const {
+  double u = rng.uniform01();
+  for (const auto& c : components_) {
+    if (u < c.weight) return c.dist->sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().dist->sample(rng);
+}
+
+std::string MixtureDistribution::name() const {
+  std::ostringstream out;
+  out << "mixture[";
+  bool first = true;
+  for (const auto& c : components_) {
+    if (!first) out << " + ";
+    out << c.weight << "*" << c.dist->name();
+    first = false;
+  }
+  out << "]";
+  return out.str();
+}
+
+DistributionPtr make_bimodal_execution_time(double fast_mode,
+                                            double fast_sigma,
+                                            double slow_mode,
+                                            double slow_sigma,
+                                            double fast_weight) {
+  std::vector<MixtureDistribution::Component> comps;
+  comps.push_back({fast_weight, std::make_shared<TruncatedNormalDistribution>(
+                                    fast_mode, fast_sigma)});
+  comps.push_back({1.0 - fast_weight,
+                   std::make_shared<TruncatedNormalDistribution>(slow_mode,
+                                                                 slow_sigma)});
+  return std::make_shared<MixtureDistribution>(std::move(comps));
+}
+
+}  // namespace mcs::stats

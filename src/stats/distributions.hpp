@@ -1,0 +1,169 @@
+// Concrete parametric distributions implementing stats::Distribution.
+//
+// Execution times are non-negative; distributions that can go negative
+// (normal) are offered in truncated form as well. Factory helpers return
+// shared_ptr<const Distribution> so task profiles can share immutable
+// distribution objects.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace mcs::stats {
+
+/// N(mean, sigma). May produce negative samples; prefer TruncatedNormal for
+/// execution times.
+class NormalDistribution final : public Distribution {
+ public:
+  /// Requires sigma >= 0.
+  NormalDistribution(double mean, double sigma);
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double stddev() const override { return sigma_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double mean_;
+  double sigma_;
+};
+
+/// N(mean, sigma) resampled until the draw is >= lo (rejection). The
+/// reported mean/stddev are the *untruncated* parameters; for the mild
+/// truncations used in task generation (lo several sigmas below the mean)
+/// the bias is negligible, and tests quantify it.
+class TruncatedNormalDistribution final : public Distribution {
+ public:
+  /// Requires sigma >= 0 and lo <= mean (so rejection terminates quickly).
+  TruncatedNormalDistribution(double mean, double sigma, double lo = 0.0);
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double stddev() const override { return sigma_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double mean_;
+  double sigma_;
+  double lo_;
+};
+
+/// Uniform on [lo, hi).
+class UniformDistribution final : public Distribution {
+ public:
+  /// Requires hi >= lo.
+  UniformDistribution(double lo, double hi);
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] double stddev() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Exponential with rate lambda, shifted by `shift` (execution times have a
+/// positive floor: the best-case path still costs something).
+class ShiftedExponentialDistribution final : public Distribution {
+ public:
+  /// Requires lambda > 0, shift >= 0.
+  ShiftedExponentialDistribution(double lambda, double shift = 0.0);
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return shift_ + 1.0 / lambda_; }
+  [[nodiscard]] double stddev() const override { return 1.0 / lambda_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lambda_;
+  double shift_;
+};
+
+/// LogNormal: exp(N(mu, sigma)). Heavy right tail, a classic model for
+/// measured execution times.
+class LogNormalDistribution final : public Distribution {
+ public:
+  /// Parameters of the underlying normal; requires sigma >= 0.
+  LogNormalDistribution(double mu, double sigma);
+
+  /// Builds a lognormal with the given *arithmetic* mean and stddev.
+  static std::shared_ptr<const LogNormalDistribution> from_moments(
+      double mean, double stddev);
+
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double stddev() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Weibull(shape k, scale lambda). Covers light (k>1) and heavy (k<1) tails.
+class WeibullDistribution final : public Distribution {
+ public:
+  /// Requires shape > 0 and scale > 0.
+  WeibullDistribution(double shape, double scale);
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double stddev() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Gumbel (max) distribution — the EVT limit law used by pWCET approaches
+/// the paper contrasts with (Section II).
+class GumbelDistribution final : public Distribution {
+ public:
+  /// Requires scale > 0.
+  GumbelDistribution(double location, double scale);
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double stddev() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double location() const { return location_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+  /// Pr[X > x] for this Gumbel law.
+  [[nodiscard]] double exceedance(double x) const;
+
+ private:
+  double location_;
+  double scale_;
+};
+
+/// Finite mixture of component distributions — models multi-modal execution
+/// times (e.g. a fast path and a slow path, as in Fig. 1's two humps).
+class MixtureDistribution final : public Distribution {
+ public:
+  struct Component {
+    double weight;  // non-negative; weights are normalized internally
+    DistributionPtr dist;
+  };
+
+  /// Requires at least one component and a positive total weight.
+  explicit MixtureDistribution(std::vector<Component> components);
+  [[nodiscard]] double sample(common::Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double stddev() const override { return stddev_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::vector<Component> components_;
+  double mean_;
+  double stddev_;
+};
+
+/// Convenience factory: the bimodal "fast path / slow path" execution-time
+/// shape from Fig. 1 — two truncated normals with the given modes, spreads
+/// and fast-path weight.
+[[nodiscard]] DistributionPtr make_bimodal_execution_time(
+    double fast_mode, double fast_sigma, double slow_mode, double slow_sigma,
+    double fast_weight);
+
+}  // namespace mcs::stats

@@ -1,0 +1,45 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats_accumulator.hpp"
+
+namespace mcs::stats {
+
+EmpiricalDistribution::EmpiricalDistribution(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  if (sorted_.empty())
+    throw std::invalid_argument("EmpiricalDistribution: empty sample set");
+  std::sort(sorted_.begin(), sorted_.end());
+  common::StatsAccumulator acc;
+  acc.add(samples);
+  mean_ = acc.mean();
+  stddev_ = acc.stddev();
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::exceedance_rate(double threshold) const {
+  return 1.0 - cdf(threshold);
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("EmpiricalDistribution: q must be in [0,1]");
+  if (q == 0.0) return sorted_.front();
+  const auto m = static_cast<double>(sorted_.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q * m));
+  return sorted_[std::min(rank, sorted_.size()) - 1];
+}
+
+double EmpiricalDistribution::exceedance_at_n(double n) const {
+  return exceedance_rate(mean_ + n * stddev_);
+}
+
+}  // namespace mcs::stats

@@ -1,0 +1,48 @@
+#include "stats/evt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "common/stats_accumulator.hpp"
+
+namespace mcs::stats {
+
+GumbelDistribution fit_gumbel_moments(std::span<const double> samples) {
+  if (samples.size() < 2)
+    throw std::invalid_argument("fit_gumbel_moments: need >= 2 samples");
+  common::StatsAccumulator acc;
+  acc.add(samples);
+  const double sd = acc.stddev();
+  if (sd <= 0.0)
+    throw std::invalid_argument("fit_gumbel_moments: zero-variance sample");
+  const double scale = std::sqrt(6.0) * sd / std::numbers::pi;
+  const double location = acc.mean() - std::numbers::egamma * scale;
+  return GumbelDistribution(location, scale);
+}
+
+double pwcet_block_maxima(std::span<const double> samples,
+                          std::size_t block_size, double exceedance_prob) {
+  if (block_size == 0)
+    throw std::invalid_argument("pwcet_block_maxima: block_size must be >= 1");
+  if (exceedance_prob <= 0.0 || exceedance_prob >= 1.0)
+    throw std::invalid_argument(
+        "pwcet_block_maxima: exceedance_prob must be in (0,1)");
+  const std::size_t blocks = samples.size() / block_size;
+  if (blocks < 2)
+    throw std::invalid_argument("pwcet_block_maxima: need >= 2 full blocks");
+  std::vector<double> maxima;
+  maxima.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto block = samples.subspan(b * block_size, block_size);
+    maxima.push_back(*std::max_element(block.begin(), block.end()));
+  }
+  const GumbelDistribution g = fit_gumbel_moments(maxima);
+  // Invert Pr[X > x] = 1 - exp(-exp(-(x-mu)/beta)) = p.
+  const double inner = -std::log(1.0 - exceedance_prob);
+  return g.location() - g.scale() * std::log(inner);
+}
+
+}  // namespace mcs::stats

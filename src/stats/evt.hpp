@@ -1,0 +1,35 @@
+// Minimal Extreme Value Theory (EVT) machinery: Gumbel fitting by the
+// method of moments and block-maxima pWCET estimation.
+//
+// The paper's Section II contrasts Chebyshev-based bounds with
+// measurement-based probabilistic WCET (pWCET) approaches built on EVT
+// [17], [18] and lists their open reliability challenges [19]-[21]. We
+// implement a representative EVT estimator so the test suite and an
+// ablation bench can compare the two families on the same sample sets:
+// EVT gives tighter but model-dependent estimates; Chebyshev gives looser
+// but distribution-free guarantees.
+#pragma once
+
+#include <span>
+
+#include "stats/distributions.hpp"
+
+namespace mcs::stats {
+
+/// Gumbel parameters fitted by the method of moments:
+///   scale = sqrt(6) * s / pi,  location = mean - gamma * scale.
+/// Requires at least two samples with positive variance.
+[[nodiscard]] GumbelDistribution fit_gumbel_moments(
+    std::span<const double> samples);
+
+/// Block-maxima pWCET estimate: splits samples into blocks of `block_size`,
+/// fits a Gumbel to the block maxima, and returns the level x such that
+/// Pr[block max > x] == exceedance_prob.
+///
+/// Requires block_size >= 1 and at least two full blocks; exceedance_prob
+/// in (0, 1).
+[[nodiscard]] double pwcet_block_maxima(std::span<const double> samples,
+                                        std::size_t block_size,
+                                        double exceedance_prob);
+
+}  // namespace mcs::stats

@@ -1,0 +1,55 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::stats {
+
+double ks_statistic(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("ks_statistic: empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  // March the two ECDFs over the merged support.
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+KsResult ks_two_sample_test(std::span<const double> a,
+                            std::span<const double> b, double alpha) {
+  if (a.size() < 8 || b.size() < 8)
+    throw std::invalid_argument(
+        "ks_two_sample_test: need >= 8 samples per side");
+  double c_alpha = 0.0;
+  if (alpha == 0.10) c_alpha = 1.224;
+  else if (alpha == 0.05) c_alpha = 1.358;
+  else if (alpha == 0.01) c_alpha = 1.628;
+  else
+    throw std::invalid_argument(
+        "ks_two_sample_test: alpha must be 0.10, 0.05 or 0.01");
+  KsResult result;
+  result.statistic = ks_statistic(a, b);
+  const auto n = static_cast<double>(a.size());
+  const auto m = static_cast<double>(b.size());
+  result.critical_value = c_alpha * std::sqrt((n + m) / (n * m));
+  result.same_distribution = result.statistic <= result.critical_value;
+  return result;
+}
+
+}  // namespace mcs::stats

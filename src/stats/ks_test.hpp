@@ -1,0 +1,35 @@
+// Two-sample Kolmogorov-Smirnov test.
+//
+// Representativity screening for measurement campaigns: the validity of
+// any measurement-based C^LO (and, through the moments, of the Chebyshev
+// assignment) rests on new execution-time observations coming from the
+// same distribution as the characterization campaign. The two-sample KS
+// statistic compares a fresh sample window against the stored campaign;
+// a rejection is the offline counterpart of core/online.hpp's drift
+// triggers.
+#pragma once
+
+#include <span>
+
+namespace mcs::stats {
+
+/// Result of a two-sample KS comparison.
+struct KsResult {
+  double statistic = 0.0;  ///< sup_x |F_a(x) - F_b(x)|
+  double critical_value = 0.0;  ///< threshold at the requested alpha
+  bool same_distribution = true;  ///< statistic <= critical_value
+};
+
+/// Two-sample KS statistic D = sup |F_a - F_b| over the pooled support.
+/// Requires both samples non-empty.
+[[nodiscard]] double ks_statistic(std::span<const double> a,
+                                  std::span<const double> b);
+
+/// Runs the test at significance `alpha` (supported: 0.10, 0.05, 0.01;
+/// the critical value uses the classic c(alpha) * sqrt((n+m)/(n*m))
+/// large-sample approximation). Requires both samples with >= 8 elements.
+[[nodiscard]] KsResult ks_two_sample_test(std::span<const double> a,
+                                          std::span<const double> b,
+                                          double alpha = 0.05);
+
+}  // namespace mcs::stats

@@ -1,0 +1,37 @@
+#include "stats/moments.hpp"
+
+#include <cmath>
+
+namespace mcs::stats {
+
+Moments compute_moments(std::span<const double> samples) {
+  Moments m;
+  m.count = samples.size();
+  if (samples.empty()) return m;
+  const auto n = static_cast<double>(samples.size());
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  m.mean = sum / n;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  for (const double x : samples) {
+    const double d = x - m.mean;
+    const double d2 = d * d;
+    m2 += d2;
+    m3 += d2 * d;
+    m4 += d2 * d2;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  m.variance = m2;
+  m.stddev = std::sqrt(m2);
+  if (m2 > 0.0) {
+    m.skewness = m3 / std::pow(m2, 1.5);
+    m.kurtosis = m4 / (m2 * m2);
+  }
+  return m;
+}
+
+}  // namespace mcs::stats

@@ -1,0 +1,24 @@
+// Batch sample moments (Eq. 3-4 of the paper plus higher moments used by
+// the test suite to characterize the synthetic distributions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mcs::stats {
+
+/// First four standardized moments of a sample.
+struct Moments {
+  std::size_t count = 0;
+  double mean = 0.0;      ///< Eq. 3 (ACET when samples are execution times)
+  double variance = 0.0;  ///< population variance, Eq. 4 squared
+  double stddev = 0.0;    ///< Eq. 4
+  double skewness = 0.0;  ///< standardized third moment (0 for symmetric)
+  double kurtosis = 0.0;  ///< standardized fourth moment (3 for normal)
+};
+
+/// Computes all moments in one pass. An empty span returns all-zero
+/// moments; a constant sample returns zero variance/skew/kurtosis.
+[[nodiscard]] Moments compute_moments(std::span<const double> samples);
+
+}  // namespace mcs::stats

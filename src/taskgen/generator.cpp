@@ -1,0 +1,134 @@
+#include "taskgen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "stats/distributions.hpp"
+#include "taskgen/uunifast.hpp"
+
+namespace mcs::taskgen {
+
+namespace {
+
+/// Weibull shape whose coefficient of variation matches cv (bisection on
+/// CV(k) = sqrt(G2/G1^2 - 1), which is strictly decreasing in k).
+double weibull_shape_for_cv(double cv) {
+  auto cv_of = [](double k) {
+    const double g1 = std::tgamma(1.0 + 1.0 / k);
+    const double g2 = std::tgamma(1.0 + 2.0 / k);
+    return std::sqrt(std::max(0.0, g2 / (g1 * g1) - 1.0));
+  };
+  double lo = 0.5;
+  double hi = 200.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cv_of(mid) > cv) lo = mid;
+    else hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Builds an ET sampler with mean `acet` and stddev `sigma` in the
+/// configured family. Every family matches the first two moments exactly,
+/// so the Chebyshev bound's inputs are the distribution's true moments.
+stats::DistributionPtr make_et_distribution(EtModel model, double acet,
+                                            double sigma) {
+  switch (model) {
+    case EtModel::kLogNormal:
+      return stats::LogNormalDistribution::from_moments(acet, sigma);
+    case EtModel::kWeibull: {
+      const double shape = weibull_shape_for_cv(sigma / acet);
+      const double scale = acet / std::tgamma(1.0 + 1.0 / shape);
+      return std::make_shared<stats::WeibullDistribution>(shape, scale);
+    }
+    case EtModel::kBimodal: {
+      // 70/30 mixture of two equal-spread normals placed so the first two
+      // moments match exactly: with component sd 0.4*sigma the modes sit
+      // at acet - 0.6*sigma and acet + 1.4*sigma.
+      std::vector<stats::MixtureDistribution::Component> comps;
+      comps.push_back({0.7, std::make_shared<stats::NormalDistribution>(
+                                acet - 0.6 * sigma, 0.4 * sigma)});
+      comps.push_back({0.3, std::make_shared<stats::NormalDistribution>(
+                                acet + 1.4 * sigma, 0.4 * sigma)});
+      return std::make_shared<stats::MixtureDistribution>(std::move(comps));
+    }
+  }
+  return nullptr;
+}
+
+/// Builds one HC task of the given HI-mode utilization.
+mc::McTask make_hc_task(const GeneratorConfig& config, std::size_t index,
+                        double util_hi, common::Rng& rng) {
+  const double period = rng.uniform(config.period_min_ms,
+                                    config.period_max_ms);
+  const double wcet_hi = util_hi * period;
+  const double gap = rng.uniform(config.gap_min, config.gap_max);
+  const double acet = wcet_hi / gap;
+  const double cv = rng.uniform(config.cv_min, config.cv_max);
+  const double sigma = cv * acet;
+
+  mc::McTask task =
+      mc::McTask::high("hc" + std::to_string(index), wcet_hi, wcet_hi, period);
+  mc::ExecutionStats stats;
+  stats.acet = acet;
+  stats.sigma = sigma;
+  if (config.attach_distributions && sigma > 0.0)
+    stats.distribution = make_et_distribution(config.et_model, acet, sigma);
+  task.stats = stats;
+  return task;
+}
+
+/// Builds one LC task of the given utilization.
+mc::McTask make_lc_task(const GeneratorConfig& config, std::size_t index,
+                        double util, common::Rng& rng) {
+  const double period = rng.uniform(config.period_min_ms,
+                                    config.period_max_ms);
+  return mc::McTask::low("lc" + std::to_string(index), util * period, period);
+}
+
+}  // namespace
+
+mc::TaskSet generate_mixed(const GeneratorConfig& config, double u_bound,
+                           common::Rng& rng) {
+  if (u_bound <= 0.0)
+    throw std::invalid_argument("generate_mixed: u_bound must be > 0");
+  mc::TaskSet tasks;
+  double total = 0.0;
+  std::size_t index = 0;
+  while (total < u_bound) {
+    double util = rng.uniform(config.task_util_min, config.task_util_max);
+    util = std::min(util, u_bound - total);  // scale the last task to fit
+    // Guard against degenerate zero-utilization tails.
+    if (util < 1e-6) break;
+    const bool is_hc = rng.bernoulli(config.prob_hc);
+    if (is_hc) tasks.add(make_hc_task(config, index, util, rng));
+    else tasks.add(make_lc_task(config, index, util, rng));
+    total += util;
+    ++index;
+  }
+  return tasks;
+}
+
+mc::TaskSet generate_hc_only(const GeneratorConfig& config, double u_hc_hi,
+                             common::Rng& rng) {
+  if (u_hc_hi <= 0.0)
+    throw std::invalid_argument("generate_hc_only: u_hc_hi must be > 0");
+  const double mean_util =
+      0.5 * (config.task_util_min + config.task_util_max);
+  const auto count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(u_hc_hi / mean_util + 0.5));
+  // Cap per-task utilization at min(1, 2 * mean) when feasible so no
+  // single task dominates the set.
+  const double cap =
+      std::max(1.05 * u_hc_hi / static_cast<double>(count),
+               std::min(1.0, 2.0 * config.task_util_max));
+  const std::vector<double> utils = uunifast_discard(count, u_hc_hi, cap, rng);
+  mc::TaskSet tasks;
+  for (std::size_t i = 0; i < utils.size(); ++i)
+    tasks.add(make_hc_task(config, i, utils[i], rng));
+  return tasks;
+}
+
+}  // namespace mcs::taskgen

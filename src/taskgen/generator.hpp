@@ -1,0 +1,63 @@
+// Synthetic dual-criticality task-set generation, following the protocol
+// of Section V: "The synthetic task sets are generated for various system
+// utilization bounds in line with previous works [1], [10], [12], [14].
+// The algorithm adds tasks to the task set randomly to increase U_bound
+// until it reaches a given threshold. ... the periods of tasks are selected
+// in the range of [100, 900] ms", with equal probability of a task being
+// HC or LC (Section V-D).
+//
+// Each HC task gets a full execution profile: a pessimism gap
+// (WCET^pes/ACET, drawn from the range observed in Table I), a coefficient
+// of variation sigma/ACET, and a lognormal sampling distribution matching
+// those moments for runtime simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "mc/taskset.hpp"
+
+namespace mcs::taskgen {
+
+/// Shape family for HC tasks' execution-time sampling distributions.
+/// Chebyshev's bound is distribution-free, so the scheme's guarantees
+/// must hold under every one of these in simulation.
+enum class EtModel {
+  kLogNormal,  ///< heavy right tail (default; classic ET model)
+  kWeibull,    ///< light-to-heavy tail depending on the implied shape
+  kBimodal,    ///< fast path / slow path mixture (Fig. 1's two humps)
+};
+
+/// Knobs of the synthetic generator. Defaults follow the paper's setup
+/// and the Table I characterization of real applications.
+struct GeneratorConfig {
+  double period_min_ms = 100.0;  ///< paper: periods in [100, 900] ms
+  double period_max_ms = 900.0;
+  double task_util_min = 0.05;   ///< per-task utilization draw (HI mode)
+  double task_util_max = 0.25;
+  double prob_hc = 0.5;          ///< Section V-D: P(HC) = P(LC) = 0.5
+  double gap_min = 8.0;          ///< WCET^pes/ACET lower bound (Table I: 8.1)
+  double gap_max = 64.0;         ///< upper bound (Table I: 63.6)
+  double cv_min = 0.05;          ///< sigma/ACET lower bound
+  double cv_max = 0.30;          ///< upper bound (Table I smooth: 0.27)
+  bool attach_distributions = true;  ///< build ET samplers for simulation
+  EtModel et_model = EtModel::kLogNormal;  ///< sampler family
+};
+
+/// Generates a mixed LC/HC task set whose *bound utilization* — HC tasks
+/// counted at their HI-mode (pessimistic) utilization, LC tasks at their
+/// single utilization — lands within one task of `u_bound`, scaling the
+/// final task to hit it exactly. HC tasks have wcet_lo initialized to
+/// wcet_hi (no optimism); a policy or the Chebyshev scheme assigns C^LO
+/// afterwards. Requires u_bound > 0.
+[[nodiscard]] mc::TaskSet generate_mixed(const GeneratorConfig& config,
+                                         double u_bound, common::Rng& rng);
+
+/// Generates an HC-only task set with total HI-mode utilization exactly
+/// `u_hc_hi` (UUniFast split over a task count drawn from the per-task
+/// utilization range). Used by the Figs. 2-5 experiments where LC load
+/// enters analytically through max(U_LC^LO).
+[[nodiscard]] mc::TaskSet generate_hc_only(const GeneratorConfig& config,
+                                           double u_hc_hi, common::Rng& rng);
+
+}  // namespace mcs::taskgen

@@ -1,0 +1,38 @@
+#include "taskgen/uunifast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcs::taskgen {
+
+std::vector<double> uunifast(std::size_t n, double total, common::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("uunifast: n must be >= 1");
+  if (total <= 0.0) throw std::invalid_argument("uunifast: total must be > 0");
+  std::vector<double> utils(n);
+  double sum = total;
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform01(),
+                       1.0 / static_cast<double>(n - 1 - i));
+    utils[i] = sum - next;
+    sum = next;
+  }
+  utils[n - 1] = sum;
+  return utils;
+}
+
+std::vector<double> uunifast_discard(std::size_t n, double total, double cap,
+                                     common::Rng& rng) {
+  if (static_cast<double>(n) * cap < total)
+    throw std::invalid_argument(
+        "uunifast_discard: n * cap < total, no valid sample exists");
+  for (;;) {
+    std::vector<double> utils = uunifast(n, total, rng);
+    const bool ok = std::all_of(utils.begin(), utils.end(),
+                                [cap](double u) { return u <= cap; });
+    if (ok) return utils;
+  }
+}
+
+}  // namespace mcs::taskgen

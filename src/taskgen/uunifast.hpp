@@ -1,0 +1,26 @@
+// UUniFast (Bini & Buttazzo): unbiased sampling of n task utilizations
+// summing to a target. Used for experiments that need an exact aggregate
+// utilization (Figs. 2-5 fix U_HC^HI per point).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcs::taskgen {
+
+/// Returns n utilizations that sum to `total`, uniformly distributed over
+/// the simplex. Requires n >= 1 and total > 0. Individual values may
+/// exceed 1 for total > 1; callers wanting per-task caps should use
+/// uunifast_discard.
+[[nodiscard]] std::vector<double> uunifast(std::size_t n, double total,
+                                           common::Rng& rng);
+
+/// UUniFast-Discard: redraws until every utilization is <= cap.
+/// Requires n * cap >= total (otherwise no valid sample exists).
+[[nodiscard]] std::vector<double> uunifast_discard(std::size_t n, double total,
+                                                   double cap,
+                                                   common::Rng& rng);
+
+}  // namespace mcs::taskgen

@@ -1,0 +1,23 @@
+#include "wcet/analyzer.hpp"
+
+#include <string>
+
+namespace mcs::wcet {
+
+AnalysisResult analyze_program(const ProgramNode& program,
+                               const CostModel& model) {
+  AnalysisResult result;
+  result.wcet_schema = program.wcet(model);
+  const ControlFlowGraph cfg = lower_program(program);
+  result.cfg_blocks = cfg.block_count();
+  result.cfg_loops = find_natural_loops(cfg).size();
+  result.wcet_ipet = ::mcs::wcet::wcet_ipet(cfg, model);
+  if (result.wcet_ipet != result.wcet_schema)
+    throw AnalysisError(
+        "analyze_program: schema/IPET disagreement (schema=" +
+        std::to_string(result.wcet_schema) +
+        ", ipet=" + std::to_string(result.wcet_ipet) + ")");
+  return result;
+}
+
+}  // namespace mcs::wcet

@@ -1,0 +1,34 @@
+// Facade over the static WCET substrate — the library's "OTAWA".
+//
+// Given a structured program, computes the pessimistic WCET two independent
+// ways (timing schema on the tree, IPET longest-path on the lowered CFG)
+// and verifies they agree. The returned bound is what the MC task model
+// uses as C_HI = WCET^pes.
+#pragma once
+
+#include "wcet/cost_model.hpp"
+#include "wcet/ipet.hpp"
+#include "wcet/program.hpp"
+
+namespace mcs::wcet {
+
+/// Result of a static analysis run.
+struct AnalysisResult {
+  common::Cycles wcet_schema = 0;  ///< timing-schema bound (tree walk)
+  common::Cycles wcet_ipet = 0;    ///< IPET bound (CFG longest path)
+  std::size_t cfg_blocks = 0;      ///< size of the lowered CFG
+  std::size_t cfg_loops = 0;       ///< natural loops discovered
+
+  /// The reported pessimistic WCET (the two bounds agree by construction).
+  [[nodiscard]] common::Cycles wcet() const { return wcet_ipet; }
+};
+
+/// Analyzes a structured program under the given cost model (default:
+/// the conservative worst-case table). Throws AnalysisError if the two
+/// computations disagree — that would indicate a lowering or solver bug,
+/// never a property of the input.
+[[nodiscard]] AnalysisResult analyze_program(
+    const ProgramNode& program,
+    const CostModel& model = CostModel::worst_case());
+
+}  // namespace mcs::wcet

@@ -1,0 +1,89 @@
+#include "wcet/cache.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace mcs::wcet {
+
+namespace {
+
+bool is_power_of_two(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+CacheSim::CacheSim(const CacheConfig& config) : config_(config) {
+  if (!is_power_of_two(config.line_bytes) || !is_power_of_two(config.sets))
+    throw std::invalid_argument(
+        "CacheSim: line_bytes and sets must be powers of two");
+  if (config.ways == 0)
+    throw std::invalid_argument("CacheSim: ways must be >= 1");
+  sets_.resize(config.sets);
+}
+
+bool CacheSim::access(std::uint64_t address) {
+  const std::uint64_t line = config_.line_of(address);
+  auto& set = sets_[config_.set_of(address)];
+  const auto it = std::find(set.begin(), set.end(), line);
+  if (it != set.end()) {
+    // Hit: move to MRU position.
+    set.erase(it);
+    set.insert(set.begin(), line);
+    ++hits_;
+    return true;
+  }
+  // Miss: fill, evicting LRU if the set is full.
+  if (set.size() == config_.ways) set.pop_back();
+  set.insert(set.begin(), line);
+  ++misses_;
+  return false;
+}
+
+void CacheSim::reset() {
+  for (auto& set : sets_) set.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+PersistenceResult analyze_persistence(const CacheConfig& config,
+                                      std::span<const MemoryRegion> regions) {
+  // Collect the distinct lines of the working set and the per-set load.
+  std::set<std::uint64_t> lines;
+  for (const MemoryRegion& region : regions) {
+    if (region.size == 0)
+      throw std::invalid_argument("analyze_persistence: empty region");
+    const std::uint64_t first = config.line_of(region.base);
+    const std::uint64_t last = config.line_of(region.base + region.size - 1);
+    for (std::uint64_t line = first; line <= last; ++line) lines.insert(line);
+  }
+  std::map<std::uint64_t, std::uint64_t> set_pressure;
+  for (const std::uint64_t line : lines) ++set_pressure[line % config.sets];
+
+  PersistenceResult result;
+  result.total_lines = lines.size();
+  for (const std::uint64_t line : lines) {
+    if (set_pressure[line % config.sets] <= config.ways)
+      ++result.persistent_lines;
+  }
+  return result;
+}
+
+common::Cycles persistence_savings(const PersistenceResult& persistence,
+                                   std::uint64_t bound,
+                                   std::uint64_t loads_per_iteration,
+                                   common::Cycles miss_penalty) {
+  if (bound == 0 || persistence.total_lines == 0) return 0;
+  // Loads are assumed evenly spread over the working set; the persistent
+  // fraction of each iteration's loads hits from iteration 2 onward.
+  const double persistent_fraction =
+      static_cast<double>(persistence.persistent_lines) /
+      static_cast<double>(persistence.total_lines);
+  const double hits_per_iteration =
+      persistent_fraction * static_cast<double>(loads_per_iteration);
+  const double saved_iterations = static_cast<double>(bound - 1);
+  return static_cast<common::Cycles>(hits_per_iteration * saved_iterations *
+                                     static_cast<double>(miss_penalty));
+}
+
+}  // namespace mcs::wcet

@@ -1,0 +1,42 @@
+#include "wcet/cost_model.hpp"
+
+namespace mcs::wcet {
+
+common::Cycles CostModel::block_cost(const BasicBlock& block) const {
+  // Empty blocks are pure CFG artifacts (entry/exit anchors, join points)
+  // and cost nothing; the overhead models fetch on real instruction blocks.
+  if (block.instructions.empty()) return 0;
+  common::Cycles total = block_overhead;
+  for (const Instruction& insn : block.instructions) total += op_cost(insn.op);
+  return total;
+}
+
+CostModel CostModel::worst_case() {
+  CostModel m;
+  m.cost[static_cast<std::size_t>(OpClass::kAlu)] = 1;
+  m.cost[static_cast<std::size_t>(OpClass::kMul)] = 4;
+  m.cost[static_cast<std::size_t>(OpClass::kDiv)] = 32;
+  m.cost[static_cast<std::size_t>(OpClass::kFpu)] = 8;
+  m.cost[static_cast<std::size_t>(OpClass::kLoad)] = 60;   // cache miss
+  m.cost[static_cast<std::size_t>(OpClass::kStore)] = 12;  // write buffer full
+  m.cost[static_cast<std::size_t>(OpClass::kBranch)] = 8;  // mispredict
+  m.cost[static_cast<std::size_t>(OpClass::kCall)] = 10;
+  m.block_overhead = 2;  // fetch/refill bubble on block entry
+  return m;
+}
+
+CostModel CostModel::typical() {
+  CostModel m;
+  m.cost[static_cast<std::size_t>(OpClass::kAlu)] = 1;
+  m.cost[static_cast<std::size_t>(OpClass::kMul)] = 3;
+  m.cost[static_cast<std::size_t>(OpClass::kDiv)] = 12;
+  m.cost[static_cast<std::size_t>(OpClass::kFpu)] = 4;
+  m.cost[static_cast<std::size_t>(OpClass::kLoad)] = 2;   // cache hit
+  m.cost[static_cast<std::size_t>(OpClass::kStore)] = 1;  // buffered
+  m.cost[static_cast<std::size_t>(OpClass::kBranch)] = 1; // predicted
+  m.cost[static_cast<std::size_t>(OpClass::kCall)] = 2;
+  m.block_overhead = 0;
+  return m;
+}
+
+}  // namespace mcs::wcet

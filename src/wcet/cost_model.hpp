@@ -1,0 +1,44 @@
+// Per-instruction-class cycle cost model.
+//
+// Two cost tables are provided:
+//  * worst_case(): the static analyzer's table — every load misses, every
+//    branch mispredicts. Used to compute WCET^pes.
+//  * typical(): the measurement substrate's table — cache hits, predicted
+//    branches. Used by the cycle-counting kernels (src/apps) as the
+//    baseline cost of each dynamic operation.
+// The gap between the two tables is one of the three sources of the
+// ACET<<WCET^pes gap (the others: data-dependent path lengths and
+// worst-case loop bounds vs. typical trip counts).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "wcet/ir.hpp"
+
+namespace mcs::wcet {
+
+/// Cycle costs per OpClass plus a fixed per-block pipeline overhead.
+struct CostModel {
+  std::array<common::Cycles, kOpClassCount> cost{};
+  common::Cycles block_overhead = 0;
+
+  /// Cycles for one instruction of class `op`.
+  [[nodiscard]] common::Cycles op_cost(OpClass op) const {
+    return cost[static_cast<std::size_t>(op)];
+  }
+
+  /// Worst-case cycles of a basic block under this table. Empty blocks
+  /// (CFG anchors / join points) cost zero, overhead included only on
+  /// blocks that hold real instructions.
+  [[nodiscard]] common::Cycles block_cost(const BasicBlock& block) const;
+
+  /// Conservative table for static analysis (misses + mispredictions).
+  [[nodiscard]] static CostModel worst_case();
+
+  /// Optimistic table for dynamic cycle accounting (hits + predictions).
+  [[nodiscard]] static CostModel typical();
+};
+
+}  // namespace mcs::wcet

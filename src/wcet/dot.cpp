@@ -1,0 +1,51 @@
+#include "wcet/dot.hpp"
+
+#include <sstream>
+
+namespace mcs::wcet {
+
+namespace {
+
+/// Escapes quotes for a double-quoted dot string. Backslashes pass
+/// through untouched: the label builder inserts intentional dot escape
+/// sequences ("\n") that must reach graphviz verbatim.
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const ControlFlowGraph& cfg, const CostModel* model) {
+  std::ostringstream out;
+  out << "digraph cfg {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (BlockId b = 0; b < cfg.block_count(); ++b) {
+    const BasicBlock& block = cfg.block(b);
+    std::ostringstream label;
+    label << "B" << b;
+    if (!block.label.empty()) label << ": " << block.label;
+    label << "\\n" << block.instructions.size() << " insns";
+    if (model != nullptr)
+      label << ", " << model->block_cost(block) << " cyc";
+    if (const auto it = cfg.loop_bounds().find(b);
+        it != cfg.loop_bounds().end())
+      label << "\\nloop bound " << it->second;
+    out << "  b" << b << " [label=\"" << escape(label.str()) << "\"";
+    if (b == cfg.entry()) out << ", shape=ellipse, style=bold";
+    else if (b == cfg.exit()) out << ", shape=ellipse";
+    else if (cfg.loop_bounds().count(b) != 0) out << ", style=rounded";
+    out << "];\n";
+  }
+  for (BlockId b = 0; b < cfg.block_count(); ++b)
+    for (const BlockId succ : cfg.successors(b))
+      out << "  b" << b << " -> b" << succ
+          << (succ <= b ? " [style=dashed]" : "") << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mcs::wcet

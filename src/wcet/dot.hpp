@@ -1,0 +1,21 @@
+// Graphviz export of control-flow graphs.
+//
+// Renders a CFG (optionally with per-block worst-case cycle costs) in dot
+// format for documentation and debugging of worst-case programs — the
+// equivalent of OTAWA's CFG dumps.
+#pragma once
+
+#include <string>
+
+#include "wcet/cost_model.hpp"
+#include "wcet/ir.hpp"
+
+namespace mcs::wcet {
+
+/// Renders `cfg` as a dot digraph. Entry/exit are shaped distinctly, loop
+/// headers carry their bound, and when `model` is non-null every block
+/// shows its worst-case cycle cost.
+[[nodiscard]] std::string to_dot(const ControlFlowGraph& cfg,
+                                 const CostModel* model = nullptr);
+
+}  // namespace mcs::wcet

@@ -1,0 +1,359 @@
+#include "wcet/ipet.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace mcs::wcet {
+
+namespace {
+
+/// Dense bitset over block ids (one 64-bit word per 64 blocks).
+class BlockSet {
+ public:
+  explicit BlockSet(std::size_t n, bool fill = false)
+      : words_((n + 63) / 64, fill ? ~0ULL : 0ULL), size_(n) {
+    if (fill) trim();
+  }
+
+  void set(std::size_t i) { words_[i / 64] |= 1ULL << (i % 64); }
+  void clear(std::size_t i) { words_[i / 64] &= ~(1ULL << (i % 64)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+
+  /// this &= other; returns true if anything changed.
+  bool intersect(const BlockSet& other) {
+    bool changed = false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t next = words_[w] & other.words_[w];
+      changed |= next != words_[w];
+      words_[w] = next;
+    }
+    return changed;
+  }
+
+  bool operator==(const BlockSet& other) const {
+    return words_ == other.words_;
+  }
+
+ private:
+  void trim() {
+    const std::size_t tail = size_ % 64;
+    if (tail != 0 && !words_.empty()) words_.back() &= (1ULL << tail) - 1;
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_;
+};
+
+std::vector<char> reachable_from_entry(const ControlFlowGraph& cfg) {
+  std::vector<char> seen(cfg.block_count(), 0);
+  std::vector<BlockId> work{cfg.entry()};
+  seen[cfg.entry()] = 1;
+  while (!work.empty()) {
+    const BlockId u = work.back();
+    work.pop_back();
+    for (const BlockId v : cfg.successors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        work.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<std::vector<BlockId>> predecessor_lists(
+    const ControlFlowGraph& cfg) {
+  std::vector<std::vector<BlockId>> preds(cfg.block_count());
+  for (BlockId u = 0; u < cfg.block_count(); ++u)
+    for (const BlockId v : cfg.successors(u)) preds[v].push_back(u);
+  return preds;
+}
+
+/// Iterative dominator computation over the reachable subgraph.
+std::vector<BlockSet> compute_dominators(const ControlFlowGraph& cfg,
+                                         const std::vector<char>& reachable) {
+  const std::size_t n = cfg.block_count();
+  const auto preds = predecessor_lists(cfg);
+  std::vector<BlockSet> dom(n, BlockSet(n, true));
+  BlockSet entry_only(n);
+  entry_only.set(cfg.entry());
+  dom[cfg.entry()] = entry_only;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId v = 0; v < n; ++v) {
+      if (!reachable[v] || v == cfg.entry()) continue;
+      BlockSet next(n, true);
+      bool any_pred = false;
+      for (const BlockId p : preds[v]) {
+        if (!reachable[p]) continue;
+        next.intersect(dom[p]);
+        any_pred = true;
+      }
+      if (!any_pred) next = BlockSet(n);
+      next.set(v);
+      if (!(next == dom[v])) {
+        dom[v] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return dom;
+}
+
+/// Union-find representative lookup with path compression.
+BlockId find_rep(std::vector<BlockId>& rep, BlockId x) {
+  while (rep[x] != x) {
+    rep[x] = rep[rep[x]];
+    x = rep[x];
+  }
+  return x;
+}
+
+/// Topologically sorts `nodes` (representatives) against `edges`
+/// (adjacency among representatives). Throws on a cycle.
+std::vector<BlockId> topo_sort(const std::vector<BlockId>& nodes,
+                               const std::set<std::pair<BlockId, BlockId>>& edges) {
+  std::map<BlockId, std::size_t> indegree;
+  for (const BlockId v : nodes) indegree[v] = 0;
+  for (const auto& [a, b] : edges) ++indegree[b];
+  std::vector<BlockId> queue;
+  for (const auto& [v, d] : indegree)
+    if (d == 0) queue.push_back(v);
+  std::vector<BlockId> order;
+  while (!queue.empty()) {
+    const BlockId u = queue.back();
+    queue.pop_back();
+    order.push_back(u);
+    for (const auto& [a, b] : edges) {
+      if (a != u) continue;
+      if (--indegree[b] == 0) queue.push_back(b);
+    }
+  }
+  if (order.size() != nodes.size())
+    throw AnalysisError("wcet_ipet: cycle remains after loop contraction "
+                        "(irreducible control flow?)");
+  return order;
+}
+
+}  // namespace
+
+std::vector<LoopInfo> find_natural_loops(const ControlFlowGraph& cfg) {
+  const std::size_t n = cfg.block_count();
+  if (n == 0) throw AnalysisError("find_natural_loops: empty CFG");
+  const auto reachable = reachable_from_entry(cfg);
+  if (!reachable[cfg.exit()])
+    throw AnalysisError("find_natural_loops: exit unreachable from entry");
+  const auto dom = compute_dominators(cfg, reachable);
+  const auto preds = predecessor_lists(cfg);
+
+  // Back edges: u -> v where v dominates u.
+  std::map<BlockId, std::vector<BlockId>> latches_by_header;
+  std::size_t cyclic_edges = 0;
+  for (BlockId u = 0; u < n; ++u) {
+    if (!reachable[u]) continue;
+    for (const BlockId v : cfg.successors(u)) {
+      if (dom[u].test(v)) {
+        latches_by_header[v].push_back(u);
+        ++cyclic_edges;
+      }
+    }
+  }
+
+  std::vector<LoopInfo> loops;
+  for (auto& [header, latches] : latches_by_header) {
+    LoopInfo info;
+    info.header = header;
+    std::sort(latches.begin(), latches.end());
+    latches.erase(std::unique(latches.begin(), latches.end()), latches.end());
+    info.latches = latches;
+
+    // Natural loop: header plus everything that reaches a latch without
+    // going through the header (reverse flood fill).
+    std::vector<char> in_loop(n, 0);
+    in_loop[header] = 1;
+    std::vector<BlockId> work;
+    for (const BlockId latch : latches) {
+      if (!in_loop[latch]) {
+        in_loop[latch] = 1;
+        work.push_back(latch);
+      }
+    }
+    while (!work.empty()) {
+      const BlockId u = work.back();
+      work.pop_back();
+      for (const BlockId p : preds[u]) {
+        if (!reachable[p] || in_loop[p]) continue;
+        in_loop[p] = 1;
+        work.push_back(p);
+      }
+    }
+    for (BlockId b = 0; b < n; ++b)
+      if (in_loop[b]) info.members.push_back(b);
+
+    // Single-entry (reducibility) check: no edge from outside may target a
+    // non-header member.
+    for (BlockId outside = 0; outside < n; ++outside) {
+      if (!reachable[outside] || in_loop[outside]) continue;
+      for (const BlockId v : cfg.successors(outside)) {
+        if (in_loop[v] && v != header)
+          throw AnalysisError(
+              "find_natural_loops: irreducible flow (side entry into loop)");
+      }
+    }
+
+    const auto bound_it = cfg.loop_bounds().find(header);
+    if (bound_it == cfg.loop_bounds().end())
+      throw AnalysisError("find_natural_loops: loop header without a bound");
+    info.bound = bound_it->second;
+    loops.push_back(std::move(info));
+  }
+
+  // Any cyclic structure must be captured by a dominance back edge:
+  // removing the back edges must leave the reachable subgraph acyclic,
+  // otherwise the flow is irreducible (a retreating edge whose target does
+  // not dominate its source).
+  {
+    std::set<std::pair<BlockId, BlockId>> back_edge_set;
+    for (const auto& [header, latches] : latches_by_header)
+      for (const BlockId latch : latches) back_edge_set.insert({latch, header});
+    (void)cyclic_edges;
+    // Kahn's algorithm over the reachable forward subgraph.
+    std::vector<std::size_t> indegree(n, 0);
+    for (BlockId u = 0; u < n; ++u) {
+      if (!reachable[u]) continue;
+      for (const BlockId v : cfg.successors(u))
+        if (reachable[v] && back_edge_set.count({u, v}) == 0) ++indegree[v];
+    }
+    std::vector<BlockId> queue;
+    std::size_t reachable_count = 0;
+    for (BlockId u = 0; u < n; ++u) {
+      if (!reachable[u]) continue;
+      ++reachable_count;
+      if (indegree[u] == 0) queue.push_back(u);
+    }
+    std::size_t visited = 0;
+    while (!queue.empty()) {
+      const BlockId u = queue.back();
+      queue.pop_back();
+      ++visited;
+      for (const BlockId v : cfg.successors(u)) {
+        if (!reachable[v] || back_edge_set.count({u, v}) != 0) continue;
+        if (--indegree[v] == 0) queue.push_back(v);
+      }
+    }
+    if (visited != reachable_count)
+      throw AnalysisError(
+          "find_natural_loops: irreducible flow (cycle without a dominance "
+          "back edge)");
+  }
+
+  // Innermost-first: nested loops are strict member-subsets.
+  std::sort(loops.begin(), loops.end(),
+            [](const LoopInfo& a, const LoopInfo& b) {
+              if (a.members.size() != b.members.size())
+                return a.members.size() < b.members.size();
+              return a.header < b.header;
+            });
+  return loops;
+}
+
+common::Cycles wcet_ipet(const ControlFlowGraph& cfg, const CostModel& model) {
+  const std::size_t n = cfg.block_count();
+  const auto loops = find_natural_loops(cfg);
+  const auto reachable = reachable_from_entry(cfg);
+
+  std::vector<common::Cycles> cost(n, 0);
+  for (BlockId b = 0; b < n; ++b)
+    if (reachable[b]) cost[b] = model.block_cost(cfg.block(b));
+
+  std::vector<BlockId> rep(n);
+  for (BlockId b = 0; b < n; ++b) rep[b] = b;
+
+  for (const LoopInfo& loop : loops) {
+    const BlockId header = find_rep(rep, loop.header);
+
+    // Collect the loop's current super-nodes and their internal edges
+    // (back edges to the header excluded).
+    std::set<BlockId> member_reps;
+    for (const BlockId m : loop.members) member_reps.insert(find_rep(rep, m));
+    std::set<std::pair<BlockId, BlockId>> edges;
+    for (const BlockId m : loop.members) {
+      const BlockId a = find_rep(rep, m);
+      for (const BlockId s : cfg.successors(m)) {
+        const BlockId b = find_rep(rep, s);
+        if (a == b || b == header) continue;
+        if (member_reps.count(b) != 0) edges.insert({a, b});
+      }
+    }
+
+    // Longest per-iteration path: header -> any latch within the loop.
+    const std::vector<BlockId> nodes(member_reps.begin(), member_reps.end());
+    const std::vector<BlockId> order = topo_sort(nodes, edges);
+    std::map<BlockId, std::optional<common::Cycles>> dist;
+    for (const BlockId v : nodes) dist[v] = std::nullopt;
+    dist[header] = cost[header];
+    for (const BlockId u : order) {
+      if (!dist[u].has_value()) continue;
+      for (const auto& [a, b] : edges) {
+        if (a != u) continue;
+        const common::Cycles candidate = *dist[u] + cost[b];
+        if (!dist[b].has_value() || candidate > *dist[b]) dist[b] = candidate;
+      }
+    }
+    common::Cycles per_iteration = 0;
+    for (const BlockId latch : loop.latches) {
+      const BlockId lr = find_rep(rep, latch);
+      if (!dist[lr].has_value())
+        throw AnalysisError("wcet_ipet: latch unreachable from loop header");
+      per_iteration = std::max(per_iteration, *dist[lr]);
+    }
+
+    // Collapse: the header super-node now carries the whole loop, plus one
+    // final (loop-exit) execution of the header block.
+    const common::Cycles header_exit_cost = cost[header];
+    cost[header] = loop.bound * per_iteration + header_exit_cost;
+    for (const BlockId m : member_reps)
+      if (m != header) rep[m] = header;
+  }
+
+  // Final DAG over representatives.
+  std::set<BlockId> node_set;
+  std::set<std::pair<BlockId, BlockId>> dag_edges;
+  for (BlockId u = 0; u < n; ++u) {
+    if (!reachable[u]) continue;
+    node_set.insert(find_rep(rep, u));
+    for (const BlockId v : cfg.successors(u)) {
+      const BlockId a = find_rep(rep, u);
+      const BlockId b = find_rep(rep, v);
+      if (a != b) dag_edges.insert({a, b});
+    }
+  }
+  const std::vector<BlockId> nodes(node_set.begin(), node_set.end());
+  const std::vector<BlockId> order = topo_sort(nodes, dag_edges);
+
+  const BlockId entry = find_rep(rep, cfg.entry());
+  const BlockId exit = find_rep(rep, cfg.exit());
+  std::map<BlockId, std::optional<common::Cycles>> dist;
+  for (const BlockId v : nodes) dist[v] = std::nullopt;
+  dist[entry] = cost[entry];
+  for (const BlockId u : order) {
+    if (!dist[u].has_value()) continue;
+    for (const auto& [a, b] : dag_edges) {
+      if (a != u) continue;
+      const common::Cycles candidate = *dist[u] + cost[b];
+      if (!dist[b].has_value() || candidate > *dist[b]) dist[b] = candidate;
+    }
+  }
+  if (!dist[exit].has_value())
+    throw AnalysisError("wcet_ipet: exit unreachable after contraction");
+  return *dist[exit];
+}
+
+}  // namespace mcs::wcet

@@ -1,0 +1,48 @@
+// IPET-style longest-path WCET computation on a CFG with loop bounds.
+//
+// Classic IPET formulates WCET as an integer linear program over edge
+// frequencies; for reducible CFGs with per-header loop bounds the same
+// bound is obtained by contracting natural loops innermost-first (each loop
+// collapses to a super-node costing bound * longest-per-iteration-path +
+// one final header execution) and then taking the longest entry-to-exit
+// path on the resulting DAG. This is the approach implemented here; the
+// result is cross-checked against the timing-schema computation on the
+// structured tree by the analyzer facade.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "wcet/cost_model.hpp"
+#include "wcet/ir.hpp"
+
+namespace mcs::wcet {
+
+/// Thrown when a CFG violates the analyzer's structural requirements
+/// (irreducible flow, a loop header without a bound, unreachable exit...).
+class AnalysisError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One natural loop discovered during analysis.
+struct LoopInfo {
+  BlockId header = 0;
+  std::vector<BlockId> members;  ///< includes the header, sorted
+  std::vector<BlockId> latches;  ///< sources of back edges, sorted
+  std::uint64_t bound = 0;       ///< iterations per entry (from the CFG)
+};
+
+/// Finds all natural loops of a reducible CFG (grouped by header, members
+/// unioned over the header's back edges). Throws AnalysisError if a
+/// retreating edge targets a non-ancestor (irreducible graph).
+[[nodiscard]] std::vector<LoopInfo> find_natural_loops(
+    const ControlFlowGraph& cfg);
+
+/// Computes the WCET bound in cycles for the given CFG and cost model.
+/// Throws AnalysisError on structural violations.
+[[nodiscard]] common::Cycles wcet_ipet(const ControlFlowGraph& cfg,
+                                       const CostModel& model);
+
+}  // namespace mcs::wcet

@@ -1,0 +1,73 @@
+#include "wcet/ir.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace mcs::wcet {
+
+const char* op_class_name(OpClass op) {
+  switch (op) {
+    case OpClass::kAlu: return "alu";
+    case OpClass::kMul: return "mul";
+    case OpClass::kDiv: return "div";
+    case OpClass::kFpu: return "fpu";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kCall: return "call";
+  }
+  return "?";
+}
+
+BasicBlock& BasicBlock::add(OpClass op, std::size_t count) {
+  instructions.insert(instructions.end(), count, Instruction{op});
+  return *this;
+}
+
+std::array<std::size_t, kOpClassCount> BasicBlock::histogram() const {
+  std::array<std::size_t, kOpClassCount> counts{};
+  for (const Instruction& insn : instructions)
+    ++counts[static_cast<std::size_t>(insn.op)];
+  return counts;
+}
+
+BlockId ControlFlowGraph::add_block(BasicBlock block) {
+  blocks_.push_back(std::move(block));
+  succ_.emplace_back();
+  const auto id = static_cast<BlockId>(blocks_.size() - 1);
+  exit_ = id;  // default exit tracks the last block added
+  return id;
+}
+
+void ControlFlowGraph::add_edge(BlockId from, BlockId to) {
+  if (from >= blocks_.size() || to >= blocks_.size())
+    throw std::out_of_range("ControlFlowGraph::add_edge: unknown block");
+  auto& out = succ_[from];
+  if (std::find(out.begin(), out.end(), to) == out.end()) out.push_back(to);
+}
+
+void ControlFlowGraph::set_loop_bound(BlockId header, std::uint64_t bound) {
+  if (header >= blocks_.size())
+    throw std::out_of_range("ControlFlowGraph::set_loop_bound: unknown block");
+  if (bound == 0)
+    throw std::invalid_argument(
+        "ControlFlowGraph::set_loop_bound: bound must be >= 1");
+  loop_bounds_[header] = bound;
+}
+
+const BasicBlock& ControlFlowGraph::block(BlockId id) const {
+  return blocks_.at(id);
+}
+
+const std::vector<BlockId>& ControlFlowGraph::successors(BlockId id) const {
+  return succ_.at(id);
+}
+
+std::size_t ControlFlowGraph::instruction_count() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.instructions.size();
+  return total;
+}
+
+}  // namespace mcs::wcet

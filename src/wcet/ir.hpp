@@ -1,0 +1,108 @@
+// Toy instruction-level IR and control-flow graph for static WCET analysis.
+//
+// This is the library's stand-in for OTAWA (the paper's source of
+// pessimistic WCETs, Section IV-A): each benchmark kernel is modelled as a
+// CFG of basic blocks of typed abstract instructions with loop bounds, and
+// the analyzer (ipet.hpp) computes a conservative longest-path bound. Like
+// any static WCET tool, the bound assumes worst-case latencies everywhere
+// (e.g. every memory access misses the cache), which produces the large
+// ACET-to-WCET^pes gap the paper's Fig. 1 and Table I illustrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace mcs::wcet {
+
+/// Abstract instruction classes with distinct worst-case latencies.
+enum class OpClass : std::uint8_t {
+  kAlu,     ///< integer add/sub/logic/compare
+  kMul,     ///< integer multiply
+  kDiv,     ///< integer divide (long latency)
+  kFpu,     ///< floating-point arithmetic
+  kLoad,    ///< memory load (worst case: cache miss)
+  kStore,   ///< memory store
+  kBranch,  ///< conditional/unconditional branch (worst case: mispredict)
+  kCall,    ///< call/return linkage overhead
+};
+
+/// Number of distinct OpClass values.
+inline constexpr std::size_t kOpClassCount = 8;
+
+/// Human-readable mnemonic for an OpClass.
+[[nodiscard]] const char* op_class_name(OpClass op);
+
+/// One abstract instruction.
+struct Instruction {
+  OpClass op;
+};
+
+/// A straight-line sequence of instructions.
+struct BasicBlock {
+  std::string label;
+  std::vector<Instruction> instructions;
+
+  BasicBlock() = default;
+  explicit BasicBlock(std::string label_text) : label(std::move(label_text)) {}
+
+  /// Appends `count` instructions of class `op`; returns *this for chaining.
+  BasicBlock& add(OpClass op, std::size_t count = 1);
+
+  /// Per-class instruction counts (indexed by OpClass).
+  [[nodiscard]] std::array<std::size_t, kOpClassCount> histogram() const;
+};
+
+/// Identifies a basic block within a ControlFlowGraph.
+using BlockId = std::uint32_t;
+
+/// A directed control-flow graph over basic blocks, with loop bounds
+/// attached to loop-header blocks.
+///
+/// Invariants enforced on use (see ipet.hpp): the graph must be reducible,
+/// the entry must reach the exit, every loop header must have a bound, and
+/// the exit block must not be inside a loop.
+class ControlFlowGraph {
+ public:
+  /// Adds a block; returns its id. Ids are dense from 0.
+  BlockId add_block(BasicBlock block);
+
+  /// Adds a directed edge. Both endpoints must exist. Duplicate edges are
+  /// collapsed.
+  void add_edge(BlockId from, BlockId to);
+
+  /// Declares `header` a loop header executing its body at most `bound`
+  /// times per entry into the loop. Requires bound >= 1.
+  void set_loop_bound(BlockId header, std::uint64_t bound);
+
+  /// Sets the entry block (default: block 0).
+  void set_entry(BlockId entry) { entry_ = entry; }
+
+  /// Sets the exit block (default: the last block added).
+  void set_exit(BlockId exit) { exit_ = exit; }
+
+  [[nodiscard]] BlockId entry() const { return entry_; }
+  [[nodiscard]] BlockId exit() const { return exit_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] const BasicBlock& block(BlockId id) const;
+  [[nodiscard]] const std::vector<BlockId>& successors(BlockId id) const;
+  [[nodiscard]] const std::map<BlockId, std::uint64_t>& loop_bounds() const {
+    return loop_bounds_;
+  }
+
+  /// Total static instruction count across all blocks.
+  [[nodiscard]] std::size_t instruction_count() const;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::vector<BlockId>> succ_;
+  std::map<BlockId, std::uint64_t> loop_bounds_;
+  BlockId entry_ = 0;
+  BlockId exit_ = 0;
+};
+
+}  // namespace mcs::wcet

@@ -1,0 +1,126 @@
+#include "wcet/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mcs::wcet {
+
+// ----------------------------------------------------------- BlockProgram
+
+BlockProgram::BlockProgram(BasicBlock block) : block_(std::move(block)) {}
+
+common::Cycles BlockProgram::wcet(const CostModel& model) const {
+  return model.block_cost(block_);
+}
+
+BlockId BlockProgram::lower(ControlFlowGraph& cfg, BlockId pred) const {
+  const BlockId id = cfg.add_block(block_);
+  if (pred != kNoBlock) cfg.add_edge(pred, id);
+  return id;
+}
+
+// ------------------------------------------------------------- SeqProgram
+
+SeqProgram::SeqProgram(std::vector<ProgramPtr> children)
+    : children_(std::move(children)) {
+  if (children_.empty())
+    throw std::invalid_argument("SeqProgram: needs >= 1 child");
+  for (const auto& c : children_)
+    if (c == nullptr) throw std::invalid_argument("SeqProgram: null child");
+}
+
+common::Cycles SeqProgram::wcet(const CostModel& model) const {
+  common::Cycles total = 0;
+  for (const auto& c : children_) total += c->wcet(model);
+  return total;
+}
+
+BlockId SeqProgram::lower(ControlFlowGraph& cfg, BlockId pred) const {
+  BlockId last = pred;
+  for (const auto& c : children_) last = c->lower(cfg, last);
+  return last;
+}
+
+// ------------------------------------------------------------ LoopProgram
+
+LoopProgram::LoopProgram(std::uint64_t bound, BasicBlock header,
+                         ProgramPtr body)
+    : bound_(bound), header_(std::move(header)), body_(std::move(body)) {
+  if (bound_ == 0) throw std::invalid_argument("LoopProgram: bound must be >= 1");
+  if (body_ == nullptr) throw std::invalid_argument("LoopProgram: null body");
+}
+
+common::Cycles LoopProgram::wcet(const CostModel& model) const {
+  // Header runs once per iteration plus a final (failing) exit test.
+  const common::Cycles header_cost = model.block_cost(header_);
+  return bound_ * (header_cost + body_->wcet(model)) + header_cost;
+}
+
+BlockId LoopProgram::lower(ControlFlowGraph& cfg, BlockId pred) const {
+  const BlockId header = cfg.add_block(header_);
+  if (pred != kNoBlock) cfg.add_edge(pred, header);
+  cfg.set_loop_bound(header, bound_);
+  const BlockId body_end = body_->lower(cfg, header);
+  cfg.add_edge(body_end, header);  // back edge
+  return header;                   // the loop exits through its header
+}
+
+// -------------------------------------------------------------- IfProgram
+
+IfProgram::IfProgram(BasicBlock cond, ProgramPtr then_branch,
+                     ProgramPtr else_branch)
+    : cond_(std::move(cond)),
+      then_(std::move(then_branch)),
+      else_(std::move(else_branch)) {}
+
+common::Cycles IfProgram::wcet(const CostModel& model) const {
+  const common::Cycles then_cost = then_ ? then_->wcet(model) : 0;
+  const common::Cycles else_cost = else_ ? else_->wcet(model) : 0;
+  return model.block_cost(cond_) + std::max(then_cost, else_cost);
+}
+
+BlockId IfProgram::lower(ControlFlowGraph& cfg, BlockId pred) const {
+  const BlockId cond = cfg.add_block(cond_);
+  if (pred != kNoBlock) cfg.add_edge(pred, cond);
+  const BlockId then_end = then_ ? then_->lower(cfg, cond) : cond;
+  const BlockId else_end = else_ ? else_->lower(cfg, cond) : cond;
+  const BlockId join = cfg.add_block(BasicBlock("join"));
+  cfg.add_edge(then_end, join);
+  if (else_end != then_end) cfg.add_edge(else_end, join);
+  return join;
+}
+
+// ---------------------------------------------------------------- helpers
+
+ProgramPtr block(BasicBlock b) {
+  return std::make_shared<BlockProgram>(std::move(b));
+}
+
+ProgramPtr seq(std::vector<ProgramPtr> children) {
+  return std::make_shared<SeqProgram>(std::move(children));
+}
+
+ProgramPtr loop(std::uint64_t bound, BasicBlock header, ProgramPtr body) {
+  return std::make_shared<LoopProgram>(bound, std::move(header),
+                                       std::move(body));
+}
+
+ProgramPtr if_else(BasicBlock cond, ProgramPtr then_branch,
+                   ProgramPtr else_branch) {
+  return std::make_shared<IfProgram>(std::move(cond), std::move(then_branch),
+                                     std::move(else_branch));
+}
+
+ControlFlowGraph lower_program(const ProgramNode& root) {
+  ControlFlowGraph cfg;
+  const BlockId entry = cfg.add_block(BasicBlock("entry"));
+  const BlockId last = root.lower(cfg, entry);
+  const BlockId exit = cfg.add_block(BasicBlock("exit"));
+  cfg.add_edge(last, exit);
+  cfg.set_entry(entry);
+  cfg.set_exit(exit);
+  return cfg;
+}
+
+}  // namespace mcs::wcet

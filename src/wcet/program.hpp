@@ -1,0 +1,114 @@
+// Structured program representation (timing-schema tree).
+//
+// Kernels describe their control structure as a tree of sequences, bounded
+// loops and conditionals over basic blocks. The tree supports two uses:
+//  1. a direct timing-schema WCET computation (wcet()), and
+//  2. lowering to a ControlFlowGraph (lower()) analyzed by the IPET-style
+//     longest-path engine in ipet.hpp.
+// The analyzer facade cross-checks the two answers; they must agree, which
+// gives a strong internal consistency test of the whole substrate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wcet/cost_model.hpp"
+#include "wcet/ir.hpp"
+
+namespace mcs::wcet {
+
+class ProgramNode;
+using ProgramPtr = std::shared_ptr<const ProgramNode>;
+
+/// Base of the structured-program tree.
+class ProgramNode {
+ public:
+  virtual ~ProgramNode() = default;
+
+  /// Timing-schema WCET of this subtree under the cost model.
+  [[nodiscard]] virtual common::Cycles wcet(const CostModel& model) const = 0;
+
+  /// Appends this subtree's blocks/edges to `cfg`. `pred` is the block the
+  /// subtree hangs off (or kNoBlock for the root); returns the subtree's
+  /// final block so the caller can continue the chain.
+  virtual BlockId lower(ControlFlowGraph& cfg, BlockId pred) const = 0;
+
+  /// Sentinel for "no predecessor" when lowering the root node.
+  static constexpr BlockId kNoBlock = static_cast<BlockId>(-1);
+};
+
+/// Leaf: one basic block.
+class BlockProgram final : public ProgramNode {
+ public:
+  explicit BlockProgram(BasicBlock block);
+  [[nodiscard]] common::Cycles wcet(const CostModel& model) const override;
+  BlockId lower(ControlFlowGraph& cfg, BlockId pred) const override;
+
+ private:
+  BasicBlock block_;
+};
+
+/// Sequence of subtrees executed in order.
+class SeqProgram final : public ProgramNode {
+ public:
+  /// Requires at least one child.
+  explicit SeqProgram(std::vector<ProgramPtr> children);
+  [[nodiscard]] common::Cycles wcet(const CostModel& model) const override;
+  BlockId lower(ControlFlowGraph& cfg, BlockId pred) const override;
+
+ private:
+  std::vector<ProgramPtr> children_;
+};
+
+/// Counted loop: header block evaluated once per iteration plus once for
+/// the exit test, body executed at most `bound` times.
+class LoopProgram final : public ProgramNode {
+ public:
+  /// Requires bound >= 1 and a non-null body.
+  LoopProgram(std::uint64_t bound, BasicBlock header, ProgramPtr body);
+  [[nodiscard]] common::Cycles wcet(const CostModel& model) const override;
+  BlockId lower(ControlFlowGraph& cfg, BlockId pred) const override;
+
+  [[nodiscard]] std::uint64_t bound() const { return bound_; }
+
+ private:
+  std::uint64_t bound_;
+  BasicBlock header_;
+  ProgramPtr body_;
+};
+
+/// Two-way conditional: `cond` block then the heavier of the branches.
+/// Either branch may be null (empty).
+class IfProgram final : public ProgramNode {
+ public:
+  IfProgram(BasicBlock cond, ProgramPtr then_branch, ProgramPtr else_branch);
+  [[nodiscard]] common::Cycles wcet(const CostModel& model) const override;
+  BlockId lower(ControlFlowGraph& cfg, BlockId pred) const override;
+
+ private:
+  BasicBlock cond_;
+  ProgramPtr then_;
+  ProgramPtr else_;
+};
+
+// Fluent construction helpers ------------------------------------------
+
+/// Leaf node from a block.
+[[nodiscard]] ProgramPtr block(BasicBlock b);
+
+/// Sequence node.
+[[nodiscard]] ProgramPtr seq(std::vector<ProgramPtr> children);
+
+/// Counted-loop node.
+[[nodiscard]] ProgramPtr loop(std::uint64_t bound, BasicBlock header,
+                              ProgramPtr body);
+
+/// Conditional node.
+[[nodiscard]] ProgramPtr if_else(BasicBlock cond, ProgramPtr then_branch,
+                                 ProgramPtr else_branch = nullptr);
+
+/// Lowers a whole program to a fresh CFG (adds entry/exit anchor blocks).
+[[nodiscard]] ControlFlowGraph lower_program(const ProgramNode& root);
+
+}  // namespace mcs::wcet

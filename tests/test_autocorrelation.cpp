@@ -1,0 +1,92 @@
+// Tests for stats/autocorrelation.hpp, including the i.i.d. screening of
+// the library's own measurement campaigns.
+#include "stats/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/measurement.hpp"
+#include "apps/registry.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::stats {
+namespace {
+
+TEST(Autocorrelation, WhiteNoiseIsNearZero) {
+  common::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  for (const std::size_t lag : {std::size_t{1}, std::size_t{5}}) {
+    EXPECT_LT(std::abs(lag_autocorrelation(xs, lag)), 0.03);
+  }
+  EXPECT_TRUE(plausibly_iid(xs, 10));
+}
+
+TEST(Autocorrelation, Ar1SeriesDetected) {
+  // x_t = 0.8 x_{t-1} + noise: r_1 ~ 0.8.
+  common::Rng rng(2);
+  std::vector<double> xs = {0.0};
+  for (int i = 1; i < 20000; ++i)
+    xs.push_back(0.8 * xs.back() + rng.normal(0.0, 1.0));
+  EXPECT_NEAR(lag_autocorrelation(xs, 1), 0.8, 0.05);
+  EXPECT_FALSE(plausibly_iid(xs, 5));
+}
+
+TEST(Autocorrelation, AlternatingSeriesNegativeLag1) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(lag_autocorrelation(xs, 1), -1.0, 0.01);
+  EXPECT_NEAR(lag_autocorrelation(xs, 2), 1.0, 0.01);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> xs;
+  constexpr int kPeriod = 8;
+  for (int i = 0; i < 4000; ++i)
+    xs.push_back(std::sin(2.0 * std::numbers::pi * i / kPeriod));
+  const auto rs = autocorrelations(xs, kPeriod);
+  EXPECT_GT(rs[kPeriod - 1], 0.9);  // r at the signal period
+  EXPECT_FALSE(plausibly_iid(xs, kPeriod));
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+  const std::vector<double> xs(100, 5.0);
+  EXPECT_DOUBLE_EQ(lag_autocorrelation(xs, 1), 0.0);
+  EXPECT_TRUE(plausibly_iid(xs, 3));
+}
+
+TEST(Autocorrelation, BatchMatchesSingleLag) {
+  common::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform01());
+  const auto rs = autocorrelations(xs, 6);
+  for (std::size_t lag = 1; lag <= 6; ++lag)
+    EXPECT_DOUBLE_EQ(rs[lag - 1], lag_autocorrelation(xs, lag));
+}
+
+TEST(Autocorrelation, Validation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)lag_autocorrelation(xs, 3), std::invalid_argument);
+  EXPECT_THROW((void)autocorrelations(xs, 3), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)lag_autocorrelation(empty, 0), std::invalid_argument);
+}
+
+TEST(Autocorrelation, MeasurementCampaignsAreIid) {
+  // The library's own kernels draw fresh random inputs per run, so their
+  // sample sequences must pass the white-noise screen — the property the
+  // paper's moment estimates implicitly rely on.
+  for (const apps::KernelPtr& kernel : apps::table2_kernels()) {
+    const apps::ExecutionProfile profile =
+        apps::measure_kernel(*kernel, 1500, 99);
+    EXPECT_TRUE(plausibly_iid(profile.samples, 5))
+        << kernel->name() << " shows serial correlation";
+  }
+}
+
+}  // namespace
+}  // namespace mcs::stats

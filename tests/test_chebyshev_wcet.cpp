@@ -1,0 +1,117 @@
+// Tests for core/chebyshev_wcet.hpp — Eq. 5, 6, 9, 10 of the paper.
+#include "core/chebyshev_wcet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcs::core {
+namespace {
+
+mc::McTask hc_task(double acet, double sigma, double wcet_hi, double period) {
+  mc::McTask t = mc::McTask::high("h", wcet_hi, wcet_hi, period);
+  t.stats = mc::ExecutionStats{acet, sigma, nullptr};
+  return t;
+}
+
+TEST(TaskOverrunBound, Eq5Values) {
+  EXPECT_DOUBLE_EQ(task_overrun_bound(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(task_overrun_bound(3.0), 0.1);
+}
+
+TEST(SystemModeSwitch, Eq10Formula) {
+  // Two tasks at n=1 (P=0.5) and n=3 (P=0.1):
+  // P_sys = 1 - 0.5 * 0.9 = 0.55.
+  const std::vector<double> ns = {1.0, 3.0};
+  EXPECT_NEAR(system_mode_switch_probability(ns), 0.55, 1e-12);
+}
+
+TEST(SystemModeSwitch, EmptyAndExtremes) {
+  EXPECT_DOUBLE_EQ(system_mode_switch_probability({}), 0.0);
+  const std::vector<double> zero = {0.0, 5.0};
+  // A task with n=0 has bound 1 -> the system always switches.
+  EXPECT_DOUBLE_EQ(system_mode_switch_probability(zero), 1.0);
+}
+
+TEST(SystemModeSwitch, MonotoneInTaskCount) {
+  std::vector<double> ns;
+  double prev = 0.0;
+  for (int k = 0; k < 10; ++k) {
+    ns.push_back(4.0);
+    const double p = system_mode_switch_probability(ns);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(MaxMultiplier, HeadroomOverSigma) {
+  const mc::McTask t = hc_task(10.0, 2.0, 40.0, 100.0);
+  EXPECT_DOUBLE_EQ(max_multiplier(t), 15.0);
+}
+
+TEST(MaxMultiplier, DegenerateCases) {
+  EXPECT_TRUE(std::isinf(max_multiplier(hc_task(10.0, 0.0, 40.0, 100.0))));
+  EXPECT_DOUBLE_EQ(max_multiplier(hc_task(40.0, 2.0, 40.0, 100.0)), 0.0);
+  mc::McTask lc = mc::McTask::low("l", 5.0, 100.0);
+  EXPECT_THROW((void)max_multiplier(lc), std::invalid_argument);
+}
+
+TEST(ChebyshevWcetOpt, Eq6WithEq9Clamp) {
+  EXPECT_DOUBLE_EQ(chebyshev_wcet_opt(10.0, 2.0, 3.0, 100.0), 16.0);
+  EXPECT_DOUBLE_EQ(chebyshev_wcet_opt(10.0, 2.0, 100.0, 40.0), 40.0);
+  EXPECT_THROW((void)chebyshev_wcet_opt(10.0, 2.0, -1.0, 40.0),
+               std::invalid_argument);
+}
+
+TEST(ApplyAssignment, SetsWcetLoPerTask) {
+  mc::TaskSet tasks;
+  tasks.add(hc_task(10.0, 2.0, 100.0, 200.0));
+  tasks.add(mc::McTask::low("l", 5.0, 100.0));
+  tasks.add(hc_task(20.0, 4.0, 150.0, 300.0));
+  const std::vector<double> n = {3.0, 5.0};
+  const std::vector<double> effective = apply_chebyshev_assignment(tasks, n);
+  EXPECT_DOUBLE_EQ(tasks[0].wcet_lo, 16.0);
+  EXPECT_DOUBLE_EQ(tasks[2].wcet_lo, 40.0);
+  EXPECT_DOUBLE_EQ(tasks[1].wcet_lo, 5.0);  // LC untouched
+  ASSERT_EQ(effective.size(), 2U);
+  EXPECT_DOUBLE_EQ(effective[0], 3.0);
+  EXPECT_DOUBLE_EQ(effective[1], 5.0);
+}
+
+TEST(ApplyAssignment, ClampReducesEffectiveN) {
+  mc::TaskSet tasks;
+  tasks.add(hc_task(10.0, 2.0, 20.0, 100.0));  // n_max = 5
+  const std::vector<double> n = {50.0};
+  const std::vector<double> effective = apply_chebyshev_assignment(tasks, n);
+  EXPECT_DOUBLE_EQ(tasks[0].wcet_lo, 20.0);
+  EXPECT_DOUBLE_EQ(effective[0], 5.0);
+}
+
+TEST(ApplyAssignment, Validation) {
+  mc::TaskSet tasks;
+  tasks.add(hc_task(10.0, 2.0, 100.0, 200.0));
+  const std::vector<double> wrong_size = {1.0, 2.0};
+  EXPECT_THROW((void)apply_chebyshev_assignment(tasks, wrong_size),
+               std::invalid_argument);
+  mc::TaskSet no_stats;
+  no_stats.add(mc::McTask::high("h", 10.0, 20.0, 100.0));
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)apply_chebyshev_assignment(no_stats, one),
+               std::invalid_argument);
+}
+
+TEST(ImpliedMultipliers, RoundTripsAssignment) {
+  mc::TaskSet tasks;
+  tasks.add(hc_task(10.0, 2.0, 100.0, 200.0));
+  tasks.add(hc_task(30.0, 5.0, 200.0, 400.0));
+  const std::vector<double> n = {2.5, 7.0};
+  (void)apply_chebyshev_assignment(tasks, n);
+  const std::vector<double> implied = implied_multipliers(tasks);
+  ASSERT_EQ(implied.size(), 2U);
+  EXPECT_NEAR(implied[0], 2.5, 1e-12);
+  EXPECT_NEAR(implied[1], 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mcs::core

@@ -1,0 +1,85 @@
+// Tests for core/comparison.hpp — the Section V-C baseline comparison.
+#include "core/comparison.hpp"
+
+#include <gtest/gtest.h>
+
+#include "taskgen/generator.hpp"
+
+namespace mcs::core {
+namespace {
+
+TEST(BaselineRoster, MatchesSectionVC) {
+  const auto policies = baseline_policies();
+  ASSERT_EQ(policies.size(), 5U);
+  EXPECT_NE(policies[0]->name().find("0.25"), std::string::npos);
+  EXPECT_NE(policies[1]->name().find("0.125"), std::string::npos);
+  EXPECT_EQ(policies[4]->name(), "ACET");
+}
+
+TEST(ApplyAndEvaluate, AcetPolicyMatchesNZero) {
+  common::Rng rng(1);
+  taskgen::GeneratorConfig config;
+  config.attach_distributions = false;
+  const mc::TaskSet tasks = taskgen::generate_hc_only(config, 0.6, rng);
+  const sched::AcetPolicy acet;
+  common::Rng policy_rng(2);
+  const ObjectiveBreakdown via_policy =
+      apply_and_evaluate_policy(tasks, acet, policy_rng);
+  const std::vector<double> zeros(tasks.count(mc::Criticality::kHigh), 0.0);
+  const ObjectiveBreakdown via_n = evaluate_multipliers(tasks, zeros);
+  EXPECT_NEAR(via_policy.u_hc_lo, via_n.u_hc_lo, 1e-12);
+  EXPECT_NEAR(via_policy.max_u_lc, via_n.max_u_lc, 1e-12);
+  // ACET (n=0) means every task's bound is 1 -> the system always switches.
+  EXPECT_DOUBLE_EQ(via_policy.p_ms, 1.0);
+  EXPECT_DOUBLE_EQ(via_policy.objective, 0.0);
+}
+
+TEST(ApplyAndEvaluate, DoesNotMutateInput) {
+  common::Rng rng(3);
+  taskgen::GeneratorConfig config;
+  config.attach_distributions = false;
+  const mc::TaskSet tasks = taskgen::generate_hc_only(config, 0.5, rng);
+  const double before = tasks.utilization(mc::Criticality::kHigh,
+                                          mc::Mode::kLow);
+  const sched::LambdaRangePolicy policy(0.25, 1.0);
+  common::Rng policy_rng(4);
+  (void)apply_and_evaluate_policy(tasks, policy, policy_rng);
+  EXPECT_DOUBLE_EQ(
+      tasks.utilization(mc::Criticality::kHigh, mc::Mode::kLow), before);
+}
+
+TEST(ComparePolicies, ProposedWinsOnObjective) {
+  // Small but representative: the GA scheme should dominate every lambda
+  // baseline on the Eq. 13 product (the Fig. 5 claim).
+  OptimizerConfig optimizer;
+  optimizer.ga.population_size = 30;
+  optimizer.ga.generations = 30;
+  const auto scores = compare_policies(0.7, 8, 42, optimizer);
+  ASSERT_EQ(scores.size(), 6U);
+  const PolicyScore& proposed = scores.back();
+  EXPECT_EQ(proposed.policy, "proposed(GA)");
+  for (std::size_t p = 0; p + 1 < scores.size(); ++p) {
+    EXPECT_GE(proposed.objective, scores[p].objective)
+        << "baseline " << scores[p].policy;
+  }
+  EXPECT_GT(proposed.objective, 0.0);
+  EXPECT_LT(proposed.p_ms, 1.0);
+}
+
+TEST(ComparePolicies, ScoresAreAverages) {
+  OptimizerConfig optimizer;
+  optimizer.ga.population_size = 20;
+  optimizer.ga.generations = 15;
+  const auto scores = compare_policies(0.5, 4, 7, optimizer);
+  for (const PolicyScore& s : scores) {
+    EXPECT_GE(s.p_ms, 0.0);
+    EXPECT_LE(s.p_ms, 1.0);
+    EXPECT_GE(s.max_u_lc, 0.0);
+    EXPECT_LE(s.max_u_lc, 1.0);
+    EXPECT_GE(s.feasible_fraction, 0.0);
+    EXPECT_LE(s.feasible_fraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::core

@@ -1,0 +1,53 @@
+// Tests for wcet/cost_model.hpp.
+#include "wcet/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::wcet {
+namespace {
+
+TEST(CostModel, BlockCostSumsInstructionCosts) {
+  CostModel m;
+  m.cost[static_cast<std::size_t>(OpClass::kAlu)] = 1;
+  m.cost[static_cast<std::size_t>(OpClass::kLoad)] = 10;
+  m.block_overhead = 5;
+  BasicBlock b("b");
+  b.add(OpClass::kAlu, 3).add(OpClass::kLoad, 2);
+  EXPECT_EQ(m.block_cost(b), 5U + 3U + 20U);
+}
+
+TEST(CostModel, EmptyBlockIsFree) {
+  CostModel m = CostModel::worst_case();
+  const BasicBlock empty("join");
+  EXPECT_EQ(m.block_cost(empty), 0U);
+}
+
+TEST(CostModel, WorstCaseDominatesTypicalPerOp) {
+  const CostModel worst = CostModel::worst_case();
+  const CostModel typical = CostModel::typical();
+  for (std::size_t op = 0; op < kOpClassCount; ++op) {
+    EXPECT_GE(worst.cost[op], typical.cost[op])
+        << op_class_name(static_cast<OpClass>(op));
+    EXPECT_GT(typical.cost[op], 0U);
+  }
+}
+
+TEST(CostModel, WorstCaseLoadModelsCacheMiss) {
+  const CostModel worst = CostModel::worst_case();
+  const CostModel typical = CostModel::typical();
+  // The load gap is the dominant source of static pessimism.
+  EXPECT_GE(worst.op_cost(OpClass::kLoad),
+            10 * typical.op_cost(OpClass::kLoad));
+}
+
+TEST(CostModel, BlockCostMonotoneInContent) {
+  const CostModel m = CostModel::worst_case();
+  BasicBlock small("s");
+  small.add(OpClass::kAlu, 1);
+  BasicBlock big("b");
+  big.add(OpClass::kAlu, 1).add(OpClass::kDiv, 1);
+  EXPECT_LT(m.block_cost(small), m.block_cost(big));
+}
+
+}  // namespace
+}  // namespace mcs::wcet

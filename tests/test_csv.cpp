@@ -1,0 +1,76 @@
+// Tests for common/csv.hpp: quoting, joining and parsing round trips.
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mcs::common {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvJoin, JoinsWithCommas) {
+  EXPECT_EQ(csv_join({"a", "b", "c"}), "a,b,c");
+  EXPECT_EQ(csv_join({}), "");
+}
+
+TEST(CsvParse, SimpleRecord) {
+  const auto fields = csv_parse_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3U);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvParse, QuotedFieldsWithCommas) {
+  const auto fields = csv_parse_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2U);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "c");
+}
+
+TEST(CsvParse, EmbeddedQuotes) {
+  const auto fields = csv_parse_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1U);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto fields = csv_parse_line("a,,c");
+  ASSERT_EQ(fields.size(), 3U);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW((void)csv_parse_line("\"oops"), std::invalid_argument);
+}
+
+TEST(CsvRoundTrip, EscapeJoinParse) {
+  const std::vector<std::string> original = {"plain", "with,comma",
+                                             "with\"quote", "multi\nline"};
+  const auto parsed = csv_parse_line(csv_join(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(CsvWriter, WritesRowsAndCounts) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"h1", "h2"});
+  writer.write_row({"a", "b,c"});
+  EXPECT_EQ(writer.rows_written(), 2U);
+  EXPECT_EQ(out.str(), "h1,h2\na,\"b,c\"\n");
+}
+
+}  // namespace
+}  // namespace mcs::common

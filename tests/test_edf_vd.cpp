@@ -1,0 +1,134 @@
+// Tests for sched/edf.hpp and sched/edf_vd.hpp — the Eq. 8 schedulability
+// conditions and the Eq. 11/12 max-LC-utilization bound.
+#include "sched/edf_vd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/edf.hpp"
+
+namespace mcs::sched {
+namespace {
+
+TEST(Edf, UtilizationBound) {
+  EXPECT_TRUE(edf_schedulable(1.0));
+  EXPECT_TRUE(edf_schedulable(0.3));
+  EXPECT_FALSE(edf_schedulable(1.0001));
+}
+
+TEST(Edf, TaskSetOverload) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::low("a", 50.0, 100.0));
+  tasks.add(mc::McTask::low("b", 40.0, 100.0));
+  EXPECT_TRUE(edf_schedulable(tasks, mc::Mode::kLow));
+  tasks.add(mc::McTask::low("c", 20.0, 100.0));
+  EXPECT_FALSE(edf_schedulable(tasks, mc::Mode::kLow));
+}
+
+TEST(EdfVd, PlainEdfSufficientCase) {
+  // Even pessimistic HC + LC fits: no virtual deadlines needed.
+  const McUtilization u{.lc_lo = 0.3, .hc_lo = 0.1, .hc_hi = 0.5};
+  const EdfVdResult r = edf_vd_test(u);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.plain_edf);
+  EXPECT_DOUBLE_EQ(r.x, 1.0);
+}
+
+TEST(EdfVd, Eq8BothClausesHold) {
+  // u_LC=0.4, u_HC^LO=0.2, u_HC^HI=0.7:
+  //  clause 1: 0.6 <= 1  OK
+  //  x = 0.2/0.6 = 1/3; clause 2: 0.7 + (1/3)*0.4 = 0.833 <= 1  OK.
+  const McUtilization u{.lc_lo = 0.4, .hc_lo = 0.2, .hc_hi = 0.7};
+  const EdfVdResult r = edf_vd_test(u);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_FALSE(r.plain_edf);
+  EXPECT_NEAR(r.x, 1.0 / 3.0, 1e-12);
+}
+
+TEST(EdfVd, Clause2Fails) {
+  // u_LC=0.5, u_HC^LO=0.4, u_HC^HI=0.8:
+  //  x = 0.4/0.5 = 0.8; 0.8 + 0.8*0.5 = 1.2 > 1 -> unschedulable.
+  const McUtilization u{.lc_lo = 0.5, .hc_lo = 0.4, .hc_hi = 0.8};
+  EXPECT_FALSE(edf_vd_test(u).schedulable);
+}
+
+TEST(EdfVd, Clause1Fails) {
+  const McUtilization u{.lc_lo = 0.7, .hc_lo = 0.4, .hc_hi = 0.75};
+  EXPECT_FALSE(edf_vd_test(u).schedulable);
+}
+
+TEST(EdfVd, TaskSetOverload) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::high("h", 20.0, 70.0, 100.0));
+  tasks.add(mc::McTask::low("l", 40.0, 100.0));
+  const EdfVdResult r = edf_vd_test(tasks);
+  EXPECT_TRUE(r.schedulable);
+}
+
+TEST(EdfVdDegraded, RhoZeroMatchesDropAll) {
+  for (const auto& u :
+       {McUtilization{0.4, 0.2, 0.7}, McUtilization{0.5, 0.4, 0.8},
+        McUtilization{0.3, 0.1, 0.5}}) {
+    EXPECT_EQ(edf_vd_degraded_test(u, 0.0).schedulable,
+              edf_vd_test(u).schedulable);
+  }
+}
+
+TEST(EdfVdDegraded, DegradationCostsSchedulability) {
+  // A set schedulable when dropping LC but not when keeping 50% of it.
+  const McUtilization u{.lc_lo = 0.45, .hc_lo = 0.25, .hc_hi = 0.78};
+  EXPECT_TRUE(edf_vd_test(u).schedulable);
+  EXPECT_FALSE(edf_vd_degraded_test(u, 0.5).schedulable);
+}
+
+TEST(EdfVdDegraded, MonotoneInRho) {
+  const McUtilization u{.lc_lo = 0.4, .hc_lo = 0.2, .hc_hi = 0.72};
+  bool prev = true;
+  for (double rho = 0.0; rho <= 1.0; rho += 0.1) {
+    const bool now = edf_vd_degraded_test(u, rho).schedulable;
+    // Once infeasible, higher rho must stay infeasible.
+    EXPECT_TRUE(prev || !now);
+    prev = now;
+  }
+}
+
+TEST(MaxLcUtilization, MatchesEq11And12) {
+  // hc_lo=0.2, hc_hi=0.7: Eq.11 = 0.8; Eq.12 = 0.3/0.5 = 0.6 -> 0.6.
+  EXPECT_NEAR(max_lc_utilization(0.2, 0.7), 0.6, 1e-12);
+  // hc_lo=0.05, hc_hi=0.3: Eq.11 = 0.95; Eq.12 = 0.7/0.75 = 0.9333.
+  EXPECT_NEAR(max_lc_utilization(0.05, 0.3), 0.7 / 0.75, 1e-12);
+}
+
+TEST(MaxLcUtilization, InfeasibleHcGivesZero) {
+  EXPECT_DOUBLE_EQ(max_lc_utilization(1.2, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(max_lc_utilization(0.5, 1.2), 0.0);
+}
+
+TEST(MaxLcUtilization, BoundaryIsTightAgainstEq8) {
+  // For a grid of HC utilizations, LC load just below max passes Eq. 8 and
+  // just above fails (property tying Eq. 11/12 to Eq. 8).
+  for (double hc_lo = 0.05; hc_lo <= 0.6; hc_lo += 0.11) {
+    for (double hc_hi = hc_lo; hc_hi <= 0.9; hc_hi += 0.13) {
+      const double max_lc = max_lc_utilization(hc_lo, hc_hi);
+      if (max_lc <= 0.01) continue;
+      const McUtilization below{max_lc - 0.01, hc_lo, hc_hi};
+      const McUtilization above{max_lc + 0.01, hc_lo, hc_hi};
+      EXPECT_TRUE(edf_vd_test(below).schedulable)
+          << "hc_lo=" << hc_lo << " hc_hi=" << hc_hi;
+      EXPECT_FALSE(edf_vd_test(above).schedulable)
+          << "hc_lo=" << hc_lo << " hc_hi=" << hc_hi;
+    }
+  }
+}
+
+TEST(McUtilizationOf, ExtractsAggregates) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::high("h", 10.0, 40.0, 100.0));
+  tasks.add(mc::McTask::low("l", 25.0, 100.0));
+  const McUtilization u = McUtilization::of(tasks);
+  EXPECT_DOUBLE_EQ(u.hc_lo, 0.1);
+  EXPECT_DOUBLE_EQ(u.hc_hi, 0.4);
+  EXPECT_DOUBLE_EQ(u.lc_lo, 0.25);
+}
+
+}  // namespace
+}  // namespace mcs::sched

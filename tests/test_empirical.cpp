@@ -1,0 +1,86 @@
+// Tests for stats/empirical.hpp.
+#include "stats/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::stats {
+namespace {
+
+const std::vector<double> kSamples = {1.0, 2.0, 3.0, 4.0, 5.0,
+                                      6.0, 7.0, 8.0, 9.0, 10.0};
+
+TEST(Empirical, MomentsMatchEq3And4) {
+  EmpiricalDistribution emp(kSamples);
+  EXPECT_DOUBLE_EQ(emp.mean(), 5.5);
+  // Population variance of 1..10 is 8.25.
+  EXPECT_NEAR(emp.stddev(), std::sqrt(8.25), 1e-12);
+  EXPECT_EQ(emp.size(), 10U);
+  EXPECT_DOUBLE_EQ(emp.min(), 1.0);
+  EXPECT_DOUBLE_EQ(emp.max(), 10.0);
+}
+
+TEST(Empirical, CdfCountsInclusive) {
+  EmpiricalDistribution emp(kSamples);
+  EXPECT_DOUBLE_EQ(emp.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(emp.cdf(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(emp.cdf(5.5), 0.5);
+  EXPECT_DOUBLE_EQ(emp.cdf(10.0), 1.0);
+}
+
+TEST(Empirical, ExceedanceIsStrictlyGreater) {
+  EmpiricalDistribution emp(kSamples);
+  EXPECT_DOUBLE_EQ(emp.exceedance_rate(10.0), 0.0);  // nothing > max
+  EXPECT_DOUBLE_EQ(emp.exceedance_rate(9.0), 0.1);
+  EXPECT_DOUBLE_EQ(emp.exceedance_rate(0.0), 1.0);
+}
+
+TEST(Empirical, QuantileNearestRank) {
+  EmpiricalDistribution emp(kSamples);
+  EXPECT_DOUBLE_EQ(emp.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(emp.quantile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(emp.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(emp.quantile(1.0), 10.0);
+}
+
+TEST(Empirical, QuantileValidation) {
+  EmpiricalDistribution emp(kSamples);
+  EXPECT_THROW((void)emp.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)emp.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Empirical, ExceedanceAtN) {
+  EmpiricalDistribution emp(kSamples);
+  // mean 5.5, sd ~2.872: level at n=1 is ~8.37 -> samples 9, 10 exceed.
+  EXPECT_DOUBLE_EQ(emp.exceedance_at_n(1.0), 0.2);
+  // n=0: level 5.5 -> 5 samples exceed.
+  EXPECT_DOUBLE_EQ(emp.exceedance_at_n(0.0), 0.5);
+}
+
+TEST(Empirical, UnsortedInputIsSorted) {
+  const std::vector<double> shuffled = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EmpiricalDistribution emp(shuffled);
+  EXPECT_DOUBLE_EQ(emp.min(), 1.0);
+  EXPECT_DOUBLE_EQ(emp.max(), 5.0);
+  EXPECT_DOUBLE_EQ(emp.quantile(0.5), 3.0);
+}
+
+TEST(Empirical, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(EmpiricalDistribution{empty}, std::invalid_argument);
+}
+
+TEST(Empirical, SingleSample) {
+  const std::vector<double> one = {7.0};
+  EmpiricalDistribution emp(one);
+  EXPECT_DOUBLE_EQ(emp.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(emp.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(emp.exceedance_rate(7.0), 0.0);
+  EXPECT_DOUBLE_EQ(emp.exceedance_rate(6.9), 1.0);
+}
+
+}  // namespace
+}  // namespace mcs::stats

@@ -1,0 +1,55 @@
+// Tests for sim/event_queue.hpp: ordering and FIFO tie-breaking.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mcs::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(5.0, 50);
+  q.push(1.0, 10);
+  q.push(3.0, 30);
+  EXPECT_EQ(q.size(), 3U);
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_EQ(q.pop(), 10);
+  EXPECT_EQ(q.pop(), 30);
+  EXPECT_EQ(q.pop(), 50);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesAreFifo) {
+  EventQueue<std::string> q;
+  q.push(2.0, "first");
+  q.push(2.0, "second");
+  q.push(2.0, "third");
+  EXPECT_EQ(q.pop(), "first");
+  EXPECT_EQ(q.pop(), "second");
+  EXPECT_EQ(q.pop(), "third");
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(4.0, 4);
+  q.push(1.0, 1);
+  EXPECT_EQ(q.pop(), 1);
+  q.push(2.0, 2);
+  q.push(0.5, 0);
+  EXPECT_EQ(q.pop(), 0);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 4);
+}
+
+TEST(EventQueue, MovesPayloads) {
+  EventQueue<std::unique_ptr<int>> q;
+  q.push(1.0, std::make_unique<int>(42));
+  const auto p = q.pop();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 42);
+}
+
+}  // namespace
+}  // namespace mcs::sim

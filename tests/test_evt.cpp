@@ -1,0 +1,64 @@
+// Tests for stats/evt.hpp: Gumbel moment fitting and block-maxima pWCET.
+#include "stats/evt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcs::stats {
+namespace {
+
+TEST(FitGumbel, RecoversParametersFromGumbelData) {
+  GumbelDistribution truth(50.0, 5.0);
+  common::Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(truth.sample(rng));
+  const GumbelDistribution fit = fit_gumbel_moments(xs);
+  EXPECT_NEAR(fit.location(), 50.0, 0.5);
+  EXPECT_NEAR(fit.scale(), 5.0, 0.3);
+}
+
+TEST(FitGumbel, Validation) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)fit_gumbel_moments(one), std::invalid_argument);
+  const std::vector<double> flat = {3.0, 3.0, 3.0};
+  EXPECT_THROW((void)fit_gumbel_moments(flat), std::invalid_argument);
+}
+
+TEST(Pwcet, ExceedsAlmostAllSamples) {
+  common::Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(100.0, 10.0));
+  const double pwcet = pwcet_block_maxima(xs, 100, 1e-4);
+  int over = 0;
+  for (const double x : xs)
+    if (x > pwcet) ++over;
+  // A 1e-4 per-block exceedance level should clear nearly every raw sample.
+  EXPECT_LT(over, 5);
+  EXPECT_GT(pwcet, 100.0);
+}
+
+TEST(Pwcet, LowerExceedanceGivesHigherBound) {
+  common::Rng rng(10);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.exponential(0.1));
+  const double loose = pwcet_block_maxima(xs, 50, 0.1);
+  const double tight = pwcet_block_maxima(xs, 50, 0.001);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(Pwcet, Validation) {
+  std::vector<double> xs(100, 1.0);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<double>(i);
+  EXPECT_THROW((void)pwcet_block_maxima(xs, 0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)pwcet_block_maxima(xs, 60, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)pwcet_block_maxima(xs, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)pwcet_block_maxima(xs, 10, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::stats

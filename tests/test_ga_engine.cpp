@@ -1,0 +1,141 @@
+// Tests for ga/engine.hpp: convergence on known optima, elitism,
+// determinism and configuration validation.
+#include "ga/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcs::ga {
+namespace {
+
+/// Concave 1-D problem: maximize -(x - 3)^2 over [0, 10]; optimum x = 3.
+class Parabola final : public Problem {
+ public:
+  [[nodiscard]] std::size_t dimension() const override { return 1; }
+  [[nodiscard]] double lower_bound(std::size_t) const override { return 0.0; }
+  [[nodiscard]] double upper_bound(std::size_t) const override { return 10.0; }
+  [[nodiscard]] double evaluate(std::span<const double> g) const override {
+    return -(g[0] - 3.0) * (g[0] - 3.0);
+  }
+};
+
+/// Multi-dimensional sphere: maximize -sum (x_i - i)^2 over [0, 10]^5.
+class Sphere final : public Problem {
+ public:
+  [[nodiscard]] std::size_t dimension() const override { return 5; }
+  [[nodiscard]] double lower_bound(std::size_t) const override { return 0.0; }
+  [[nodiscard]] double upper_bound(std::size_t) const override { return 10.0; }
+  [[nodiscard]] double evaluate(std::span<const double> g) const override {
+    double s = 0.0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double d = g[i] - static_cast<double>(i);
+      s -= d * d;
+    }
+    return s;
+  }
+};
+
+TEST(GaEngine, SolvesParabola) {
+  const Parabola problem;
+  GaConfig config;
+  config.seed = 1;
+  const GaResult r = run_ga(problem, config);
+  EXPECT_NEAR(r.best.genes[0], 3.0, 0.1);
+  EXPECT_GT(r.best.fitness, -0.01);
+}
+
+TEST(GaEngine, SolvesSphere) {
+  const Sphere problem;
+  GaConfig config;
+  config.population_size = 80;
+  config.generations = 150;
+  config.seed = 2;
+  const GaResult r = run_ga(problem, config);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(r.best.genes[i], static_cast<double>(i), 0.5);
+}
+
+TEST(GaEngine, ElitismMakesBestMonotone) {
+  const Sphere problem;
+  GaConfig config;
+  config.seed = 3;
+  const GaResult r = run_ga(problem, config);
+  double prev = -1e300;
+  for (const GenerationStats& g : r.history) {
+    EXPECT_GE(g.best + 1e-12, prev);
+    prev = g.best;
+  }
+}
+
+TEST(GaEngine, HistoryLengthAndEvaluationCount) {
+  const Parabola problem;
+  GaConfig config;
+  config.population_size = 10;
+  config.generations = 20;
+  config.seed = 4;
+  const GaResult r = run_ga(problem, config);
+  EXPECT_EQ(r.history.size(), 20U);
+  EXPECT_GE(r.evaluations, 10U);          // initial population
+  EXPECT_LE(r.evaluations, 10U * 21U);    // at most every individual fresh
+}
+
+TEST(GaEngine, DeterministicInSeed) {
+  const Sphere problem;
+  GaConfig config;
+  config.seed = 5;
+  const GaResult a = run_ga(problem, config);
+  const GaResult b = run_ga(problem, config);
+  EXPECT_EQ(a.best.genes, b.best.genes);
+  EXPECT_DOUBLE_EQ(a.best.fitness, b.best.fitness);
+}
+
+TEST(GaEngine, DifferentSeedsExploreDifferently) {
+  const Sphere problem;
+  GaConfig a_config;
+  a_config.seed = 6;
+  a_config.generations = 5;
+  GaConfig b_config = a_config;
+  b_config.seed = 7;
+  const GaResult a = run_ga(problem, a_config);
+  const GaResult b = run_ga(problem, b_config);
+  EXPECT_NE(a.best.genes, b.best.genes);
+}
+
+TEST(GaEngine, GenesStayInBounds) {
+  const Sphere problem;
+  GaConfig config;
+  config.seed = 8;
+  const GaResult r = run_ga(problem, config);
+  for (const double g : r.best.genes) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 10.0);
+  }
+}
+
+TEST(GaEngine, GaussianMutationAlsoConverges) {
+  const Sphere problem;
+  GaConfig config;
+  config.mutation = MutationKind::kGaussian;
+  config.gaussian_sigma_fraction = 0.15;
+  config.population_size = 80;
+  config.generations = 150;
+  config.seed = 9;
+  const GaResult r = run_ga(problem, config);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(r.best.genes[i], static_cast<double>(i), 0.5);
+}
+
+TEST(GaEngine, Validation) {
+  const Parabola problem;
+  GaConfig config;
+  config.population_size = 1;
+  EXPECT_THROW((void)run_ga(problem, config), std::invalid_argument);
+  config.population_size = 4;
+  config.elitism = 4;
+  EXPECT_THROW((void)run_ga(problem, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::ga

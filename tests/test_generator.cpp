@@ -1,0 +1,155 @@
+// Tests for taskgen/generator.hpp: the paper's synthetic-task-set
+// generation protocol.
+#include "taskgen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mc/taskset.hpp"
+
+namespace mcs::taskgen {
+namespace {
+
+double bound_utilization(const mc::TaskSet& tasks) {
+  // HC tasks counted at HI-mode (pessimistic) utilization, LC at their own.
+  return tasks.utilization(mc::Criticality::kHigh, mc::Mode::kHigh) +
+         tasks.utilization(mc::Criticality::kLow, mc::Mode::kLow);
+}
+
+TEST(GenerateMixed, HitsUtilizationBound) {
+  GeneratorConfig config;
+  common::Rng rng(1);
+  for (const double u : {0.3, 0.7, 1.0}) {
+    const mc::TaskSet tasks = generate_mixed(config, u, rng);
+    EXPECT_NEAR(bound_utilization(tasks), u, 1e-6);
+  }
+}
+
+TEST(GenerateMixed, PeriodsInPaperRange) {
+  GeneratorConfig config;
+  common::Rng rng(2);
+  const mc::TaskSet tasks = generate_mixed(config, 2.0, rng);
+  for (const mc::McTask& t : tasks) {
+    EXPECT_GE(t.period, config.period_min_ms);
+    EXPECT_LE(t.period, config.period_max_ms);
+  }
+}
+
+TEST(GenerateMixed, HcTasksCarryProfiles) {
+  GeneratorConfig config;
+  common::Rng rng(3);
+  const mc::TaskSet tasks = generate_mixed(config, 1.5, rng);
+  std::size_t hc_seen = 0;
+  for (const mc::McTask& t : tasks) {
+    if (t.criticality != mc::Criticality::kHigh) continue;
+    ++hc_seen;
+    ASSERT_TRUE(t.stats.has_value());
+    EXPECT_GT(t.stats->acet, 0.0);
+    EXPECT_GT(t.stats->sigma, 0.0);
+    EXPECT_NE(t.stats->distribution, nullptr);
+    // Pessimism gap within the configured Table I range.
+    const double gap = t.wcet_hi / t.stats->acet;
+    EXPECT_GE(gap, config.gap_min - 1e-9);
+    EXPECT_LE(gap, config.gap_max + 1e-9);
+    // Initially no optimism: C^LO == C^HI until a policy assigns it.
+    EXPECT_DOUBLE_EQ(t.wcet_lo, t.wcet_hi);
+  }
+  EXPECT_GT(hc_seen, 0U);
+}
+
+TEST(GenerateMixed, MixesBothCriticalities) {
+  GeneratorConfig config;
+  common::Rng rng(4);
+  std::size_t hc = 0;
+  std::size_t lc = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const mc::TaskSet tasks = generate_mixed(config, 1.0, rng);
+    hc += tasks.count(mc::Criticality::kHigh);
+    lc += tasks.count(mc::Criticality::kLow);
+  }
+  // P(HC) = 0.5: both kinds must appear in quantity.
+  EXPECT_GT(hc, 20U);
+  EXPECT_GT(lc, 20U);
+}
+
+TEST(GenerateMixed, TasksAreValid) {
+  GeneratorConfig config;
+  common::Rng rng(5);
+  const mc::TaskSet tasks = generate_mixed(config, 0.9, rng);
+  EXPECT_TRUE(tasks.valid());
+}
+
+TEST(GenerateMixed, Validation) {
+  GeneratorConfig config;
+  common::Rng rng(6);
+  EXPECT_THROW((void)generate_mixed(config, 0.0, rng), std::invalid_argument);
+}
+
+TEST(GenerateHcOnly, ExactUtilization) {
+  GeneratorConfig config;
+  common::Rng rng(7);
+  for (const double u : {0.4, 0.85}) {
+    const mc::TaskSet tasks = generate_hc_only(config, u, rng);
+    EXPECT_NEAR(tasks.utilization(mc::Criticality::kHigh, mc::Mode::kHigh),
+                u, 1e-9);
+    EXPECT_EQ(tasks.count(mc::Criticality::kLow), 0U);
+    EXPECT_TRUE(tasks.valid());
+  }
+}
+
+TEST(GenerateHcOnly, DeterministicInSeed) {
+  GeneratorConfig config;
+  common::Rng rng1(8);
+  common::Rng rng2(8);
+  const mc::TaskSet a = generate_hc_only(config, 0.6, rng1);
+  const mc::TaskSet b = generate_hc_only(config, 0.6, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].wcet_hi, b[i].wcet_hi);
+    EXPECT_DOUBLE_EQ(a[i].period, b[i].period);
+  }
+}
+
+TEST(GenerateHcOnly, EtModelsMatchStatedMoments) {
+  // Every sampler family must reproduce the task's stated ACET/sigma —
+  // otherwise the Chebyshev bound would be fed the wrong moments.
+  for (const EtModel model :
+       {EtModel::kLogNormal, EtModel::kWeibull, EtModel::kBimodal}) {
+    GeneratorConfig config;
+    config.et_model = model;
+    common::Rng rng(42);
+    const mc::TaskSet tasks = generate_hc_only(config, 0.5, rng);
+    common::Rng sample_rng(77);
+    for (const mc::McTask& task : tasks) {
+      ASSERT_NE(task.stats->distribution, nullptr);
+      double sum = 0.0;
+      double sum2 = 0.0;
+      constexpr int kN = 40000;
+      for (int i = 0; i < kN; ++i) {
+        const double x = task.stats->distribution->sample(sample_rng);
+        sum += x;
+        sum2 += x * x;
+      }
+      const double mean = sum / kN;
+      const double sd = std::sqrt(std::max(0.0, sum2 / kN - mean * mean));
+      EXPECT_NEAR(mean, task.stats->acet, 0.05 * task.stats->acet)
+          << "model " << static_cast<int>(model);
+      EXPECT_NEAR(sd, task.stats->sigma, 0.08 * task.stats->sigma)
+          << "model " << static_cast<int>(model);
+    }
+  }
+}
+
+TEST(GenerateHcOnly, NoDistributionWhenDisabled) {
+  GeneratorConfig config;
+  config.attach_distributions = false;
+  common::Rng rng(9);
+  const mc::TaskSet tasks = generate_hc_only(config, 0.5, rng);
+  for (const mc::McTask& t : tasks)
+    EXPECT_EQ(t.stats->distribution, nullptr);
+}
+
+}  // namespace
+}  // namespace mcs::taskgen

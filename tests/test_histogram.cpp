@@ -1,0 +1,88 @@
+// Tests for common/histogram.hpp.
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::common {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2U);
+  EXPECT_EQ(h.count(1), 1U);
+  EXPECT_EQ(h.count(4), 1U);
+  EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(Histogram, TailsCounted) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);  // upper edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1U);
+  EXPECT_EQ(h.overflow(), 2U);
+  EXPECT_EQ(h.total(), 3U);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, DensitySumsToOneOverInRange) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.density(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, FromSamplesIncludesMaximum) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Histogram h = Histogram::from_samples(xs, 4);
+  EXPECT_EQ(h.overflow(), 0U);
+  EXPECT_EQ(h.underflow(), 0U);
+  EXPECT_EQ(h.total(), 5U);
+}
+
+TEST(Histogram, FromSamplesConstantData) {
+  const std::vector<double> xs = {7.0, 7.0, 7.0};
+  const Histogram h = Histogram::from_samples(xs, 3);
+  EXPECT_EQ(h.total(), 3U);
+  EXPECT_EQ(h.underflow() + h.overflow(), 0U);
+}
+
+TEST(Histogram, FromSamplesEmpty) {
+  const std::vector<double> xs;
+  const Histogram h = Histogram::from_samples(xs, 3);
+  EXPECT_EQ(h.total(), 0U);
+}
+
+TEST(Histogram, InvalidArgsThrow) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.render_ascii(10);
+  EXPECT_NE(art.find("#"), std::string::npos);
+  EXPECT_NE(art.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::common

@@ -1,0 +1,110 @@
+// End-to-end integration test: the full pipeline a user of the library
+// would run, from kernel measurement to runtime simulation.
+//
+//   measure kernels (MEET substitute)  ->  static WCET (OTAWA substitute)
+//   ->  build an MC task set from the profiles  ->  GA-optimize n_i
+//   ->  EDF-VD schedulability  ->  discrete-event simulation
+#include <gtest/gtest.h>
+
+#include "apps/measurement.hpp"
+#include "apps/registry.hpp"
+#include "common/units.hpp"
+#include "core/chebyshev_wcet.hpp"
+#include "core/optimizer.hpp"
+#include "sched/edf_vd.hpp"
+#include "sim/engine.hpp"
+#include "stats/distributions.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Integration, MeasuredKernelsToScheduledSystem) {
+  // 1. Measurement campaign on the five Table II applications at reduced
+  //    scale (the paper uses 20000 samples; 300 keeps the test fast).
+  const auto kernels = apps::table2_kernels();
+  std::vector<apps::ExecutionProfile> profiles;
+  for (std::size_t k = 0; k < kernels.size(); ++k)
+    profiles.push_back(apps::measure_kernel(*kernels[k], 300, 1234 + k));
+
+  // 2. Build HC tasks from the profiles. Cycle counts convert to ms via
+  //    the clock model; each task's period is chosen for a HI utilization
+  //    of ~0.12 so five HC tasks give U_HC^HI ~ 0.6.
+  const common::ClockModel clock{.cycles_per_ms = 2.0e5};
+  mc::TaskSet tasks;
+  for (const apps::ExecutionProfile& p : profiles) {
+    const double wcet_hi_ms = clock.to_ms(p.wcet_pes);
+    const double period = wcet_hi_ms / 0.12;
+    mc::McTask task = mc::McTask::high(p.name, wcet_hi_ms, wcet_hi_ms,
+                                       period);
+    mc::ExecutionStats stats;
+    stats.acet = clock.to_ms(static_cast<common::Cycles>(p.acet));
+    stats.sigma = p.sigma / clock.cycles_per_ms;
+    stats.distribution =
+        stats::LogNormalDistribution::from_moments(stats.acet, stats.sigma);
+    task.stats = stats;
+    tasks.add(task);
+    EXPECT_TRUE(task.valid()) << p.name;
+  }
+  EXPECT_NEAR(tasks.utilization(mc::Criticality::kHigh, mc::Mode::kHigh),
+              0.6, 1e-9);
+
+  // 3. Optimize the multipliers.
+  core::OptimizerConfig opt;
+  opt.ga.population_size = 30;
+  opt.ga.generations = 25;
+  opt.ga.seed = 99;
+  const core::OptimizationResult best =
+      core::optimize_multipliers_ga(tasks, opt);
+  ASSERT_TRUE(best.breakdown.feasible);
+  EXPECT_GT(best.breakdown.objective, 0.0);
+  EXPECT_LT(best.breakdown.p_ms, 0.7);
+  (void)core::apply_chebyshev_assignment(tasks, best.n);
+
+  // 4. Add an LC workload inside the admissible bound and verify EDF-VD.
+  const double lc_util = 0.8 * best.breakdown.max_u_lc;
+  tasks.add(mc::McTask::low("telemetry", lc_util * 400.0, 400.0));
+  const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
+  ASSERT_TRUE(vd.schedulable);
+
+  // 5. Simulate and validate the runtime behaviour end to end.
+  sim::SimConfig sim_config;
+  sim_config.horizon = 300000.0;
+  sim_config.x = vd.x;
+  sim_config.seed = 4242;
+  const sim::SimResult result = sim::simulate(tasks, sim_config);
+  EXPECT_EQ(result.metrics.hc_deadline_misses, 0U);
+  EXPECT_GT(result.metrics.hc_jobs_completed, 0U);
+  EXPECT_GT(result.metrics.lc_jobs_completed, 0U);
+  // The analytic bound dominates the measured per-job overrun rate.
+  double weakest_bound = 0.0;
+  for (const double ne : core::implied_multipliers(tasks))
+    weakest_bound = std::max(weakest_bound, core::task_overrun_bound(ne));
+  EXPECT_LE(result.metrics.hc_overrun_rate(), weakest_bound + 0.05);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  // The identical pipeline run twice must produce identical numbers.
+  auto run_once = [] {
+    const apps::KernelPtr kernel = apps::table2_kernels()[0];  // qsort-100
+    const apps::ExecutionProfile profile =
+        apps::measure_kernel(*kernel, 200, 777);
+    mc::TaskSet tasks;
+    const common::ClockModel clock;
+    const double wcet_hi = clock.to_ms(profile.wcet_pes);
+    mc::McTask task =
+        mc::McTask::high("t", wcet_hi, wcet_hi, wcet_hi / 0.3);
+    task.stats = mc::ExecutionStats{
+        clock.to_ms(static_cast<common::Cycles>(profile.acet)),
+        profile.sigma / clock.cycles_per_ms, nullptr};
+    tasks.add(task);
+    core::OptimizerConfig opt;
+    opt.ga.population_size = 16;
+    opt.ga.generations = 10;
+    opt.ga.seed = 5;
+    return core::optimize_multipliers_ga(tasks, opt).breakdown.objective;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mcs

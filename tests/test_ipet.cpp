@@ -1,0 +1,177 @@
+// Tests for wcet/ipet.hpp: natural-loop discovery, loop contraction, the
+// schema/IPET equivalence property on randomized structured programs, and
+// error handling for malformed CFGs.
+#include "wcet/ipet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "wcet/analyzer.hpp"
+#include "wcet/program.hpp"
+
+namespace mcs::wcet {
+namespace {
+
+CostModel unit_costs() {
+  CostModel m;
+  for (auto& c : m.cost) c = 1;
+  m.block_overhead = 0;
+  return m;
+}
+
+BasicBlock alu_block(const char* label, std::size_t n) {
+  BasicBlock b(label);
+  b.add(OpClass::kAlu, n);
+  return b;
+}
+
+TEST(NaturalLoops, SimpleLoopFound) {
+  const auto p = loop(5, alu_block("h", 1), block(alu_block("b", 1)));
+  const ControlFlowGraph cfg = lower_program(*p);
+  const auto loops = find_natural_loops(cfg);
+  ASSERT_EQ(loops.size(), 1U);
+  EXPECT_EQ(loops[0].bound, 5U);
+  EXPECT_EQ(loops[0].members.size(), 2U);
+  EXPECT_EQ(loops[0].latches.size(), 1U);
+}
+
+TEST(NaturalLoops, NestedLoopsInnermostFirst) {
+  const auto inner = loop(4, alu_block("ih", 1), block(alu_block("b", 1)));
+  const auto outer = loop(3, alu_block("oh", 1), inner);
+  const ControlFlowGraph cfg = lower_program(*outer);
+  const auto loops = find_natural_loops(cfg);
+  ASSERT_EQ(loops.size(), 2U);
+  EXPECT_LT(loops[0].members.size(), loops[1].members.size());
+  EXPECT_EQ(loops[0].bound, 4U);
+  EXPECT_EQ(loops[1].bound, 3U);
+}
+
+TEST(NaturalLoops, AcyclicHasNone) {
+  const auto p = if_else(alu_block("c", 1), block(alu_block("t", 1)),
+                         block(alu_block("e", 1)));
+  const ControlFlowGraph cfg = lower_program(*p);
+  EXPECT_TRUE(find_natural_loops(cfg).empty());
+}
+
+TEST(NaturalLoops, MissingBoundThrows) {
+  ControlFlowGraph cfg;
+  const BlockId a = cfg.add_block(alu_block("a", 1));
+  const BlockId b = cfg.add_block(alu_block("b", 1));
+  const BlockId c = cfg.add_block(alu_block("c", 1));
+  cfg.add_edge(a, b);
+  cfg.add_edge(b, a);  // loop without a bound
+  cfg.add_edge(a, c);
+  cfg.set_entry(a);
+  cfg.set_exit(c);
+  EXPECT_THROW((void)find_natural_loops(cfg), AnalysisError);
+}
+
+TEST(NaturalLoops, UnreachableExitThrows) {
+  ControlFlowGraph cfg;
+  const BlockId a = cfg.add_block(alu_block("a", 1));
+  const BlockId b = cfg.add_block(alu_block("b", 1));
+  cfg.set_entry(a);
+  cfg.set_exit(b);  // no edge a -> b
+  EXPECT_THROW((void)find_natural_loops(cfg), AnalysisError);
+}
+
+TEST(NaturalLoops, IrreducibleSideEntryThrows) {
+  // a -> b -> c -> b (loop at b), plus a -> c (side entry into the loop).
+  ControlFlowGraph cfg;
+  const BlockId a = cfg.add_block(alu_block("a", 1));
+  const BlockId b = cfg.add_block(alu_block("b", 1));
+  const BlockId c = cfg.add_block(alu_block("c", 1));
+  const BlockId d = cfg.add_block(alu_block("d", 1));
+  cfg.add_edge(a, b);
+  cfg.add_edge(b, c);
+  cfg.add_edge(c, b);
+  cfg.add_edge(a, c);
+  cfg.add_edge(b, d);
+  cfg.set_loop_bound(b, 3);
+  cfg.set_entry(a);
+  cfg.set_exit(d);
+  EXPECT_THROW((void)find_natural_loops(cfg), AnalysisError);
+}
+
+TEST(Ipet, StraightLine) {
+  const auto p = seq({block(alu_block("a", 2)), block(alu_block("b", 3))});
+  const ControlFlowGraph cfg = lower_program(*p);
+  EXPECT_EQ(wcet_ipet(cfg, unit_costs()), 5U);
+}
+
+TEST(Ipet, DiamondTakesLongerArm) {
+  const auto p = if_else(alu_block("c", 1), block(alu_block("t", 10)),
+                         block(alu_block("e", 2)));
+  const ControlFlowGraph cfg = lower_program(*p);
+  EXPECT_EQ(wcet_ipet(cfg, unit_costs()), 11U);
+}
+
+TEST(Ipet, LoopMatchesSchema) {
+  const auto p = loop(10, alu_block("h", 2), block(alu_block("b", 3)));
+  const ControlFlowGraph cfg = lower_program(*p);
+  EXPECT_EQ(wcet_ipet(cfg, unit_costs()), p->wcet(unit_costs()));
+}
+
+TEST(Ipet, SelfLoop) {
+  // A single-block loop (header is its own latch).
+  ControlFlowGraph cfg;
+  const BlockId e = cfg.add_block(BasicBlock("entry"));
+  const BlockId h = cfg.add_block(alu_block("h", 4));
+  const BlockId x = cfg.add_block(BasicBlock("exit"));
+  cfg.add_edge(e, h);
+  cfg.add_edge(h, h);
+  cfg.add_edge(h, x);
+  cfg.set_loop_bound(h, 7);
+  cfg.set_entry(e);
+  cfg.set_exit(x);
+  // 7 iterations + the final exit evaluation of the header.
+  EXPECT_EQ(wcet_ipet(cfg, unit_costs()), 7U * 4U + 4U);
+}
+
+// Property: on randomized structured programs, the IPET bound equals the
+// timing-schema bound exactly (both under the worst-case table).
+class SchemaIpetEquivalence : public ::testing::TestWithParam<int> {};
+
+ProgramPtr random_program(common::Rng& rng, int depth) {
+  const std::uint64_t kind = depth <= 0 ? 0 : rng.uniform_u64(0, 3);
+  static int counter = 0;
+  BasicBlock b("blk" + std::to_string(counter++));
+  b.add(OpClass::kAlu, static_cast<std::size_t>(rng.uniform_u64(1, 5)));
+  b.add(OpClass::kLoad, static_cast<std::size_t>(rng.uniform_u64(0, 3)));
+  b.add(OpClass::kBranch, static_cast<std::size_t>(rng.uniform_u64(0, 2)));
+  switch (kind) {
+    case 1: {  // loop
+      return loop(rng.uniform_u64(1, 12), b, random_program(rng, depth - 1));
+    }
+    case 2: {  // if/else (possibly one-armed)
+      ProgramPtr t = random_program(rng, depth - 1);
+      ProgramPtr e =
+          rng.bernoulli(0.5) ? random_program(rng, depth - 1) : nullptr;
+      return if_else(b, std::move(t), std::move(e));
+    }
+    case 3: {  // sequence
+      std::vector<ProgramPtr> children;
+      const std::uint64_t n = rng.uniform_u64(2, 4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        children.push_back(random_program(rng, depth - 1));
+      return seq(std::move(children));
+    }
+    default:
+      return block(b);
+  }
+}
+
+TEST_P(SchemaIpetEquivalence, RandomProgramsAgree) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const ProgramPtr p = random_program(rng, 4);
+  const AnalysisResult result =
+      analyze_program(*p, CostModel::worst_case());
+  EXPECT_EQ(result.wcet_schema, result.wcet_ipet);
+  EXPECT_GT(result.wcet(), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, SchemaIpetEquivalence,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace mcs::wcet

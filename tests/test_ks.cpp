@@ -1,0 +1,96 @@
+// Tests for stats/ks_test.hpp — two-sample KS representativity screening.
+#include "stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "apps/measurement.hpp"
+#include "apps/qsort_kernel.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::stats {
+namespace {
+
+std::vector<double> normal_sample(double mean, double sd, int n,
+                                  std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.normal(mean, sd));
+  return xs;
+}
+
+TEST(KsStatistic, IdenticalSamplesAreZero) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(xs, xs), 0.0);
+}
+
+TEST(KsStatistic, DisjointSupportsAreOne) {
+  const std::vector<double> lo = {1.0, 2.0, 3.0};
+  const std::vector<double> hi = {10.0, 11.0, 12.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(lo, hi), 1.0);
+}
+
+TEST(KsStatistic, HandComputed) {
+  // F_a jumps at 1,2; F_b jumps at 1.5, 2.5. At x=1: |0.5-0| = 0.5.
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.5, 2.5};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.5);
+}
+
+TEST(KsTest, SameDistributionPasses) {
+  const auto a = normal_sample(10.0, 2.0, 2000, 1);
+  const auto b = normal_sample(10.0, 2.0, 2000, 2);
+  const KsResult r = ks_two_sample_test(a, b);
+  EXPECT_TRUE(r.same_distribution);
+  EXPECT_LE(r.statistic, r.critical_value);
+}
+
+TEST(KsTest, ShiftedDistributionRejected) {
+  const auto a = normal_sample(10.0, 2.0, 2000, 3);
+  const auto b = normal_sample(10.6, 2.0, 2000, 4);
+  EXPECT_FALSE(ks_two_sample_test(a, b).same_distribution);
+}
+
+TEST(KsTest, WiderDistributionRejected) {
+  const auto a = normal_sample(10.0, 1.0, 3000, 5);
+  const auto b = normal_sample(10.0, 1.8, 3000, 6);
+  EXPECT_FALSE(ks_two_sample_test(a, b).same_distribution);
+}
+
+TEST(KsTest, StricterAlphaRaisesCriticalValue) {
+  const auto a = normal_sample(0.0, 1.0, 500, 7);
+  const auto b = normal_sample(0.0, 1.0, 500, 8);
+  const KsResult loose = ks_two_sample_test(a, b, 0.10);
+  const KsResult strict = ks_two_sample_test(a, b, 0.01);
+  EXPECT_GT(strict.critical_value, loose.critical_value);
+}
+
+TEST(KsTest, Validation) {
+  const std::vector<double> few = {1.0, 2.0};
+  const auto ok = normal_sample(0.0, 1.0, 100, 9);
+  EXPECT_THROW((void)ks_two_sample_test(few, ok), std::invalid_argument);
+  EXPECT_THROW((void)ks_two_sample_test(ok, ok, 0.2),
+               std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)ks_statistic(empty, ok), std::invalid_argument);
+}
+
+TEST(KsTest, CampaignWindowsAreRepresentative) {
+  // Two independent campaigns of the same kernel must pass; a campaign of
+  // a different input size must fail — the representativity check a
+  // deployment would run before trusting stored moments.
+  const apps::QsortKernel kernel(60);
+  const auto first = apps::measure_kernel(kernel, 1500, 11).samples;
+  const auto second = apps::measure_kernel(kernel, 1500, 22).samples;
+  EXPECT_TRUE(ks_two_sample_test(first, second).same_distribution);
+
+  const apps::QsortKernel other(80);
+  const auto shifted = apps::measure_kernel(other, 1500, 33).samples;
+  EXPECT_FALSE(ks_two_sample_test(first, shifted).same_distribution);
+}
+
+}  // namespace
+}  // namespace mcs::stats

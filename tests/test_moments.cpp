@@ -1,0 +1,64 @@
+// Tests for stats/moments.hpp.
+#include "stats/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcs::stats {
+namespace {
+
+TEST(Moments, EmptyIsAllZero) {
+  const std::vector<double> empty;
+  const Moments m = compute_moments(empty);
+  EXPECT_EQ(m.count, 0U);
+  EXPECT_EQ(m.mean, 0.0);
+  EXPECT_EQ(m.variance, 0.0);
+}
+
+TEST(Moments, ConstantSample) {
+  const std::vector<double> xs(10, 4.0);
+  const Moments m = compute_moments(xs);
+  EXPECT_DOUBLE_EQ(m.mean, 4.0);
+  EXPECT_DOUBLE_EQ(m.variance, 0.0);
+  EXPECT_DOUBLE_EQ(m.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(m.kurtosis, 0.0);
+}
+
+TEST(Moments, KnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Moments m = compute_moments(xs);
+  EXPECT_DOUBLE_EQ(m.mean, 5.0);
+  EXPECT_DOUBLE_EQ(m.variance, 4.0);
+  EXPECT_DOUBLE_EQ(m.stddev, 2.0);
+}
+
+TEST(Moments, NormalSkewNearZeroKurtosisNearThree) {
+  common::Rng rng(123);
+  std::vector<double> xs;
+  xs.reserve(200000);
+  for (int i = 0; i < 200000; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const Moments m = compute_moments(xs);
+  EXPECT_NEAR(m.skewness, 0.0, 0.05);
+  EXPECT_NEAR(m.kurtosis, 3.0, 0.1);
+}
+
+TEST(Moments, ExponentialSkewNearTwo) {
+  common::Rng rng(321);
+  std::vector<double> xs;
+  xs.reserve(200000);
+  for (int i = 0; i < 200000; ++i) xs.push_back(rng.exponential(1.0));
+  const Moments m = compute_moments(xs);
+  EXPECT_NEAR(m.skewness, 2.0, 0.15);
+}
+
+TEST(Moments, SymmetricDataZeroSkew) {
+  const std::vector<double> xs = {-2.0, -1.0, 0.0, 1.0, 2.0};
+  const Moments m = compute_moments(xs);
+  EXPECT_DOUBLE_EQ(m.skewness, 0.0);
+}
+
+}  // namespace
+}  // namespace mcs::stats

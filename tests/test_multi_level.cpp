@@ -1,0 +1,87 @@
+// Tests for core/multi_level.hpp — the >2-criticality-level extension.
+#include "core/multi_level.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace mcs::core {
+namespace {
+
+TEST(WcetLadder, MonotoneWcetsAndDecreasingBounds) {
+  const std::vector<double> ns = {0.0, 1.0, 3.0, 6.0};
+  const WcetLadder ladder = build_wcet_ladder(10.0, 2.0, 100.0, ns);
+  ASSERT_EQ(ladder.wcets.size(), 4U);
+  EXPECT_DOUBLE_EQ(ladder.wcets[0], 10.0);
+  EXPECT_DOUBLE_EQ(ladder.wcets[1], 12.0);
+  EXPECT_DOUBLE_EQ(ladder.wcets[2], 16.0);
+  EXPECT_DOUBLE_EQ(ladder.wcets[3], 100.0);  // top clamps to WCET^pes
+  for (std::size_t i = 1; i < ladder.wcets.size(); ++i)
+    EXPECT_GE(ladder.wcets[i], ladder.wcets[i - 1]);
+  for (std::size_t i = 1; i < ladder.exceedance_bounds.size(); ++i)
+    EXPECT_LE(ladder.exceedance_bounds[i], ladder.exceedance_bounds[i - 1]);
+  EXPECT_DOUBLE_EQ(ladder.exceedance_bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(ladder.exceedance_bounds[1], 0.5);
+}
+
+TEST(WcetLadder, ClampAtPessimisticBound) {
+  const std::vector<double> ns = {5.0, 50.0};
+  const WcetLadder ladder = build_wcet_ladder(10.0, 2.0, 30.0, ns);
+  EXPECT_DOUBLE_EQ(ladder.wcets[0], 20.0);
+  EXPECT_DOUBLE_EQ(ladder.wcets[1], 30.0);
+  // The clamped effective n is (30-10)/2 = 10, not 50.
+  EXPECT_NEAR(ladder.exceedance_bounds[1], 1.0 / 101.0, 1e-12);
+}
+
+TEST(WcetLadder, ZeroSigmaCollapsesToAcet) {
+  const std::vector<double> ns = {0.0, 2.0};
+  const WcetLadder ladder = build_wcet_ladder(10.0, 0.0, 40.0, ns);
+  EXPECT_DOUBLE_EQ(ladder.wcets[0], 10.0);
+  EXPECT_DOUBLE_EQ(ladder.wcets[1], 40.0);  // top forced to pes
+}
+
+TEST(WcetLadder, DualCriticalityIsSpecialCase) {
+  // A two-level ladder reproduces the paper's dual model: C^LO from Eq. 6,
+  // C^HI = WCET^pes.
+  const std::vector<double> ns = {4.0, 1e9};
+  const WcetLadder ladder = build_wcet_ladder(20.0, 5.0, 300.0, ns);
+  EXPECT_DOUBLE_EQ(ladder.wcets[0], 40.0);
+  EXPECT_DOUBLE_EQ(ladder.wcets[1], 300.0);
+  EXPECT_NEAR(ladder.exceedance_bounds[0], 1.0 / 17.0, 1e-12);
+}
+
+TEST(WcetLadder, Validation) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)build_wcet_ladder(10.0, 2.0, 100.0, empty),
+               std::invalid_argument);
+  const std::vector<double> decreasing = {3.0, 1.0};
+  EXPECT_THROW((void)build_wcet_ladder(10.0, 2.0, 100.0, decreasing),
+               std::invalid_argument);
+  const std::vector<double> negative = {-1.0};
+  EXPECT_THROW((void)build_wcet_ladder(10.0, 2.0, 100.0, negative),
+               std::invalid_argument);
+  const std::vector<double> ok = {1.0};
+  EXPECT_THROW((void)build_wcet_ladder(0.0, 2.0, 100.0, ok),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_wcet_ladder(10.0, -1.0, 100.0, ok),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_wcet_ladder(10.0, 2.0, 5.0, ok),
+               std::invalid_argument);
+}
+
+TEST(SystemEscalation, MatchesEq10Shape) {
+  const std::vector<double> ps = {0.5, 0.1};
+  EXPECT_NEAR(system_escalation_probability(ps), 1.0 - 0.5 * 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(system_escalation_probability({}), 0.0);
+}
+
+TEST(SystemEscalation, ClampsInputs) {
+  const std::vector<double> odd = {1.5, -0.2};
+  const double p = system_escalation_probability(odd);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace mcs::core

@@ -1,0 +1,109 @@
+// Tests for core/objective.hpp — Eq. 11-13 and the feasibility rules.
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/chebyshev_wcet.hpp"
+
+namespace mcs::core {
+namespace {
+
+mc::McTask hc_task(double acet, double sigma, double wcet_hi, double period) {
+  mc::McTask t = mc::McTask::high("h", wcet_hi, wcet_hi, period);
+  t.stats = mc::ExecutionStats{acet, sigma, nullptr};
+  return t;
+}
+
+mc::TaskSet example_set() {
+  mc::TaskSet tasks;
+  tasks.add(hc_task(10.0, 2.0, 40.0, 100.0));   // u_hi = 0.4
+  tasks.add(hc_task(15.0, 3.0, 30.0, 100.0));   // u_hi = 0.3
+  return tasks;
+}
+
+TEST(Objective, HandComputedBreakdown) {
+  const mc::TaskSet tasks = example_set();
+  const std::vector<double> n = {5.0, 5.0};
+  const ObjectiveBreakdown b = evaluate_multipliers(tasks, n);
+  // u_hc_lo = (10 + 10)/100 + (15 + 15)/100 = 0.5; u_hc_hi = 0.7.
+  EXPECT_NEAR(b.u_hc_lo, 0.5, 1e-12);
+  EXPECT_NEAR(b.u_hc_hi, 0.7, 1e-12);
+  // max U_LC = min(1 - 0.5, 0.3 / (0.3 + 0.5)) = 0.375.
+  EXPECT_NEAR(b.max_u_lc, 0.375, 1e-12);
+  // P per task = 1/26; P_sys = 1 - (25/26)^2.
+  const double p = 1.0 - (25.0 / 26.0) * (25.0 / 26.0);
+  EXPECT_NEAR(b.p_ms, p, 1e-12);
+  EXPECT_NEAR(b.objective, (1.0 - p) * 0.375, 1e-12);
+  EXPECT_TRUE(b.feasible);
+}
+
+TEST(Objective, InfeasibleHcLoScoresZero) {
+  mc::TaskSet tasks;
+  tasks.add(hc_task(60.0, 10.0, 90.0, 100.0));
+  tasks.add(hc_task(55.0, 10.0, 90.0, 100.0));
+  // n = 0 keeps u_hc_lo = 1.15 > 1.
+  const std::vector<double> n = {0.0, 0.0};
+  const ObjectiveBreakdown b = evaluate_multipliers(tasks, n);
+  EXPECT_FALSE(b.feasible);
+  EXPECT_DOUBLE_EQ(b.objective, 0.0);
+  EXPECT_DOUBLE_EQ(b.max_u_lc, 0.0);
+}
+
+TEST(Objective, PmsDecreasesWithN) {
+  const mc::TaskSet tasks = example_set();
+  double prev = 2.0;
+  for (double n = 0.0; n <= 8.0; n += 1.0) {
+    const std::vector<double> genes = {n, n};
+    const double p = evaluate_multipliers(tasks, genes).p_ms;
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Objective, MaxULcNonIncreasingWithN) {
+  const mc::TaskSet tasks = example_set();
+  double prev = 2.0;
+  for (double n = 0.0; n <= 8.0; n += 1.0) {
+    const std::vector<double> genes = {n, n};
+    const double u = evaluate_multipliers(tasks, genes).max_u_lc;
+    EXPECT_LE(u, prev + 1e-12);
+    prev = u;
+  }
+}
+
+TEST(Objective, ClampAtEq9MakesLargeNEquivalent) {
+  const mc::TaskSet tasks = example_set();
+  // n_max for both tasks is (40-10)/2 = 15 and (30-15)/3 = 5.
+  const std::vector<double> big = {100.0, 100.0};
+  const std::vector<double> at_max = {15.0, 5.0};
+  const ObjectiveBreakdown a = evaluate_multipliers(tasks, big);
+  const ObjectiveBreakdown b = evaluate_multipliers(tasks, at_max);
+  EXPECT_NEAR(a.u_hc_lo, b.u_hc_lo, 1e-12);
+  EXPECT_NEAR(a.p_ms, b.p_ms, 1e-12);
+}
+
+TEST(Objective, Validation) {
+  const mc::TaskSet tasks = example_set();
+  const std::vector<double> wrong = {1.0};
+  EXPECT_THROW((void)evaluate_multipliers(tasks, wrong),
+               std::invalid_argument);
+  const std::vector<double> negative = {-1.0, 1.0};
+  EXPECT_THROW((void)evaluate_multipliers(tasks, negative),
+               std::invalid_argument);
+}
+
+TEST(EvaluateCurrent, ConsistentWithMultiplierPath) {
+  mc::TaskSet tasks = example_set();
+  const std::vector<double> n = {4.0, 2.0};
+  const ObjectiveBreakdown via_n = evaluate_multipliers(tasks, n);
+  (void)apply_chebyshev_assignment(tasks, n);
+  const ObjectiveBreakdown via_current = evaluate_current_assignment(tasks);
+  EXPECT_NEAR(via_n.u_hc_lo, via_current.u_hc_lo, 1e-12);
+  EXPECT_NEAR(via_n.p_ms, via_current.p_ms, 1e-12);
+  EXPECT_NEAR(via_n.objective, via_current.objective, 1e-12);
+}
+
+}  // namespace
+}  // namespace mcs::core

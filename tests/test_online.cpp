@@ -1,0 +1,92 @@
+// Tests for core/online.hpp — runtime drift monitoring.
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace mcs::core {
+namespace {
+
+MonitoredTask reference() {
+  // Designed at n = 3: C^LO = 10 + 3 * 2 = 16, bound 10%.
+  return MonitoredTask{10.0, 2.0, 16.0, 3.0};
+}
+
+TEST(OnlineMonitor, HealthyWorkloadStaysQuiet) {
+  OnlineMonitor monitor({reference()});
+  common::Rng rng(1);
+  for (int i = 0; i < 5000; ++i)
+    monitor.record(0, rng.normal(10.0, 2.0));
+  const DriftReport r = monitor.report(0);
+  EXPECT_FALSE(r.moments_drifted);
+  EXPECT_FALSE(r.bound_violated);
+  EXPECT_FALSE(monitor.any_reassignment_recommended());
+  EXPECT_NEAR(r.observed_acet, 10.0, 0.2);
+  EXPECT_DOUBLE_EQ(r.design_bound, 0.1);
+}
+
+TEST(OnlineMonitor, MeanDriftDetected) {
+  OnlineMonitor monitor({reference()});
+  common::Rng rng(2);
+  // The true mean drifted +30%.
+  for (int i = 0; i < 5000; ++i)
+    monitor.record(0, rng.normal(13.0, 2.0));
+  const DriftReport r = monitor.report(0);
+  EXPECT_TRUE(r.moments_drifted);
+  EXPECT_TRUE(monitor.any_reassignment_recommended());
+}
+
+TEST(OnlineMonitor, SigmaDriftDetected) {
+  OnlineMonitor monitor({reference()});
+  common::Rng rng(3);
+  for (int i = 0; i < 5000; ++i)
+    monitor.record(0, rng.normal(10.0, 3.5));
+  EXPECT_TRUE(monitor.report(0).moments_drifted);
+}
+
+TEST(OnlineMonitor, BoundViolationDetected) {
+  OnlineMonitor monitor({reference()});
+  common::Rng rng(4);
+  // A bimodal fault: 30% of jobs land above C^LO = 16 (bound is 10%).
+  for (int i = 0; i < 5000; ++i) {
+    const double t = rng.bernoulli(0.3) ? 18.0 : rng.normal(10.0, 1.0);
+    monitor.record(0, t);
+  }
+  const DriftReport r = monitor.report(0);
+  EXPECT_TRUE(r.bound_violated);
+  EXPECT_NEAR(r.observed_overrun_rate, 0.3, 0.03);
+}
+
+TEST(OnlineMonitor, NoVerdictBeforeMinJobs) {
+  OnlineMonitor monitor({reference()}, 0.15, 100);
+  // Even wildly drifted data stays quiet until 100 jobs accumulated.
+  for (int i = 0; i < 99; ++i) monitor.record(0, 30.0);
+  EXPECT_FALSE(monitor.report(0).reassignment_recommended());
+  monitor.record(0, 30.0);
+  EXPECT_TRUE(monitor.report(0).reassignment_recommended());
+}
+
+TEST(OnlineMonitor, TracksMultipleTasksIndependently) {
+  OnlineMonitor monitor({reference(), reference()});
+  common::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    monitor.record(0, rng.normal(10.0, 2.0));  // healthy
+    monitor.record(1, rng.normal(14.0, 2.0));  // drifted
+  }
+  EXPECT_FALSE(monitor.report(0).reassignment_recommended());
+  EXPECT_TRUE(monitor.report(1).reassignment_recommended());
+}
+
+TEST(OnlineMonitor, Validation) {
+  EXPECT_THROW(OnlineMonitor({}), std::invalid_argument);
+  EXPECT_THROW(OnlineMonitor({reference()}, 0.0), std::invalid_argument);
+  MonitoredTask bad = reference();
+  bad.acet = 0.0;
+  EXPECT_THROW(OnlineMonitor({bad}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::core

@@ -1,0 +1,143 @@
+// Tests for sched/partition.hpp — partitioned multiprocessor EDF-VD.
+#include "sched/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "core/chebyshev_wcet.hpp"
+#include "taskgen/generator.hpp"
+
+namespace mcs::sched {
+namespace {
+
+mc::TaskSet three_heavy_tasks() {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::high("a", 30.0, 70.0, 100.0));
+  tasks.add(mc::McTask::high("b", 30.0, 70.0, 100.0));
+  tasks.add(mc::McTask::high("c", 30.0, 70.0, 100.0));
+  return tasks;
+}
+
+TEST(Partition, SingleCoreMatchesUniprocessorTest) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::high("h", 20.0, 70.0, 100.0));
+  tasks.add(mc::McTask::low("l", 25.0, 100.0));
+  const PartitionResult r =
+      partition_tasks(tasks, 1, PartitionHeuristic::kFirstFit);
+  EXPECT_EQ(r.feasible, edf_vd_test(tasks).schedulable);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cores[0].size(), 2U);
+}
+
+TEST(Partition, HeavyTasksNeedOneCoreEach) {
+  const mc::TaskSet tasks = three_heavy_tasks();
+  for (const auto heuristic :
+       {PartitionHeuristic::kFirstFit, PartitionHeuristic::kBestFit,
+        PartitionHeuristic::kWorstFit}) {
+    EXPECT_FALSE(partition_tasks(tasks, 2, heuristic).feasible)
+        << to_string(heuristic);
+    const PartitionResult r = partition_tasks(tasks, 3, heuristic);
+    ASSERT_TRUE(r.feasible) << to_string(heuristic);
+    // Each core holds exactly one task.
+    const std::set<std::size_t> cores(r.core_of.begin(), r.core_of.end());
+    EXPECT_EQ(cores.size(), 3U);
+  }
+}
+
+TEST(Partition, EveryCorePassesEdfVd) {
+  common::Rng rng(1);
+  taskgen::GeneratorConfig config;
+  config.attach_distributions = false;
+  mc::TaskSet tasks = taskgen::generate_mixed(config, 2.0, rng);
+  // Give HC tasks Chebyshev C^LO at n = 3 first.
+  const std::size_t hc = tasks.count(mc::Criticality::kHigh);
+  (void)core::apply_chebyshev_assignment(tasks,
+                                         std::vector<double>(hc, 3.0));
+  const PartitionResult r =
+      partition_tasks(tasks, 4, PartitionHeuristic::kWorstFit);
+  ASSERT_TRUE(r.feasible);
+  std::size_t placed = 0;
+  for (std::size_t c = 0; c < r.cores.size(); ++c) {
+    EXPECT_TRUE(r.per_core[c].schedulable || r.cores[c].empty());
+    placed += r.cores[c].size();
+  }
+  EXPECT_EQ(placed, tasks.size());
+}
+
+TEST(Partition, WorstFitBalancesLoad) {
+  common::Rng rng(2);
+  taskgen::GeneratorConfig config;
+  config.attach_distributions = false;
+  mc::TaskSet tasks = taskgen::generate_mixed(config, 1.6, rng);
+  const std::size_t hc = tasks.count(mc::Criticality::kHigh);
+  (void)core::apply_chebyshev_assignment(tasks,
+                                         std::vector<double>(hc, 3.0));
+  const PartitionResult first =
+      partition_tasks(tasks, 4, PartitionHeuristic::kFirstFit);
+  const PartitionResult worst =
+      partition_tasks(tasks, 4, PartitionHeuristic::kWorstFit);
+  ASSERT_TRUE(first.feasible);
+  ASSERT_TRUE(worst.feasible);
+  // Worst-fit spreads utilization at least as evenly as first-fit.
+  EXPECT_LE(worst.max_core_hi_utilization(),
+            first.max_core_hi_utilization() + 1e-9);
+}
+
+TEST(Partition, InfeasibleTaskFailsEverywhere) {
+  mc::TaskSet tasks;
+  // A task that alone violates EDF-VD can never be placed.
+  mc::McTask monster = mc::McTask::high("m", 95.0, 100.0, 100.0);
+  tasks.add(monster);
+  tasks.add(mc::McTask::high("m2", 95.0, 100.0, 100.0));
+  const PartitionResult r =
+      partition_tasks(tasks, 8, PartitionHeuristic::kBestFit);
+  // Each fits alone (u = 1.0 exactly): 2 tasks on 8 cores is feasible...
+  EXPECT_TRUE(r.feasible);
+  mc::TaskSet impossible;
+  impossible.add(mc::McTask::high("x", 99.0, 100.0, 50.0));  // u_hi = 2
+  EXPECT_FALSE(
+      partition_tasks(impossible, 8, PartitionHeuristic::kFirstFit).feasible);
+}
+
+TEST(Partition, Validation) {
+  const mc::TaskSet tasks = three_heavy_tasks();
+  EXPECT_THROW(
+      (void)partition_tasks(tasks, 0, PartitionHeuristic::kFirstFit),
+      std::invalid_argument);
+}
+
+TEST(MinimumCores, FindsSmallestFeasibleCount) {
+  const mc::TaskSet tasks = three_heavy_tasks();
+  const auto min_ff =
+      minimum_cores(tasks, 8, PartitionHeuristic::kFirstFit);
+  ASSERT_TRUE(min_ff.has_value());
+  EXPECT_EQ(*min_ff, 3U);
+  EXPECT_FALSE(
+      minimum_cores(tasks, 2, PartitionHeuristic::kFirstFit).has_value());
+}
+
+TEST(MinimumCores, MoreLoadNeedsMoreCores) {
+  common::Rng rng(3);
+  taskgen::GeneratorConfig config;
+  config.attach_distributions = false;
+  const mc::TaskSet light = taskgen::generate_mixed(config, 0.8, rng);
+  const mc::TaskSet heavy = taskgen::generate_mixed(config, 3.0, rng);
+  const auto light_cores =
+      minimum_cores(light, 16, PartitionHeuristic::kWorstFit);
+  const auto heavy_cores =
+      minimum_cores(heavy, 16, PartitionHeuristic::kWorstFit);
+  ASSERT_TRUE(light_cores.has_value());
+  ASSERT_TRUE(heavy_cores.has_value());
+  EXPECT_LE(*light_cores, *heavy_cores);
+}
+
+TEST(HeuristicNames, Distinct) {
+  EXPECT_EQ(to_string(PartitionHeuristic::kFirstFit), "first-fit");
+  EXPECT_EQ(to_string(PartitionHeuristic::kBestFit), "best-fit");
+  EXPECT_EQ(to_string(PartitionHeuristic::kWorstFit), "worst-fit");
+}
+
+}  // namespace
+}  // namespace mcs::sched

@@ -1,0 +1,161 @@
+// Tests for sched/policies.hpp — the C^LO assignment policy roster.
+#include "sched/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcs::sched {
+namespace {
+
+const HcTaskProfile kProfile{.acet = 10.0, .sigma = 2.0, .wcet_pes = 100.0,
+                             .period = 200.0};
+
+TEST(LambdaRange, OutputWithinRange) {
+  LambdaRangePolicy policy(0.25, 1.0);
+  common::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double w = policy.wcet_opt(kProfile, rng);
+    EXPECT_GE(w, 25.0);
+    EXPECT_LE(w, 100.0);
+  }
+}
+
+TEST(LambdaRange, NameMentionsBounds) {
+  const LambdaRangePolicy policy(0.25, 1.0);
+  EXPECT_NE(policy.name().find("0.25"), std::string::npos);
+}
+
+TEST(LambdaRange, Validation) {
+  EXPECT_THROW(LambdaRangePolicy(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LambdaRangePolicy(0.5, 0.4), std::invalid_argument);
+  EXPECT_THROW(LambdaRangePolicy(0.5, 1.5), std::invalid_argument);
+}
+
+TEST(LambdaSet, DrawsOnlyListedValues) {
+  LambdaSetPolicy policy({0.25, 0.5});
+  common::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double w = policy.wcet_opt(kProfile, rng);
+    EXPECT_TRUE(w == 25.0 || w == 50.0) << w;
+  }
+}
+
+TEST(LambdaSet, EventuallyDrawsAllValues) {
+  LambdaSetPolicy policy({0.25, 0.5, 1.0});
+  common::Rng rng(3);
+  bool saw25 = false;
+  bool saw50 = false;
+  bool saw100 = false;
+  for (int i = 0; i < 500; ++i) {
+    const double w = policy.wcet_opt(kProfile, rng);
+    saw25 |= w == 25.0;
+    saw50 |= w == 50.0;
+    saw100 |= w == 100.0;
+  }
+  EXPECT_TRUE(saw25 && saw50 && saw100);
+}
+
+TEST(LambdaSet, Validation) {
+  EXPECT_THROW(LambdaSetPolicy({}), std::invalid_argument);
+  EXPECT_THROW(LambdaSetPolicy({0.5, 1.5}), std::invalid_argument);
+  EXPECT_THROW(LambdaSetPolicy({0.0}), std::invalid_argument);
+}
+
+TEST(Acet, ReturnsAcet) {
+  AcetPolicy policy;
+  common::Rng rng(4);
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(kProfile, rng), 10.0);
+  EXPECT_EQ(policy.name(), "ACET");
+}
+
+TEST(Acet, ClampsToPessimistic) {
+  AcetPolicy policy;
+  common::Rng rng(4);
+  const HcTaskProfile odd{.acet = 150.0, .sigma = 1.0, .wcet_pes = 100.0,
+                          .period = 200.0};
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(odd, rng), 100.0);
+}
+
+TEST(ChebyshevUniform, ComputesEq6WithClamp) {
+  ChebyshevUniformPolicy policy(3.0);
+  common::Rng rng(5);
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(kProfile, rng), 16.0);  // 10 + 3*2
+  ChebyshevUniformPolicy huge(100.0);
+  EXPECT_DOUBLE_EQ(huge.wcet_opt(kProfile, rng), 100.0);   // Eq. 9 clamp
+}
+
+TEST(ChebyshevUniform, Validation) {
+  EXPECT_THROW(ChebyshevUniformPolicy(-1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ChebyshevUniformPolicy(2.5).n(), 2.5);
+}
+
+std::vector<double> ramp_samples() {
+  std::vector<double> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<double>(i + 1);  // 1..100
+  return xs;
+}
+
+TEST(EmpiricalQuantile, PicksSampleQuantile) {
+  const std::vector<double> xs = ramp_samples();
+  HcTaskProfile profile = kProfile;
+  profile.samples = &xs;
+  profile.wcet_pes = 1000.0;
+  EmpiricalQuantilePolicy policy(0.9);
+  common::Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(profile, rng), 90.0);
+}
+
+TEST(EmpiricalQuantile, ClampsToPessimistic) {
+  const std::vector<double> xs = ramp_samples();
+  HcTaskProfile profile = kProfile;
+  profile.samples = &xs;
+  profile.wcet_pes = 50.0;
+  EmpiricalQuantilePolicy policy(1.0);
+  common::Rng rng(2);
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(profile, rng), 50.0);
+}
+
+TEST(EmpiricalQuantile, Validation) {
+  EXPECT_THROW(EmpiricalQuantilePolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(EmpiricalQuantilePolicy(1.1), std::invalid_argument);
+  EmpiricalQuantilePolicy policy(0.5);
+  common::Rng rng(3);
+  EXPECT_THROW((void)policy.wcet_opt(kProfile, rng), std::invalid_argument);
+}
+
+TEST(EvtPwcet, ProducesLevelInRange) {
+  common::Rng data_rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(data_rng.normal(50.0, 5.0));
+  HcTaskProfile profile = kProfile;
+  profile.samples = &xs;
+  profile.wcet_pes = 500.0;
+  EvtPwcetPolicy policy(0.01, 50);
+  common::Rng rng(5);
+  const double level = policy.wcet_opt(profile, rng);
+  EXPECT_GT(level, 50.0);   // above the mean
+  EXPECT_LE(level, 500.0);  // clamped
+  // A rarer exceedance target demands a higher level.
+  EvtPwcetPolicy rarer(0.001, 50);
+  EXPECT_GT(rarer.wcet_opt(profile, rng), level);
+}
+
+TEST(EvtPwcet, Validation) {
+  EXPECT_THROW(EvtPwcetPolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(EvtPwcetPolicy(1.0), std::invalid_argument);
+  EXPECT_THROW(EvtPwcetPolicy(0.5, 0), std::invalid_argument);
+  EvtPwcetPolicy policy(0.1);
+  common::Rng rng(6);
+  EXPECT_THROW((void)policy.wcet_opt(kProfile, rng), std::invalid_argument);
+}
+
+TEST(PolicyNames, NewPoliciesDescriptive) {
+  EXPECT_NE(EmpiricalQuantilePolicy(0.9).name().find("quantile"),
+            std::string::npos);
+  EXPECT_NE(EvtPwcetPolicy(0.1).name().find("evt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::sched

@@ -1,0 +1,100 @@
+// Tests for wcet/program.hpp: timing-schema arithmetic and CFG lowering
+// structure.
+#include "wcet/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcs::wcet {
+namespace {
+
+CostModel unit_costs() {
+  CostModel m;
+  for (auto& c : m.cost) c = 1;
+  m.block_overhead = 0;
+  return m;
+}
+
+BasicBlock alu_block(const char* label, std::size_t n) {
+  BasicBlock b(label);
+  b.add(OpClass::kAlu, n);
+  return b;
+}
+
+TEST(Schema, BlockCost) {
+  const auto p = block(alu_block("b", 7));
+  EXPECT_EQ(p->wcet(unit_costs()), 7U);
+}
+
+TEST(Schema, SeqSums) {
+  const auto p = seq({block(alu_block("a", 2)), block(alu_block("b", 3))});
+  EXPECT_EQ(p->wcet(unit_costs()), 5U);
+}
+
+TEST(Schema, LoopMultipliesPlusFinalTest) {
+  // bound * (header + body) + header = 10 * (2 + 3) + 2 = 52.
+  const auto p = loop(10, alu_block("h", 2), block(alu_block("b", 3)));
+  EXPECT_EQ(p->wcet(unit_costs()), 52U);
+}
+
+TEST(Schema, IfTakesHeavierBranch) {
+  const auto p = if_else(alu_block("c", 1), block(alu_block("t", 10)),
+                         block(alu_block("e", 3)));
+  EXPECT_EQ(p->wcet(unit_costs()), 11U);
+}
+
+TEST(Schema, IfWithMissingBranch) {
+  const auto p = if_else(alu_block("c", 1), block(alu_block("t", 4)));
+  EXPECT_EQ(p->wcet(unit_costs()), 5U);
+  const auto p2 = if_else(alu_block("c", 1), nullptr, nullptr);
+  EXPECT_EQ(p2->wcet(unit_costs()), 1U);
+}
+
+TEST(Schema, NestedLoops) {
+  // inner: 4 * (1 + 1) + 1 = 9; outer: 3 * (1 + 9) + 1 = 31.
+  const auto inner = loop(4, alu_block("ih", 1), block(alu_block("b", 1)));
+  const auto outer = loop(3, alu_block("oh", 1), inner);
+  EXPECT_EQ(outer->wcet(unit_costs()), 31U);
+}
+
+TEST(Lowering, StraightLineStructure) {
+  const auto p = seq({block(alu_block("a", 1)), block(alu_block("b", 1))});
+  const ControlFlowGraph cfg = lower_program(*p);
+  // entry + a + b + exit.
+  EXPECT_EQ(cfg.block_count(), 4U);
+  EXPECT_TRUE(cfg.loop_bounds().empty());
+}
+
+TEST(Lowering, LoopCreatesBackEdgeAndBound) {
+  const auto p = loop(5, alu_block("h", 1), block(alu_block("b", 1)));
+  const ControlFlowGraph cfg = lower_program(*p);
+  EXPECT_EQ(cfg.loop_bounds().size(), 1U);
+  // Find the header: the block with the bound; the body must loop back.
+  const auto [header, bound] = *cfg.loop_bounds().begin();
+  EXPECT_EQ(bound, 5U);
+  bool has_back_edge = false;
+  for (BlockId b = 0; b < cfg.block_count(); ++b)
+    for (const BlockId s : cfg.successors(b))
+      if (s == header && b > header) has_back_edge = true;
+  EXPECT_TRUE(has_back_edge);
+}
+
+TEST(Lowering, IfCreatesDiamond) {
+  const auto p = if_else(alu_block("c", 1), block(alu_block("t", 1)),
+                         block(alu_block("e", 1)));
+  const ControlFlowGraph cfg = lower_program(*p);
+  // entry, cond, then, else, join, exit.
+  EXPECT_EQ(cfg.block_count(), 6U);
+}
+
+TEST(Validation, BadConstructionThrows) {
+  EXPECT_THROW(seq({}), std::invalid_argument);
+  EXPECT_THROW(seq({nullptr}), std::invalid_argument);
+  EXPECT_THROW(loop(0, alu_block("h", 1), block(alu_block("b", 1))),
+               std::invalid_argument);
+  EXPECT_THROW(loop(3, alu_block("h", 1), nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::wcet

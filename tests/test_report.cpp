@@ -1,0 +1,52 @@
+// Tests for core/report.hpp.
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/chebyshev_wcet.hpp"
+
+namespace mcs::core {
+namespace {
+
+mc::TaskSet assigned_set() {
+  mc::TaskSet tasks;
+  mc::McTask hc = mc::McTask::high("sensor", 60.0, 60.0, 200.0);
+  hc.stats = mc::ExecutionStats{10.0, 2.0, nullptr};
+  tasks.add(hc);
+  tasks.add(mc::McTask::low("logger", 30.0, 300.0));
+  (void)apply_chebyshev_assignment(tasks, std::vector<double>{3.0});
+  return tasks;
+}
+
+TEST(DesignReport, ContainsTasksVerdictsAndBounds) {
+  const std::string report = render_design_report(assigned_set());
+  EXPECT_NE(report.find("sensor"), std::string::npos);
+  EXPECT_NE(report.find("logger"), std::string::npos);
+  EXPECT_NE(report.find("EDF-VD"), std::string::npos);
+  EXPECT_NE(report.find("AMC-rtb"), std::string::npos);
+  EXPECT_NE(report.find("demand-bound"), std::string::npos);
+  EXPECT_NE(report.find("P_sys^MS"), std::string::npos);
+  // Implied n = 3 and its 10% bound must appear.
+  EXPECT_NE(report.find("10.00%"), std::string::npos);
+  EXPECT_NE(report.find("schedulable"), std::string::npos);
+}
+
+TEST(DesignReport, HandlesHcWithoutStats) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::high("raw", 10.0, 20.0, 100.0));
+  const std::string report = render_design_report(tasks);
+  EXPECT_NE(report.find("raw"), std::string::npos);
+  // No probabilistic summary without moments.
+  EXPECT_EQ(report.find("P_sys^MS (Eq. 10)"), std::string::npos);
+}
+
+TEST(DesignReport, FlagsUnschedulableSets) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::low("a", 60.0, 100.0));
+  tasks.add(mc::McTask::low("b", 60.0, 100.0));
+  const std::string report = render_design_report(tasks);
+  EXPECT_NE(report.find("NOT schedulable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::core

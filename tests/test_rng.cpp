@@ -1,0 +1,162 @@
+// Tests for common/rng.hpp: determinism, range contracts and moment
+// sanity of the xoshiro256** generator.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mcs::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 9.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(Rng, UniformU64InclusiveRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10, 15);
+    EXPECT_GE(v, 10U);
+    EXPECT_LE(v, 15U);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6U);  // every value in [10,15] appears
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_u64(42, 42), 42U);
+}
+
+TEST(Rng, UniformI64NegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_i64(-3, 2);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 2);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(0.1), 0.0);
+}
+
+TEST(Rng, SplitStreamsDecorrelated) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent() == child()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, RepeatedSplitsDiffer) {
+  Rng parent(37);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Splitmix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 1234;
+  std::uint64_t s2 = 1234;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace mcs::common

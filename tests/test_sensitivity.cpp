@@ -1,0 +1,98 @@
+// Tests for core/sensitivity.hpp — analytic robustness of the scheme to
+// moment estimation error.
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/chebyshev_wcet.hpp"
+
+namespace mcs::core {
+namespace {
+
+mc::McTask hc_task(double acet, double sigma, double wcet_hi, double period) {
+  mc::McTask t = mc::McTask::high("h", wcet_hi, wcet_hi, period);
+  t.stats = mc::ExecutionStats{acet, sigma, nullptr};
+  return t;
+}
+
+TEST(RealizedMultiplier, ZeroErrorRecoversDesignedN) {
+  // C^LO = 10 + 3*2 = 16 at n = 3.
+  EXPECT_DOUBLE_EQ(realized_multiplier(10.0, 2.0, 16.0, 0.0, 0.0), 3.0);
+}
+
+TEST(RealizedMultiplier, UnderestimatedMomentsReduceN) {
+  // True ACET 10% higher: n' = (16 - 11) / 2 = 2.5 < 3.
+  EXPECT_DOUBLE_EQ(realized_multiplier(10.0, 2.0, 16.0, 0.1, 0.0), 2.5);
+  // True sigma 25% higher: n' = 6 / 2.5 = 2.4.
+  EXPECT_DOUBLE_EQ(realized_multiplier(10.0, 2.0, 16.0, 0.0, 0.25), 2.4);
+}
+
+TEST(RealizedMultiplier, OverestimatedMomentsIncreaseN) {
+  EXPECT_GT(realized_multiplier(10.0, 2.0, 16.0, -0.1, -0.1), 3.0);
+}
+
+TEST(RealizedMultiplier, SevereErrorGoesVacuous) {
+  // True mean above C^LO: negative n', whose bound is the vacuous 1.
+  const double n = realized_multiplier(10.0, 2.0, 16.0, 0.7, 0.0);
+  EXPECT_LT(n, 0.0);
+  EXPECT_DOUBLE_EQ(task_overrun_bound(n), 1.0);
+}
+
+TEST(RealizedMultiplier, Validation) {
+  EXPECT_THROW(
+      (void)realized_multiplier(10.0, 2.0, 16.0, 0.0, -1.5),
+      std::invalid_argument);
+}
+
+TEST(AnalyzeSensitivity, ZeroErrorMatchesDesigned) {
+  mc::TaskSet tasks;
+  tasks.add(hc_task(10.0, 2.0, 40.0, 100.0));
+  tasks.add(hc_task(15.0, 3.0, 60.0, 200.0));
+  const std::vector<double> n = {3.0, 4.0};
+  (void)apply_chebyshev_assignment(tasks, n);
+  const std::vector<double> errors = {0.0};
+  const auto points = analyze_sensitivity(tasks, errors);
+  ASSERT_EQ(points.size(), 1U);
+  EXPECT_NEAR(points[0].realized_p_ms, points[0].designed_p_ms, 1e-12);
+  EXPECT_TRUE(points[0].schedulability_preserved);
+}
+
+TEST(AnalyzeSensitivity, RealizedBoundMonotoneInError) {
+  mc::TaskSet tasks;
+  tasks.add(hc_task(10.0, 2.0, 40.0, 100.0));
+  tasks.add(hc_task(15.0, 3.0, 60.0, 200.0));
+  (void)apply_chebyshev_assignment(tasks, std::vector<double>{5.0, 5.0});
+  const std::vector<double> errors = {-0.2, -0.1, 0.0, 0.1, 0.2};
+  const auto points = analyze_sensitivity(tasks, errors);
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_GE(points[i].realized_p_ms, points[i - 1].realized_p_ms - 1e-12);
+}
+
+TEST(AnalyzeSensitivity, BudgetsAndSchedulabilityFrozen) {
+  // The C^LO budgets are set at design time; moment errors do not change
+  // the utilizations Eq. 8 sees.
+  mc::TaskSet tasks;
+  tasks.add(hc_task(10.0, 2.0, 40.0, 100.0));
+  (void)apply_chebyshev_assignment(tasks, std::vector<double>{4.0});
+  const std::vector<double> errors = {-0.2, 0.0, 0.2};
+  const auto points = analyze_sensitivity(tasks, errors);
+  for (const SensitivityPoint& p : points) {
+    EXPECT_NEAR(p.u_hc_lo_true, 18.0 / 100.0, 1e-12);
+    EXPECT_TRUE(p.schedulability_preserved);
+  }
+}
+
+TEST(AnalyzeSensitivity, MissingStatsThrow) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::high("h", 10.0, 20.0, 100.0));
+  const std::vector<double> errors = {0.0};
+  EXPECT_THROW((void)analyze_sensitivity(tasks, errors),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::core

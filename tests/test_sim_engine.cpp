@@ -1,0 +1,419 @@
+// Tests for sim/engine.hpp — the paper's operational model (Section III)
+// as executed by the discrete-event simulator.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/edf_vd.hpp"
+#include "stats/distributions.hpp"
+
+namespace mcs::sim {
+namespace {
+
+/// HC task whose demand distribution is a point mass at `exec` ms.
+mc::McTask deterministic_hc(const std::string& name, double wcet_lo,
+                            double wcet_hi, double period, double exec) {
+  mc::McTask t = mc::McTask::high(name, wcet_lo, wcet_hi, period);
+  mc::ExecutionStats stats;
+  stats.acet = exec;
+  stats.sigma = 0.0;
+  stats.distribution =
+      std::make_shared<stats::UniformDistribution>(exec, exec);
+  t.stats = stats;
+  return t;
+}
+
+TEST(Sim, SingleTaskUtilizationAccounting) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 10.0));
+  SimConfig config;
+  config.horizon = 10000.0;
+  const SimResult r = simulate(tasks, config);
+  EXPECT_EQ(r.metrics.hc_jobs_released, 100U);
+  EXPECT_EQ(r.metrics.hc_jobs_completed, 100U);
+  EXPECT_EQ(r.metrics.mode_switches, 0U);
+  EXPECT_EQ(r.metrics.hc_deadline_misses, 0U);
+  EXPECT_NEAR(r.metrics.observed_utilization(), 0.1, 1e-6);
+}
+
+TEST(Sim, OverrunTriggersModeSwitchAndRecovery) {
+  mc::TaskSet tasks;
+  // Demand 25 > C^LO 20: every job overruns, HI budget 30 covers it.
+  tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 25.0));
+  SimConfig config;
+  config.horizon = 10000.0;
+  const SimResult r = simulate(tasks, config);
+  EXPECT_EQ(r.metrics.hc_jobs_overrun, r.metrics.hc_jobs_released);
+  EXPECT_EQ(r.metrics.mode_switches, r.metrics.hc_jobs_released);
+  EXPECT_EQ(r.metrics.hc_deadline_misses, 0U);
+  EXPECT_EQ(r.metrics.hc_jobs_completed, r.metrics.hc_jobs_released);
+  // The system must return to LO between jobs.
+  EXPECT_LT(r.metrics.hi_mode_fraction(), 0.5);
+}
+
+TEST(Sim, DropAllRejectsLcInHiMode) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 10.0, 80.0, 100.0, 70.0));  // overruns
+  tasks.add(mc::McTask::low("l", 10.0, 100.0));
+  SimConfig config;
+  config.horizon = 20000.0;
+  config.lc_policy = LcPolicy::kDropAll;
+  const SimResult r = simulate(tasks, config);
+  EXPECT_GT(r.metrics.mode_switches, 0U);
+  EXPECT_GT(r.metrics.lc_jobs_dropped, 0U);
+  EXPECT_EQ(r.metrics.hc_deadline_misses, 0U);
+}
+
+TEST(Sim, DegradePolicyCompletesSomeLcInHiMode) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 10.0, 60.0, 100.0, 50.0));
+  tasks.add(mc::McTask::low("l", 20.0, 100.0));
+  SimConfig drop_config;
+  drop_config.horizon = 20000.0;
+  drop_config.lc_policy = LcPolicy::kDropAll;
+  SimConfig degrade_config = drop_config;
+  degrade_config.lc_policy = LcPolicy::kDegradeHalf;
+  const SimResult drop = simulate(tasks, drop_config);
+  const SimResult degrade = simulate(tasks, degrade_config);
+  // Degrading preserves strictly more LC completions than dropping.
+  EXPECT_GT(degrade.metrics.lc_jobs_completed, drop.metrics.lc_jobs_completed);
+}
+
+TEST(Sim, NoOverrunWhenBudgetCoversDemand) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 20.0));  // exact fit
+  SimConfig config;
+  config.horizon = 5000.0;
+  const SimResult r = simulate(tasks, config);
+  EXPECT_EQ(r.metrics.hc_jobs_overrun, 0U);
+  EXPECT_EQ(r.metrics.mode_switches, 0U);
+}
+
+TEST(Sim, VirtualDeadlinePrioritizesHcInLoMode) {
+  // HC with a shrunk virtual deadline must preempt an LC job with a
+  // nominally earlier real deadline.
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 40.0, 50.0, 200.0, 40.0));
+  tasks.add(mc::McTask::low("l", 90.0, 150.0));
+  SimConfig config;
+  config.horizon = 30000.0;
+  config.x = 0.3;  // HC virtual deadline = release + 60 < LC deadline 150
+  const SimResult r = simulate(tasks, config);
+  EXPECT_EQ(r.metrics.hc_deadline_misses, 0U);
+}
+
+TEST(Sim, DeterministicInSeed) {
+  mc::TaskSet tasks;
+  mc::McTask h = mc::McTask::high("h", 15.0, 45.0, 100.0);
+  mc::ExecutionStats stats;
+  stats.acet = 12.0;
+  stats.sigma = 4.0;
+  stats.distribution = stats::LogNormalDistribution::from_moments(12.0, 4.0);
+  h.stats = stats;
+  tasks.add(h);
+  tasks.add(mc::McTask::low("l", 20.0, 150.0));
+  SimConfig config;
+  config.horizon = 50000.0;
+  config.seed = 77;
+  const SimResult a = simulate(tasks, config);
+  const SimResult b = simulate(tasks, config);
+  EXPECT_EQ(a.metrics.mode_switches, b.metrics.mode_switches);
+  EXPECT_EQ(a.metrics.lc_jobs_dropped, b.metrics.lc_jobs_dropped);
+  EXPECT_DOUBLE_EQ(a.metrics.busy_time, b.metrics.busy_time);
+}
+
+TEST(Sim, StochasticOverrunRateTracksDistribution) {
+  // C^LO placed at the distribution's ~80th percentile: overruns should
+  // land near 20%, and far under the Chebyshev bound.
+  mc::TaskSet tasks;
+  mc::McTask h = mc::McTask::high("h", 0.0, 40.0, 100.0);
+  mc::ExecutionStats stats;
+  stats.acet = 10.0;
+  stats.sigma = 2.0;
+  stats.distribution =
+      std::make_shared<stats::TruncatedNormalDistribution>(10.0, 2.0);
+  h.stats = stats;
+  h.wcet_lo = 10.0 + 0.8416 * 2.0;  // z_{0.8} for a normal
+  tasks.add(h);
+  SimConfig config;
+  config.horizon = 2'000'000.0;
+  const SimResult r = simulate(tasks, config);
+  EXPECT_NEAR(r.metrics.hc_overrun_rate(), 0.2, 0.02);
+}
+
+TEST(Sim, SporadicJitterKeepsSchedulableSetsSafe) {
+  // The periodic analyses are sufficient for sporadic arrivals: jittered
+  // releases must never create HC misses in a schedulable set.
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h1", 10.0, 20.0, 100.0, 8.0));
+  tasks.add(deterministic_hc("h2", 15.0, 25.0, 150.0, 12.0));
+  tasks.add(mc::McTask::low("l", 30.0, 300.0));
+  const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
+  ASSERT_TRUE(vd.schedulable);
+  for (const double jitter : {0.1, 0.5, 1.0}) {
+    SimConfig config;
+    config.horizon = 60000.0;
+    config.x = vd.x;
+    config.release_jitter = jitter;
+    config.seed = 21;
+    const SimResult r = simulate(tasks, config);
+    EXPECT_EQ(r.metrics.hc_deadline_misses, 0U) << "jitter " << jitter;
+    // Jitter stretches inter-arrival times, so fewer jobs are released
+    // than the strictly periodic count.
+    EXPECT_LT(r.metrics.hc_jobs_released, 600U + 400U);
+  }
+}
+
+TEST(Sim, JitterValidation) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::low("l", 10.0, 100.0));
+  SimConfig config;
+  config.release_jitter = -0.1;
+  EXPECT_THROW((void)simulate(tasks, config), std::invalid_argument);
+}
+
+TEST(Sim, ServerPolicyServesLcDuringHiMode) {
+  mc::TaskSet tasks;
+  // HC task that always overruns and occupies HI mode for a while.
+  tasks.add(deterministic_hc("h", 10.0, 60.0, 100.0, 50.0));
+  tasks.add(mc::McTask::low("l", 8.0, 100.0));
+  SimConfig drop;
+  drop.horizon = 50000.0;
+  drop.lc_policy = LcPolicy::kDropAll;
+  SimConfig server = drop;
+  server.lc_policy = LcPolicy::kServer;
+  server.server_capacity = 10.0;
+  server.server_period = 50.0;
+  const SimResult dropped = simulate(tasks, drop);
+  const SimResult served = simulate(tasks, server);
+  ASSERT_GT(dropped.metrics.mode_switches, 0U);
+  // The server completes strictly more LC jobs than dropping them.
+  EXPECT_GT(served.metrics.lc_jobs_completed,
+            dropped.metrics.lc_jobs_completed);
+  EXPECT_EQ(served.metrics.hc_deadline_misses, 0U);
+}
+
+TEST(Sim, ServerBudgetThrottlesLc) {
+  // A starved server (tiny capacity) serves fewer LC jobs than an ample
+  // one under identical load. The LC deadline (50) falls inside the HC
+  // task's HI interval (~[10, 70] each period), so the server is the only
+  // path to completion for the first LC job of each period.
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 10.0, 80.0, 100.0, 70.0));
+  tasks.add(mc::McTask::low("l", 10.0, 50.0));
+  SimConfig starved;
+  starved.horizon = 50000.0;
+  starved.lc_policy = LcPolicy::kServer;
+  starved.server_capacity = 1.0;
+  starved.server_period = 100.0;
+  // Shrunk virtual deadlines dispatch the HC job first, so the overrun
+  // happens before the LC job gets the processor.
+  starved.x = 0.2;
+  SimConfig ample = starved;
+  ample.server_capacity = 30.0;
+  const SimResult lean = simulate(tasks, starved);
+  const SimResult rich = simulate(tasks, ample);
+  EXPECT_LT(lean.metrics.lc_jobs_completed, rich.metrics.lc_jobs_completed);
+}
+
+TEST(Sim, ServerValidation) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::low("l", 10.0, 100.0));
+  SimConfig config;
+  config.lc_policy = LcPolicy::kServer;
+  config.server_capacity = 0.0;
+  EXPECT_THROW((void)simulate(tasks, config), std::invalid_argument);
+}
+
+TEST(Sim, ContextSwitchesCountedWithoutCost) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 10.0));
+  tasks.add(mc::McTask::low("l", 10.0, 100.0));
+  SimConfig config;
+  config.horizon = 10000.0;
+  const SimResult r = simulate(tasks, config);
+  // Two jobs per period, each dispatched at least once.
+  EXPECT_GE(r.metrics.context_switches, 200U);
+  EXPECT_DOUBLE_EQ(r.metrics.overhead_time, 0.0);
+}
+
+TEST(Sim, ContextSwitchOverheadConsumesTime) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 10.0));
+  tasks.add(mc::McTask::low("l", 10.0, 100.0));
+  SimConfig config;
+  config.horizon = 10000.0;
+  config.context_switch_ms = 0.5;
+  const SimResult r = simulate(tasks, config);
+  EXPECT_GT(r.metrics.overhead_time, 0.0);
+  EXPECT_NEAR(r.metrics.overhead_time,
+              0.5 * static_cast<double>(r.metrics.context_switches), 1.0);
+  // Overhead is busy time, so observed utilization rises.
+  SimConfig free_config = config;
+  free_config.context_switch_ms = 0.0;
+  const SimResult free_run = simulate(tasks, free_config);
+  EXPECT_GT(r.metrics.observed_utilization(),
+            free_run.metrics.observed_utilization());
+}
+
+TEST(Sim, ModeSwitchOverheadCharged) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 25.0));  // overruns
+  SimConfig config;
+  config.horizon = 10000.0;
+  config.mode_switch_ms = 1.0;
+  const SimResult r = simulate(tasks, config);
+  ASSERT_GT(r.metrics.mode_switches, 0U);
+  // Each LO->HI has a matching HI->LO, both charged.
+  EXPECT_NEAR(r.metrics.overhead_time,
+              2.0 * static_cast<double>(r.metrics.mode_switches), 2.0);
+  EXPECT_EQ(r.metrics.hc_deadline_misses, 0U);
+}
+
+TEST(Sim, IdleInstantBackSwitchStaysInHiLonger) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 10.0, 60.0, 100.0, 50.0));  // overruns
+  tasks.add(mc::McTask::low("l", 30.0, 120.0));
+  SimConfig paper_config;
+  paper_config.horizon = 60000.0;
+  paper_config.lc_policy = LcPolicy::kDegradeHalf;
+  paper_config.back_switch = BackSwitchPolicy::kNoReadyHc;
+  SimConfig idle_config = paper_config;
+  idle_config.back_switch = BackSwitchPolicy::kIdleInstant;
+  const SimResult paper = simulate(tasks, paper_config);
+  const SimResult idle = simulate(tasks, idle_config);
+  // Waiting for a full idle instant can only extend HI residency.
+  EXPECT_GE(idle.metrics.hi_mode_time, paper.metrics.hi_mode_time - 1e-9);
+  EXPECT_GT(idle.metrics.hi_mode_time, 0.0);
+  // Neither policy may cost an HC deadline.
+  EXPECT_EQ(paper.metrics.hc_deadline_misses, 0U);
+  EXPECT_EQ(idle.metrics.hc_deadline_misses, 0U);
+}
+
+TEST(Sim, PerTaskResponseTimes) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 10.0));
+  tasks.add(mc::McTask::low("l", 15.0, 200.0));
+  SimConfig config;
+  config.horizon = 20000.0;
+  const SimResult r = simulate(tasks, config);
+  ASSERT_EQ(r.metrics.per_task.size(), 2U);
+  const TaskSimStats& hc = r.metrics.per_task[0];
+  const TaskSimStats& lc = r.metrics.per_task[1];
+  EXPECT_EQ(hc.released, 200U);
+  EXPECT_EQ(hc.completed, 200U);
+  // The HC task has highest priority at release: response == exec time.
+  EXPECT_NEAR(hc.max_response, 10.0, 1e-6);
+  EXPECT_NEAR(hc.mean_response(), 10.0, 1e-6);
+  // The LC job can be delayed by the HC job but must meet its deadline.
+  EXPECT_EQ(lc.completed, lc.released);
+  EXPECT_LE(lc.max_response, 200.0 + 1e-6);
+  EXPECT_GE(lc.mean_response(), 15.0 - 1e-6);
+}
+
+TEST(Sim, ResponsePercentilesTracked) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 10.0));
+  tasks.add(mc::McTask::low("l", 15.0, 150.0));
+  SimConfig config;
+  config.horizon = 60000.0;
+  config.response_reservoir = 256;
+  const SimResult r = simulate(tasks, config);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskSimStats& ts = r.metrics.per_task[i];
+    EXPECT_GT(ts.p95_response, 0.0);
+    EXPECT_LE(ts.p95_response, ts.p99_response + 1e-9);
+    EXPECT_LE(ts.p99_response, ts.max_response + 1e-9);
+    EXPECT_GE(ts.p95_response, ts.mean_response() * 0.5);
+  }
+  // Disabled by default.
+  SimConfig off = config;
+  off.response_reservoir = 0;
+  const SimResult r_off = simulate(tasks, off);
+  EXPECT_DOUBLE_EQ(r_off.metrics.per_task[0].p95_response, 0.0);
+}
+
+TEST(Sim, ResponseTimesBoundedByDeadlineWhenSchedulable) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h1", 10.0, 20.0, 100.0, 8.0));
+  tasks.add(deterministic_hc("h2", 15.0, 25.0, 150.0, 12.0));
+  tasks.add(mc::McTask::low("l", 30.0, 300.0));
+  const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
+  ASSERT_TRUE(vd.schedulable);
+  SimConfig config;
+  config.horizon = 60000.0;
+  config.x = vd.x;
+  const SimResult r = simulate(tasks, config);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    EXPECT_LE(r.metrics.per_task[i].max_response,
+              tasks[i].deadline() + 1e-6)
+        << tasks[i].name;
+}
+
+TEST(Sim, TraceRecordsWhenEnabled) {
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 25.0));
+  SimConfig config;
+  config.horizon = 500.0;
+  config.trace_capacity = 100;
+  const SimResult r = simulate(tasks, config);
+  EXPECT_GT(r.trace.total_recorded(), 0U);
+  const std::string rendered = r.trace.render();
+  EXPECT_NE(rendered.find("mode->HI"), std::string::npos);
+  EXPECT_NE(rendered.find("complete"), std::string::npos);
+}
+
+TEST(Sim, EmptyTaskSetIsANoop) {
+  mc::TaskSet tasks;
+  SimConfig config;
+  config.horizon = 1000.0;
+  const SimResult r = simulate(tasks, config);
+  EXPECT_EQ(r.metrics.hc_jobs_released, 0U);
+  EXPECT_EQ(r.metrics.lc_jobs_released, 0U);
+  EXPECT_DOUBLE_EQ(r.metrics.busy_time, 0.0);
+}
+
+TEST(Sim, PartitionedSimulationAggregates) {
+  mc::TaskSet core0;
+  core0.add(deterministic_hc("h0", 20.0, 30.0, 100.0, 10.0));
+  mc::TaskSet core1;
+  core1.add(deterministic_hc("h1", 15.0, 25.0, 100.0, 20.0));  // overruns
+  core1.add(mc::McTask::low("l1", 10.0, 200.0));
+  SimConfig config;
+  config.horizon = 10000.0;
+  const MulticoreSimResult r =
+      simulate_partitioned({core0, core1}, {1.0, 1.0}, config);
+  ASSERT_EQ(r.cores.size(), 2U);
+  EXPECT_EQ(r.combined.hc_jobs_released,
+            r.cores[0].metrics.hc_jobs_released +
+                r.cores[1].metrics.hc_jobs_released);
+  EXPECT_EQ(r.combined.mode_switches, r.cores[1].metrics.mode_switches);
+  EXPECT_EQ(r.combined.hc_deadline_misses, 0U);
+  EXPECT_GT(r.combined.lc_jobs_released, 0U);
+}
+
+TEST(Sim, PartitionedValidation) {
+  SimConfig config;
+  EXPECT_THROW((void)simulate_partitioned({mc::TaskSet{}}, {1.0, 0.5},
+                                          config),
+               std::invalid_argument);
+}
+
+TEST(Sim, Validation) {
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::low("l", 10.0, 100.0));
+  SimConfig config;
+  config.horizon = 0.0;
+  EXPECT_THROW((void)simulate(tasks, config), std::invalid_argument);
+  config.horizon = 100.0;
+  config.x = 0.0;
+  EXPECT_THROW((void)simulate(tasks, config), std::invalid_argument);
+  config.x = 1.0;
+  tasks.add(mc::McTask::low("bad", 0.0, 100.0));
+  EXPECT_THROW((void)simulate(tasks, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::sim

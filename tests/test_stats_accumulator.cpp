@@ -1,0 +1,122 @@
+// Tests for common/stats_accumulator.hpp: Welford correctness against
+// naive formulas, merge semantics, and the Eq. 3/4 population convention.
+#include "common/stats_accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(StatsAccumulator, EmptyIsZero) {
+  StatsAccumulator acc;
+  EXPECT_EQ(acc.count(), 0U);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(StatsAccumulator, SingleValue) {
+  StatsAccumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1U);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(StatsAccumulator, KnownValues) {
+  // Samples 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population variance 4.
+  StatsAccumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatsAccumulator, SampleVarianceUsesBesselCorrection) {
+  StatsAccumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 32.0 / 7.0);
+}
+
+TEST(StatsAccumulator, MatchesNaiveOnRandomData) {
+  Rng rng(99);
+  std::vector<double> xs;
+  StatsAccumulator acc;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(acc.mean(), mean, 1e-9);
+  EXPECT_NEAR(acc.variance(), var, 1e-7);
+}
+
+TEST(StatsAccumulator, SpanOverloadMatchesLoop) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  StatsAccumulator a;
+  StatsAccumulator b;
+  a.add(xs);
+  for (const double x : xs) b.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+}
+
+TEST(StatsAccumulator, MergeEqualsSequential) {
+  Rng rng(7);
+  StatsAccumulator whole;
+  StatsAccumulator left;
+  StatsAccumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(StatsAccumulator, MergeWithEmptyIsNoop) {
+  StatsAccumulator acc;
+  acc.add(3.0);
+  StatsAccumulator empty;
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 1U);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+
+  StatsAccumulator target;
+  target.merge(acc);
+  EXPECT_EQ(target.count(), 1U);
+  EXPECT_DOUBLE_EQ(target.mean(), 3.0);
+}
+
+TEST(StatsAccumulator, ResetClearsState) {
+  StatsAccumulator acc;
+  acc.add(42.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0U);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_TRUE(std::isinf(acc.min()));
+}
+
+}  // namespace
+}  // namespace mcs::common

@@ -1,0 +1,65 @@
+// Tests for common/table.hpp rendering and numeric formatting.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::common {
+namespace {
+
+TEST(Table, RenderContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.set_title("demo");
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2U);
+  EXPECT_EQ(t.column_count(), 2U);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.row_count(), 1U);
+  EXPECT_NE(t.render().find("only"), std::string::npos);
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string md = t.render_markdown();
+  EXPECT_NE(md.find("|"), std::string::npos);
+  EXPECT_NE(md.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripsThroughParser) {
+  Table t({"col,with,commas", "plain"});
+  t.add_row({"a\"quote", "v"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"col,with,commas\""), std::string::npos);
+  EXPECT_NE(csv.find("\"a\"\"quote\""), std::string::npos);
+}
+
+TEST(FormatDouble, SignificantDigits) {
+  EXPECT_EQ(format_double(3.14159, 3), "3.14");
+  EXPECT_EQ(format_double(1234567.0, 3), "1.23e+06");
+  EXPECT_EQ(format_double(0.0, 3), "0");
+}
+
+TEST(FormatDouble, SpecialValues) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(FormatPercent, TwoDecimals) {
+  EXPECT_EQ(format_percent(0.0911), "9.11%");
+  EXPECT_EQ(format_percent(1.0), "100.00%");
+  EXPECT_EQ(format_percent(0.5022), "50.22%");
+}
+
+}  // namespace
+}  // namespace mcs::common

@@ -1,0 +1,100 @@
+// Tests for mc/criticality.hpp, mc/task.hpp, mc/taskset.hpp.
+#include <gtest/gtest.h>
+
+#include "mc/criticality.hpp"
+#include "mc/task.hpp"
+#include "mc/taskset.hpp"
+
+namespace mcs::mc {
+namespace {
+
+TEST(Criticality, Names) {
+  EXPECT_EQ(to_string(Criticality::kLow), "LC");
+  EXPECT_EQ(to_string(Criticality::kHigh), "HC");
+  EXPECT_EQ(to_string(Mode::kLow), "LO");
+  EXPECT_EQ(to_string(Mode::kHigh), "HI");
+  EXPECT_EQ(to_string(Dal::kA), "A");
+  EXPECT_EQ(to_string(Dal::kE), "E");
+}
+
+TEST(Criticality, DalMapping) {
+  EXPECT_EQ(dal_to_criticality(Dal::kA), Criticality::kHigh);
+  EXPECT_EQ(dal_to_criticality(Dal::kB), Criticality::kHigh);
+  EXPECT_EQ(dal_to_criticality(Dal::kC), Criticality::kLow);
+  EXPECT_EQ(dal_to_criticality(Dal::kD), Criticality::kLow);
+  EXPECT_EQ(dal_to_criticality(Dal::kE), Criticality::kLow);
+}
+
+TEST(McTask, UtilizationPerMode) {
+  const McTask hc = McTask::high("h", 20.0, 60.0, 200.0);
+  EXPECT_DOUBLE_EQ(hc.utilization(Mode::kLow), 0.1);
+  EXPECT_DOUBLE_EQ(hc.utilization(Mode::kHigh), 0.3);
+
+  const McTask lc = McTask::low("l", 30.0, 300.0);
+  EXPECT_DOUBLE_EQ(lc.utilization(Mode::kLow), 0.1);
+  // LC tasks keep their single WCET in HI mode (they are dropped, not
+  // inflated).
+  EXPECT_DOUBLE_EQ(lc.utilization(Mode::kHigh), 0.1);
+}
+
+TEST(McTask, ImplicitDeadline) {
+  const McTask t = McTask::low("l", 5.0, 50.0);
+  EXPECT_DOUBLE_EQ(t.deadline(), 50.0);
+}
+
+TEST(McTask, Validity) {
+  EXPECT_TRUE(McTask::high("ok", 10.0, 20.0, 100.0).valid());
+  EXPECT_FALSE(McTask::high("wcet-order", 30.0, 20.0, 100.0).valid());
+  EXPECT_FALSE(McTask::high("over-period", 10.0, 200.0, 100.0).valid());
+  EXPECT_FALSE(McTask::low("zero-wcet", 0.0, 100.0).valid());
+  EXPECT_FALSE(McTask::low("zero-period", 1.0, 0.0).valid());
+}
+
+TEST(TaskSet, AggregateUtilizations) {
+  TaskSet tasks;
+  tasks.add(McTask::high("h1", 10.0, 40.0, 100.0));  // LO .1, HI .4
+  tasks.add(McTask::high("h2", 20.0, 30.0, 100.0));  // LO .2, HI .3
+  tasks.add(McTask::low("l1", 15.0, 100.0));         // .15
+
+  EXPECT_DOUBLE_EQ(tasks.utilization(Criticality::kHigh, Mode::kLow), 0.3);
+  EXPECT_DOUBLE_EQ(tasks.utilization(Criticality::kHigh, Mode::kHigh), 0.7);
+  EXPECT_DOUBLE_EQ(tasks.utilization(Criticality::kLow, Mode::kLow), 0.15);
+  EXPECT_EQ(tasks.count(Criticality::kHigh), 2U);
+  EXPECT_EQ(tasks.count(Criticality::kLow), 1U);
+}
+
+TEST(TaskSet, IndicesPreserveOrder) {
+  TaskSet tasks;
+  tasks.add(McTask::low("l0", 1.0, 10.0));
+  tasks.add(McTask::high("h1", 1.0, 2.0, 10.0));
+  tasks.add(McTask::low("l2", 1.0, 10.0));
+  tasks.add(McTask::high("h3", 1.0, 2.0, 10.0));
+  const auto hc = tasks.indices(Criticality::kHigh);
+  ASSERT_EQ(hc.size(), 2U);
+  EXPECT_EQ(hc[0], 1U);
+  EXPECT_EQ(hc[1], 3U);
+}
+
+TEST(TaskSet, ValidityAggregates) {
+  TaskSet tasks;
+  tasks.add(McTask::low("ok", 1.0, 10.0));
+  EXPECT_TRUE(tasks.valid());
+  tasks.add(McTask::low("bad", 0.0, 10.0));
+  EXPECT_FALSE(tasks.valid());
+}
+
+TEST(TaskSet, IterationAndIndexing) {
+  TaskSet tasks({McTask::low("a", 1.0, 10.0), McTask::low("b", 2.0, 10.0)});
+  EXPECT_EQ(tasks.size(), 2U);
+  EXPECT_FALSE(tasks.empty());
+  EXPECT_EQ(tasks[1].name, "b");
+  std::size_t count = 0;
+  for (const McTask& t : tasks) {
+    EXPECT_FALSE(t.name.empty());
+    ++count;
+  }
+  EXPECT_EQ(count, 2U);
+}
+
+}  // namespace
+}  // namespace mcs::mc

@@ -1,0 +1,71 @@
+// Tests for taskgen/uunifast.hpp.
+#include "taskgen/uunifast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mcs::taskgen {
+namespace {
+
+TEST(UUniFast, SumsToTotal) {
+  common::Rng rng(1);
+  for (const double total : {0.3, 0.9, 2.5}) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{5},
+                                std::size_t{20}}) {
+      const auto utils = uunifast(n, total, rng);
+      EXPECT_EQ(utils.size(), n);
+      const double sum = std::accumulate(utils.begin(), utils.end(), 0.0);
+      EXPECT_NEAR(sum, total, 1e-9);
+    }
+  }
+}
+
+TEST(UUniFast, AllNonNegative) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto utils = uunifast(8, 0.8, rng);
+    for (const double u : utils) EXPECT_GE(u, 0.0);
+  }
+}
+
+TEST(UUniFast, Validation) {
+  common::Rng rng(3);
+  EXPECT_THROW((void)uunifast(0, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW((void)uunifast(3, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)uunifast(3, -1.0, rng), std::invalid_argument);
+}
+
+TEST(UUniFastDiscard, RespectsCap) {
+  common::Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto utils = uunifast_discard(6, 1.2, 0.4, rng);
+    const double sum = std::accumulate(utils.begin(), utils.end(), 0.0);
+    EXPECT_NEAR(sum, 1.2, 1e-9);
+    for (const double u : utils) EXPECT_LE(u, 0.4);
+  }
+}
+
+TEST(UUniFastDiscard, InfeasibleCapThrows) {
+  common::Rng rng(5);
+  EXPECT_THROW((void)uunifast_discard(2, 1.0, 0.3, rng),
+               std::invalid_argument);
+}
+
+TEST(UUniFast, MeanIsUniformOverSimplex) {
+  // By symmetry every coordinate has expectation total/n.
+  common::Rng rng(6);
+  constexpr std::size_t kN = 4;
+  constexpr int kTrials = 20000;
+  std::vector<double> mean(kN, 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto utils = uunifast(kN, 1.0, rng);
+    for (std::size_t i = 0; i < kN; ++i) mean[i] += utils[i];
+  }
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_NEAR(mean[i] / kTrials, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace mcs::taskgen

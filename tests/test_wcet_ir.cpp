@@ -1,0 +1,87 @@
+// Tests for wcet/ir.hpp: blocks, CFG construction and validation.
+#include "wcet/ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcs::wcet {
+namespace {
+
+TEST(BasicBlock, AddAndHistogram) {
+  BasicBlock b("b");
+  b.add(OpClass::kAlu, 3).add(OpClass::kLoad, 2).add(OpClass::kBranch);
+  EXPECT_EQ(b.instructions.size(), 6U);
+  const auto hist = b.histogram();
+  EXPECT_EQ(hist[static_cast<std::size_t>(OpClass::kAlu)], 3U);
+  EXPECT_EQ(hist[static_cast<std::size_t>(OpClass::kLoad)], 2U);
+  EXPECT_EQ(hist[static_cast<std::size_t>(OpClass::kBranch)], 1U);
+  EXPECT_EQ(hist[static_cast<std::size_t>(OpClass::kDiv)], 0U);
+}
+
+TEST(OpClassNames, AllDistinct) {
+  EXPECT_STREQ(op_class_name(OpClass::kAlu), "alu");
+  EXPECT_STREQ(op_class_name(OpClass::kLoad), "load");
+  EXPECT_STREQ(op_class_name(OpClass::kBranch), "branch");
+}
+
+TEST(Cfg, AddBlocksAndEdges) {
+  ControlFlowGraph cfg;
+  const BlockId a = cfg.add_block(BasicBlock("a"));
+  const BlockId b = cfg.add_block(BasicBlock("b"));
+  cfg.add_edge(a, b);
+  EXPECT_EQ(cfg.block_count(), 2U);
+  ASSERT_EQ(cfg.successors(a).size(), 1U);
+  EXPECT_EQ(cfg.successors(a)[0], b);
+  EXPECT_TRUE(cfg.successors(b).empty());
+}
+
+TEST(Cfg, DuplicateEdgesCollapsed) {
+  ControlFlowGraph cfg;
+  const BlockId a = cfg.add_block(BasicBlock("a"));
+  const BlockId b = cfg.add_block(BasicBlock("b"));
+  cfg.add_edge(a, b);
+  cfg.add_edge(a, b);
+  EXPECT_EQ(cfg.successors(a).size(), 1U);
+}
+
+TEST(Cfg, DefaultEntryExitTracking) {
+  ControlFlowGraph cfg;
+  const BlockId a = cfg.add_block(BasicBlock("a"));
+  EXPECT_EQ(cfg.entry(), a);
+  EXPECT_EQ(cfg.exit(), a);
+  const BlockId b = cfg.add_block(BasicBlock("b"));
+  EXPECT_EQ(cfg.exit(), b);  // exit follows last added by default
+  cfg.set_exit(a);
+  EXPECT_EQ(cfg.exit(), a);
+}
+
+TEST(Cfg, LoopBoundValidation) {
+  ControlFlowGraph cfg;
+  const BlockId a = cfg.add_block(BasicBlock("a"));
+  cfg.set_loop_bound(a, 5);
+  EXPECT_EQ(cfg.loop_bounds().at(a), 5U);
+  EXPECT_THROW(cfg.set_loop_bound(a, 0), std::invalid_argument);
+  EXPECT_THROW(cfg.set_loop_bound(99, 3), std::out_of_range);
+}
+
+TEST(Cfg, EdgeValidation) {
+  ControlFlowGraph cfg;
+  (void)cfg.add_block(BasicBlock("a"));
+  EXPECT_THROW(cfg.add_edge(0, 7), std::out_of_range);
+  EXPECT_THROW(cfg.add_edge(7, 0), std::out_of_range);
+}
+
+TEST(Cfg, InstructionCount) {
+  ControlFlowGraph cfg;
+  BasicBlock a("a");
+  a.add(OpClass::kAlu, 4);
+  BasicBlock b("b");
+  b.add(OpClass::kLoad, 3);
+  (void)cfg.add_block(a);
+  (void)cfg.add_block(b);
+  EXPECT_EQ(cfg.instruction_count(), 7U);
+}
+
+}  // namespace
+}  // namespace mcs::wcet

@@ -1,0 +1,325 @@
+// mcs-cli — command-line front end to the library.
+//
+//   mcs-cli generate --u-bound=0.9 --seed=1 > tasks.mcs
+//   mcs-cli analyze  tasks.mcs
+//   mcs-cli optimize tasks.mcs --seed=7 > assigned.mcs
+//   mcs-cli simulate assigned.mcs --horizon=100000 --policy=degrade
+//
+// Task sets travel in the portable text format of mc/io.hpp, so the whole
+// design flow (generate -> optimize -> analyze -> simulate) can be
+// scripted through pipes and files.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "apps/measurement.hpp"
+#include "apps/registry.hpp"
+#include "common/cli.hpp"
+#include "core/chebyshev_wcet.hpp"
+#include "core/optimizer.hpp"
+#include "core/lint.hpp"
+#include "core/report.hpp"
+#include "mc/io.hpp"
+#include "sched/edf_vd.hpp"
+#include "sched/partition.hpp"
+#include "sim/engine.hpp"
+#include "taskgen/generator.hpp"
+#include "wcet/analyzer.hpp"
+#include "wcet/dot.hpp"
+
+namespace {
+
+using namespace mcs;
+
+int usage() {
+  std::fputs(
+      "usage: mcs-cli <command> [file] [options]\n"
+      "commands:\n"
+      "  generate            emit a random task set (see --help)\n"
+      "  analyze  <file>     print the design report for a task set\n"
+      "  optimize <file>     GA-assign Chebyshev C^LO values; emits the\n"
+      "                      assigned task set on stdout\n"
+      "  simulate <file>     run the EDF-VD discrete-event simulator\n"
+      "  partition <file>    bin-pack the task set onto m cores\n"
+      "  wcet <kernel>       measure + statically analyze a benchmark\n"
+      "                      kernel (qsort-100, corner, edge, smooth,\n"
+      "                      epic, fft-256, matmul-24, ...)\n"
+      "Every command accepts --help for its options.\n",
+      stderr);
+  return 2;
+}
+
+mc::TaskSet load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return mc::load_taskset(in);
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  double u_bound = 0.9;
+  std::uint64_t seed = 1;
+  std::string et_model = "lognormal";
+  common::Cli cli("mcs-cli generate: emit a random dual-criticality task "
+                  "set in the portable format");
+  cli.add_double("u-bound", &u_bound, "target bound utilization");
+  cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_string("et-model", &et_model,
+                 "execution-time model: lognormal | weibull | bimodal");
+  if (!cli.parse(argc, argv)) return 1;
+  common::Rng rng(seed);
+  taskgen::GeneratorConfig config;
+  if (et_model == "weibull") config.et_model = taskgen::EtModel::kWeibull;
+  else if (et_model == "bimodal")
+    config.et_model = taskgen::EtModel::kBimodal;
+  else if (et_model != "lognormal") {
+    std::fprintf(stderr, "unknown --et-model '%s'\n", et_model.c_str());
+    return 1;
+  }
+  const mc::TaskSet tasks = taskgen::generate_mixed(config, u_bound, rng);
+  mc::save_taskset(std::cout, tasks);
+  return 0;
+}
+
+int cmd_wcet(const std::string& kernel_name, int argc,
+             const char* const* argv) {
+  std::uint64_t samples = 2000;
+  std::uint64_t seed = 1;
+  bool dot = false;
+  common::Cli cli("mcs-cli wcet: measurement campaign + static analysis "
+                  "for one benchmark kernel");
+  cli.add_u64("samples", &samples, "randomized executions");
+  cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_flag("dot", &dot, "emit the worst-case CFG as graphviz dot");
+  if (!cli.parse(argc, argv)) return 1;
+
+  for (const apps::KernelPtr& kernel : apps::all_kernels()) {
+    if (kernel->name() != kernel_name) continue;
+    if (dot) {
+      const wcet::ControlFlowGraph cfg =
+          wcet::lower_program(*kernel->worst_case_program());
+      const wcet::CostModel model = wcet::CostModel::worst_case();
+      std::fputs(wcet::to_dot(cfg, &model).c_str(), stdout);
+      return 0;
+    }
+    const apps::ExecutionProfile profile =
+        apps::measure_kernel(*kernel, samples, seed);
+    std::printf("kernel        : %s\n", profile.name.c_str());
+    std::printf("samples       : %zu\n", profile.samples.size());
+    std::printf("ACET          : %.4g cycles\n", profile.acet);
+    std::printf("sigma         : %.4g cycles\n", profile.sigma);
+    std::printf("observed max  : %.4g cycles\n", profile.observed_max);
+    std::printf("WCET^pes      : %.4g cycles (static)\n",
+                static_cast<double>(profile.wcet_pes));
+    std::printf("pessimism gap : %.2fx\n", profile.pessimism_ratio());
+    std::printf("C^LO at n=3   : %.4g cycles (Chebyshev bound 10%%, "
+                "measured overrun %.2f%%)\n",
+                profile.acet + 3.0 * profile.sigma,
+                100.0 * profile.overrun_rate(profile.acet +
+                                             3.0 * profile.sigma));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown kernel '%s'\n", kernel_name.c_str());
+  return 1;
+}
+
+int cmd_analyze(const std::string& path, int argc, const char* const* argv) {
+  common::Cli cli("mcs-cli analyze: lint the task set and print the design "
+                  "report");
+  if (!cli.parse(argc, argv)) return 1;
+  const mc::TaskSet tasks = load_file(path);
+  const auto findings = core::lint_taskset(tasks);
+  if (!findings.empty()) {
+    std::fputs(core::render_lint(findings).c_str(), stderr);
+    for (const core::LintFinding& f : findings) {
+      if (f.severity == core::LintSeverity::kError) {
+        std::fputs("lint errors present — report skipped\n", stderr);
+        return 1;
+      }
+    }
+  }
+  std::fputs(core::render_design_report(tasks).c_str(), stdout);
+  return 0;
+}
+
+int cmd_optimize(const std::string& path, int argc,
+                 const char* const* argv) {
+  std::uint64_t seed = 1;
+  std::uint64_t population = 60;
+  std::uint64_t generations = 80;
+  double n_cap = 64.0;
+  common::Cli cli("mcs-cli optimize: GA-assign C^LO = ACET + n_i * sigma "
+                  "per HC task; the assigned set goes to stdout, the "
+                  "summary to stderr");
+  cli.add_u64("seed", &seed, "GA seed");
+  cli.add_u64("population", &population, "GA population size");
+  cli.add_u64("generations", &generations, "GA generations");
+  cli.add_double("n-cap", &n_cap, "upper bound of the multiplier search");
+  if (!cli.parse(argc, argv)) return 1;
+
+  mc::TaskSet tasks = load_file(path);
+  core::OptimizerConfig config;
+  config.ga.seed = seed;
+  config.ga.population_size = population;
+  config.ga.generations = generations;
+  config.n_cap = n_cap;
+  const core::OptimizationResult best =
+      core::optimize_multipliers_ga(tasks, config);
+  (void)core::apply_chebyshev_assignment(tasks, best.n);
+  mc::save_taskset(std::cout, tasks);
+  std::fprintf(stderr,
+               "objective (Eq. 13) = %.4f, P_sys^MS <= %.2f%%, "
+               "max(U_LC^LO) = %.2f%%%s\n",
+               best.breakdown.objective, 100.0 * best.breakdown.p_ms,
+               100.0 * best.breakdown.max_u_lc,
+               best.breakdown.feasible ? "" : " [HC load infeasible]");
+  return best.breakdown.feasible ? 0 : 1;
+}
+
+int cmd_simulate(const std::string& path, int argc,
+                 const char* const* argv) {
+  double horizon = 100000.0;
+  std::uint64_t seed = 1;
+  std::string policy = "drop";
+  common::Cli cli("mcs-cli simulate: run the task set in the EDF-VD "
+                  "discrete-event simulator");
+  cli.add_double("horizon", &horizon, "simulated time (ms)");
+  cli.add_u64("seed", &seed, "simulation seed");
+  cli.add_string("policy", &policy, "LC policy in HI mode: drop | degrade");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const mc::TaskSet tasks = load_file(path);
+  const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
+  if (!vd.schedulable)
+    std::fputs("warning: EDF-VD rejects this set; simulating anyway\n",
+               stderr);
+  sim::SimConfig config;
+  config.horizon = horizon;
+  config.x = vd.schedulable ? vd.x : 1.0;
+  config.seed = seed;
+  if (policy == "degrade") config.lc_policy = sim::LcPolicy::kDegradeHalf;
+  else if (policy != "drop") {
+    std::fprintf(stderr, "unknown --policy '%s'\n", policy.c_str());
+    return 1;
+  }
+  config.response_reservoir = 512;
+  const sim::SimResult result = sim::simulate(tasks, config);
+  const sim::SimMetrics& m = result.metrics;
+  std::printf("horizon            : %.0f ms (x = %.3f, policy = %s)\n",
+              horizon, config.x, policy.c_str());
+  std::printf("HC jobs            : %llu released, %llu completed, "
+              "%llu overruns, %llu misses\n",
+              static_cast<unsigned long long>(m.hc_jobs_released),
+              static_cast<unsigned long long>(m.hc_jobs_completed),
+              static_cast<unsigned long long>(m.hc_jobs_overrun),
+              static_cast<unsigned long long>(m.hc_deadline_misses));
+  std::printf("LC jobs            : %llu released, %llu completed, "
+              "%llu dropped (%.2f%%)\n",
+              static_cast<unsigned long long>(m.lc_jobs_released),
+              static_cast<unsigned long long>(m.lc_jobs_completed),
+              static_cast<unsigned long long>(m.lc_jobs_dropped),
+              100.0 * m.lc_drop_rate());
+  std::printf("mode switches      : %llu (HI-mode time %.3f%%)\n",
+              static_cast<unsigned long long>(m.mode_switches),
+              100.0 * m.hi_mode_fraction());
+  std::printf("utilization        : %.2f%%\n",
+              100.0 * m.observed_utilization());
+  std::puts("per-task response times (mean / p95 / p99 / max, ms):");
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    std::printf("  %-16s %8.3f / %8.3f / %8.3f / %8.3f\n",
+                tasks[i].name.c_str(), m.per_task[i].mean_response(),
+                m.per_task[i].p95_response, m.per_task[i].p99_response,
+                m.per_task[i].max_response);
+  }
+  return m.hc_deadline_misses == 0 ? 0 : 1;
+}
+
+int cmd_partition(const std::string& path, int argc,
+                  const char* const* argv) {
+  std::uint64_t cores = 2;
+  std::string heuristic_name = "worst-fit";
+  common::Cli cli("mcs-cli partition: bin-pack the task set onto m cores "
+                  "with a per-core EDF-VD test");
+  cli.add_u64("cores", &cores, "number of processors");
+  cli.add_string("heuristic", &heuristic_name,
+                 "first-fit | best-fit | worst-fit");
+  if (!cli.parse(argc, argv)) return 1;
+
+  sched::PartitionHeuristic heuristic = sched::PartitionHeuristic::kWorstFit;
+  if (heuristic_name == "first-fit")
+    heuristic = sched::PartitionHeuristic::kFirstFit;
+  else if (heuristic_name == "best-fit")
+    heuristic = sched::PartitionHeuristic::kBestFit;
+  else if (heuristic_name != "worst-fit") {
+    std::fprintf(stderr, "unknown --heuristic '%s'\n",
+                 heuristic_name.c_str());
+    return 1;
+  }
+
+  const mc::TaskSet tasks = load_file(path);
+  const sched::PartitionResult r =
+      sched::partition_tasks(tasks, cores, heuristic);
+  if (!r.feasible) {
+    std::printf("INFEASIBLE on %llu cores with %s\n",
+                static_cast<unsigned long long>(cores),
+                heuristic_name.c_str());
+    const auto minimum = sched::minimum_cores(tasks, 64, heuristic);
+    if (minimum.has_value())
+      std::printf("minimum feasible cores: %zu\n", *minimum);
+    return 1;
+  }
+  std::printf("feasible on %llu cores (%s), max core load %.2f%%\n",
+              static_cast<unsigned long long>(cores), heuristic_name.c_str(),
+              100.0 * r.max_core_hi_utilization());
+  for (std::size_t c = 0; c < r.cores.size(); ++c) {
+    std::printf("core %zu (x = %.3f):", c, r.per_core[c].x);
+    for (const mc::McTask& t : r.cores[c]) std::printf(" %s", t.name.c_str());
+    std::puts("");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (command == "wcet") {
+      if (argc < 3) {
+        std::fprintf(stderr, "wcet requires a kernel name\n");
+        return usage();
+      }
+      return cmd_wcet(argv[2], argc - 2, argv + 2);
+    }
+    if (command == "analyze" || command == "optimize" ||
+        command == "simulate" || command == "partition") {
+      // `mcs-cli <cmd> <file> [options]`; `<cmd> --help` works without a
+      // file because every command parses its options before loading.
+      std::string file;
+      int opt_argc = argc - 1;
+      const char* const* opt_argv = argv + 1;
+      if (argc >= 3 && argv[2][0] != '-') {
+        file = argv[2];
+        opt_argc = argc - 2;
+        opt_argv = argv + 2;
+      } else if (argc < 3) {
+        std::fprintf(stderr, "%s requires a task-set file\n",
+                     command.c_str());
+        return usage();
+      }
+      if (command == "analyze") return cmd_analyze(file, opt_argc, opt_argv);
+      if (command == "optimize")
+        return cmd_optimize(file, opt_argc, opt_argv);
+      if (command == "partition")
+        return cmd_partition(file, opt_argc, opt_argv);
+      return cmd_simulate(file, opt_argc, opt_argv);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mcs-cli: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return usage();
+}
