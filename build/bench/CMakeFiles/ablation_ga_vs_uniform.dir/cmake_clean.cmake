@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ga_vs_uniform.dir/ablation_ga_vs_uniform.cpp.o"
+  "CMakeFiles/ablation_ga_vs_uniform.dir/ablation_ga_vs_uniform.cpp.o.d"
+  "ablation_ga_vs_uniform"
+  "ablation_ga_vs_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ga_vs_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

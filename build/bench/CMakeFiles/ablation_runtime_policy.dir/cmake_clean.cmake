@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_runtime_policy.dir/ablation_runtime_policy.cpp.o"
+  "CMakeFiles/ablation_runtime_policy.dir/ablation_runtime_policy.cpp.o.d"
+  "ablation_runtime_policy"
+  "ablation_runtime_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runtime_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

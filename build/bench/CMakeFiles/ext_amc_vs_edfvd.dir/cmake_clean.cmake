@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_amc_vs_edfvd.dir/ext_amc_vs_edfvd.cpp.o"
+  "CMakeFiles/ext_amc_vs_edfvd.dir/ext_amc_vs_edfvd.cpp.o.d"
+  "ext_amc_vs_edfvd"
+  "ext_amc_vs_edfvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_amc_vs_edfvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_backswitch_policy.dir/ext_backswitch_policy.cpp.o"
+  "CMakeFiles/ext_backswitch_policy.dir/ext_backswitch_policy.cpp.o.d"
+  "ext_backswitch_policy"
+  "ext_backswitch_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_backswitch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

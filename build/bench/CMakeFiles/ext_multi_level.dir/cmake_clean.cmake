@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_level.dir/ext_multi_level.cpp.o"
+  "CMakeFiles/ext_multi_level.dir/ext_multi_level.cpp.o.d"
+  "ext_multi_level"
+  "ext_multi_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

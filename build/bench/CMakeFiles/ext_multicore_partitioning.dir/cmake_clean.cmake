@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multicore_partitioning.dir/ext_multicore_partitioning.cpp.o"
+  "CMakeFiles/ext_multicore_partitioning.dir/ext_multicore_partitioning.cpp.o.d"
+  "ext_multicore_partitioning"
+  "ext_multicore_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicore_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

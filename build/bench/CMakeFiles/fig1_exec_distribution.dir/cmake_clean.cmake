@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_exec_distribution.dir/fig1_exec_distribution.cpp.o"
+  "CMakeFiles/fig1_exec_distribution.dir/fig1_exec_distribution.cpp.o.d"
+  "fig1_exec_distribution"
+  "fig1_exec_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_exec_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_policy_comparison.dir/fig4_policy_comparison.cpp.o"
+  "CMakeFiles/fig4_policy_comparison.dir/fig4_policy_comparison.cpp.o.d"
+  "fig4_policy_comparison"
+  "fig4_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_acceptance_ratio.dir/fig6_acceptance_ratio.cpp.o"
+  "CMakeFiles/fig6_acceptance_ratio.dir/fig6_acceptance_ratio.cpp.o.d"
+  "fig6_acceptance_ratio"
+  "fig6_acceptance_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_acceptance_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_acet_wcet.dir/table1_acet_wcet.cpp.o"
+  "CMakeFiles/table1_acet_wcet.dir/table1_acet_wcet.cpp.o.d"
+  "table1_acet_wcet"
+  "table1_acet_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_acet_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_chebyshev_bound.dir/table2_chebyshev_bound.cpp.o"
+  "CMakeFiles/table2_chebyshev_bound.dir/table2_chebyshev_bound.cpp.o.d"
+  "table2_chebyshev_bound"
+  "table2_chebyshev_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_chebyshev_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

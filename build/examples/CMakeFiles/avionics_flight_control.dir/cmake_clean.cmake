@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_flight_control.dir/avionics_flight_control.cpp.o"
+  "CMakeFiles/avionics_flight_control.dir/avionics_flight_control.cpp.o.d"
+  "avionics_flight_control"
+  "avionics_flight_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_flight_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

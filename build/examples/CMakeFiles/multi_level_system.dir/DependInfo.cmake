@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multi_level_system.cpp" "examples/CMakeFiles/multi_level_system.dir/multi_level_system.cpp.o" "gcc" "examples/CMakeFiles/multi_level_system.dir/multi_level_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcet/CMakeFiles/mcs_wcet.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mcs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/mcs_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgen/CMakeFiles/mcs_taskgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mcs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/mcs_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/mcs_exp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

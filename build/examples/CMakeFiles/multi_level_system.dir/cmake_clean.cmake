@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_level_system.dir/multi_level_system.cpp.o"
+  "CMakeFiles/multi_level_system.dir/multi_level_system.cpp.o.d"
+  "multi_level_system"
+  "multi_level_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_level_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

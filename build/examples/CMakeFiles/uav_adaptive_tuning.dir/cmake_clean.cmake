@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uav_adaptive_tuning.dir/uav_adaptive_tuning.cpp.o"
+  "CMakeFiles/uav_adaptive_tuning.dir/uav_adaptive_tuning.cpp.o.d"
+  "uav_adaptive_tuning"
+  "uav_adaptive_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uav_adaptive_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_analysis_tour.dir/wcet_analysis_tour.cpp.o"
+  "CMakeFiles/wcet_analysis_tour.dir/wcet_analysis_tour.cpp.o.d"
+  "wcet_analysis_tour"
+  "wcet_analysis_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_analysis_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

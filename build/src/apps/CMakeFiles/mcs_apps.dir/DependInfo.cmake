@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/corner_kernel.cpp" "src/apps/CMakeFiles/mcs_apps.dir/corner_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/corner_kernel.cpp.o.d"
+  "/root/repo/src/apps/cycle_model.cpp" "src/apps/CMakeFiles/mcs_apps.dir/cycle_model.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/cycle_model.cpp.o.d"
+  "/root/repo/src/apps/edge_kernel.cpp" "src/apps/CMakeFiles/mcs_apps.dir/edge_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/edge_kernel.cpp.o.d"
+  "/root/repo/src/apps/epic_kernel.cpp" "src/apps/CMakeFiles/mcs_apps.dir/epic_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/epic_kernel.cpp.o.d"
+  "/root/repo/src/apps/fft_kernel.cpp" "src/apps/CMakeFiles/mcs_apps.dir/fft_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/fft_kernel.cpp.o.d"
+  "/root/repo/src/apps/image.cpp" "src/apps/CMakeFiles/mcs_apps.dir/image.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/image.cpp.o.d"
+  "/root/repo/src/apps/matmul_kernel.cpp" "src/apps/CMakeFiles/mcs_apps.dir/matmul_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/matmul_kernel.cpp.o.d"
+  "/root/repo/src/apps/measurement.cpp" "src/apps/CMakeFiles/mcs_apps.dir/measurement.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/measurement.cpp.o.d"
+  "/root/repo/src/apps/qsort_kernel.cpp" "src/apps/CMakeFiles/mcs_apps.dir/qsort_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/qsort_kernel.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/mcs_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/smooth_kernel.cpp" "src/apps/CMakeFiles/mcs_apps.dir/smooth_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/mcs_apps.dir/smooth_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcet/CMakeFiles/mcs_wcet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

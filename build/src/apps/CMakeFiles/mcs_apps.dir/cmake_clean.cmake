@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_apps.dir/corner_kernel.cpp.o"
+  "CMakeFiles/mcs_apps.dir/corner_kernel.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/cycle_model.cpp.o"
+  "CMakeFiles/mcs_apps.dir/cycle_model.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/edge_kernel.cpp.o"
+  "CMakeFiles/mcs_apps.dir/edge_kernel.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/epic_kernel.cpp.o"
+  "CMakeFiles/mcs_apps.dir/epic_kernel.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/fft_kernel.cpp.o"
+  "CMakeFiles/mcs_apps.dir/fft_kernel.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/image.cpp.o"
+  "CMakeFiles/mcs_apps.dir/image.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/matmul_kernel.cpp.o"
+  "CMakeFiles/mcs_apps.dir/matmul_kernel.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/measurement.cpp.o"
+  "CMakeFiles/mcs_apps.dir/measurement.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/qsort_kernel.cpp.o"
+  "CMakeFiles/mcs_apps.dir/qsort_kernel.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/registry.cpp.o"
+  "CMakeFiles/mcs_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/mcs_apps.dir/smooth_kernel.cpp.o"
+  "CMakeFiles/mcs_apps.dir/smooth_kernel.cpp.o.d"
+  "libmcs_apps.a"
+  "libmcs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_common.dir/cli.cpp.o"
+  "CMakeFiles/mcs_common.dir/cli.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/csv.cpp.o"
+  "CMakeFiles/mcs_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/histogram.cpp.o"
+  "CMakeFiles/mcs_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/log.cpp.o"
+  "CMakeFiles/mcs_common.dir/log.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/rng.cpp.o"
+  "CMakeFiles/mcs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/stats_accumulator.cpp.o"
+  "CMakeFiles/mcs_common.dir/stats_accumulator.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/table.cpp.o"
+  "CMakeFiles/mcs_common.dir/table.cpp.o.d"
+  "libmcs_common.a"
+  "libmcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acceptance.cpp" "src/core/CMakeFiles/mcs_core.dir/acceptance.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/acceptance.cpp.o.d"
+  "/root/repo/src/core/chebyshev_wcet.cpp" "src/core/CMakeFiles/mcs_core.dir/chebyshev_wcet.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/chebyshev_wcet.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "src/core/CMakeFiles/mcs_core.dir/comparison.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/comparison.cpp.o.d"
+  "/root/repo/src/core/lint.cpp" "src/core/CMakeFiles/mcs_core.dir/lint.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/lint.cpp.o.d"
+  "/root/repo/src/core/multi_level.cpp" "src/core/CMakeFiles/mcs_core.dir/multi_level.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/multi_level.cpp.o.d"
+  "/root/repo/src/core/multi_level_sched.cpp" "src/core/CMakeFiles/mcs_core.dir/multi_level_sched.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/multi_level_sched.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/mcs_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/mcs_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/mcs_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/mcs_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/mcs_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/mcs_core.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/mcs_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mcs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgen/CMakeFiles/mcs_taskgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/mcs_ga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_core.dir/acceptance.cpp.o"
+  "CMakeFiles/mcs_core.dir/acceptance.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/chebyshev_wcet.cpp.o"
+  "CMakeFiles/mcs_core.dir/chebyshev_wcet.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/comparison.cpp.o"
+  "CMakeFiles/mcs_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/lint.cpp.o"
+  "CMakeFiles/mcs_core.dir/lint.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/multi_level.cpp.o"
+  "CMakeFiles/mcs_core.dir/multi_level.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/multi_level_sched.cpp.o"
+  "CMakeFiles/mcs_core.dir/multi_level_sched.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/objective.cpp.o"
+  "CMakeFiles/mcs_core.dir/objective.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/online.cpp.o"
+  "CMakeFiles/mcs_core.dir/online.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/optimizer.cpp.o"
+  "CMakeFiles/mcs_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/report.cpp.o"
+  "CMakeFiles/mcs_core.dir/report.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/mcs_core.dir/sensitivity.cpp.o.d"
+  "libmcs_core.a"
+  "libmcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

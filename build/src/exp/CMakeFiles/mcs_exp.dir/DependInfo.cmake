@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/ablation.cpp" "src/exp/CMakeFiles/mcs_exp.dir/ablation.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/ablation.cpp.o.d"
+  "/root/repo/src/exp/assignment_methods.cpp" "src/exp/CMakeFiles/mcs_exp.dir/assignment_methods.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/assignment_methods.cpp.o.d"
+  "/root/repo/src/exp/fig1.cpp" "src/exp/CMakeFiles/mcs_exp.dir/fig1.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/fig1.cpp.o.d"
+  "/root/repo/src/exp/fig2.cpp" "src/exp/CMakeFiles/mcs_exp.dir/fig2.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/fig2.cpp.o.d"
+  "/root/repo/src/exp/fig3.cpp" "src/exp/CMakeFiles/mcs_exp.dir/fig3.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/fig3.cpp.o.d"
+  "/root/repo/src/exp/fig6.cpp" "src/exp/CMakeFiles/mcs_exp.dir/fig6.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/fig6.cpp.o.d"
+  "/root/repo/src/exp/multicore.cpp" "src/exp/CMakeFiles/mcs_exp.dir/multicore.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/multicore.cpp.o.d"
+  "/root/repo/src/exp/policy_sweep.cpp" "src/exp/CMakeFiles/mcs_exp.dir/policy_sweep.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/policy_sweep.cpp.o.d"
+  "/root/repo/src/exp/table1.cpp" "src/exp/CMakeFiles/mcs_exp.dir/table1.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/table1.cpp.o.d"
+  "/root/repo/src/exp/table2.cpp" "src/exp/CMakeFiles/mcs_exp.dir/table2.cpp.o" "gcc" "src/exp/CMakeFiles/mcs_exp.dir/table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcet/CMakeFiles/mcs_wcet.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mcs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/mcs_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgen/CMakeFiles/mcs_taskgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mcs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/mcs_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_exp.dir/ablation.cpp.o"
+  "CMakeFiles/mcs_exp.dir/ablation.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/assignment_methods.cpp.o"
+  "CMakeFiles/mcs_exp.dir/assignment_methods.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/fig1.cpp.o"
+  "CMakeFiles/mcs_exp.dir/fig1.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/fig2.cpp.o"
+  "CMakeFiles/mcs_exp.dir/fig2.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/fig3.cpp.o"
+  "CMakeFiles/mcs_exp.dir/fig3.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/fig6.cpp.o"
+  "CMakeFiles/mcs_exp.dir/fig6.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/multicore.cpp.o"
+  "CMakeFiles/mcs_exp.dir/multicore.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/policy_sweep.cpp.o"
+  "CMakeFiles/mcs_exp.dir/policy_sweep.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/table1.cpp.o"
+  "CMakeFiles/mcs_exp.dir/table1.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/table2.cpp.o"
+  "CMakeFiles/mcs_exp.dir/table2.cpp.o.d"
+  "libmcs_exp.a"
+  "libmcs_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_ga.dir/engine.cpp.o"
+  "CMakeFiles/mcs_ga.dir/engine.cpp.o.d"
+  "CMakeFiles/mcs_ga.dir/operators.cpp.o"
+  "CMakeFiles/mcs_ga.dir/operators.cpp.o.d"
+  "libmcs_ga.a"
+  "libmcs_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

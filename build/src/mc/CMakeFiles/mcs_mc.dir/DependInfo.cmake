@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/criticality.cpp" "src/mc/CMakeFiles/mcs_mc.dir/criticality.cpp.o" "gcc" "src/mc/CMakeFiles/mcs_mc.dir/criticality.cpp.o.d"
+  "/root/repo/src/mc/io.cpp" "src/mc/CMakeFiles/mcs_mc.dir/io.cpp.o" "gcc" "src/mc/CMakeFiles/mcs_mc.dir/io.cpp.o.d"
+  "/root/repo/src/mc/task.cpp" "src/mc/CMakeFiles/mcs_mc.dir/task.cpp.o" "gcc" "src/mc/CMakeFiles/mcs_mc.dir/task.cpp.o.d"
+  "/root/repo/src/mc/taskset.cpp" "src/mc/CMakeFiles/mcs_mc.dir/taskset.cpp.o" "gcc" "src/mc/CMakeFiles/mcs_mc.dir/taskset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

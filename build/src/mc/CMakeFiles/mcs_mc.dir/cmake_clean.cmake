@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_mc.dir/criticality.cpp.o"
+  "CMakeFiles/mcs_mc.dir/criticality.cpp.o.d"
+  "CMakeFiles/mcs_mc.dir/io.cpp.o"
+  "CMakeFiles/mcs_mc.dir/io.cpp.o.d"
+  "CMakeFiles/mcs_mc.dir/task.cpp.o"
+  "CMakeFiles/mcs_mc.dir/task.cpp.o.d"
+  "CMakeFiles/mcs_mc.dir/taskset.cpp.o"
+  "CMakeFiles/mcs_mc.dir/taskset.cpp.o.d"
+  "libmcs_mc.a"
+  "libmcs_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/amc.cpp" "src/sched/CMakeFiles/mcs_sched.dir/amc.cpp.o" "gcc" "src/sched/CMakeFiles/mcs_sched.dir/amc.cpp.o.d"
+  "/root/repo/src/sched/dbf.cpp" "src/sched/CMakeFiles/mcs_sched.dir/dbf.cpp.o" "gcc" "src/sched/CMakeFiles/mcs_sched.dir/dbf.cpp.o.d"
+  "/root/repo/src/sched/edf.cpp" "src/sched/CMakeFiles/mcs_sched.dir/edf.cpp.o" "gcc" "src/sched/CMakeFiles/mcs_sched.dir/edf.cpp.o.d"
+  "/root/repo/src/sched/edf_vd.cpp" "src/sched/CMakeFiles/mcs_sched.dir/edf_vd.cpp.o" "gcc" "src/sched/CMakeFiles/mcs_sched.dir/edf_vd.cpp.o.d"
+  "/root/repo/src/sched/partition.cpp" "src/sched/CMakeFiles/mcs_sched.dir/partition.cpp.o" "gcc" "src/sched/CMakeFiles/mcs_sched.dir/partition.cpp.o.d"
+  "/root/repo/src/sched/policies.cpp" "src/sched/CMakeFiles/mcs_sched.dir/policies.cpp.o" "gcc" "src/sched/CMakeFiles/mcs_sched.dir/policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/mcs_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_sched.dir/amc.cpp.o"
+  "CMakeFiles/mcs_sched.dir/amc.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/dbf.cpp.o"
+  "CMakeFiles/mcs_sched.dir/dbf.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/edf.cpp.o"
+  "CMakeFiles/mcs_sched.dir/edf.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/edf_vd.cpp.o"
+  "CMakeFiles/mcs_sched.dir/edf_vd.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/partition.cpp.o"
+  "CMakeFiles/mcs_sched.dir/partition.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/policies.cpp.o"
+  "CMakeFiles/mcs_sched.dir/policies.cpp.o.d"
+  "libmcs_sched.a"
+  "libmcs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

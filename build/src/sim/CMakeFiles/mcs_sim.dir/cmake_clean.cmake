@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_sim.dir/engine.cpp.o"
+  "CMakeFiles/mcs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mcs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/trace.cpp.o"
+  "CMakeFiles/mcs_sim.dir/trace.cpp.o.d"
+  "libmcs_sim.a"
+  "libmcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

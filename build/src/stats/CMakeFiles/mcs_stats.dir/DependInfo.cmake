@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cpp" "src/stats/CMakeFiles/mcs_stats.dir/autocorrelation.cpp.o" "gcc" "src/stats/CMakeFiles/mcs_stats.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/stats/chebyshev.cpp" "src/stats/CMakeFiles/mcs_stats.dir/chebyshev.cpp.o" "gcc" "src/stats/CMakeFiles/mcs_stats.dir/chebyshev.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/mcs_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/mcs_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/stats/CMakeFiles/mcs_stats.dir/empirical.cpp.o" "gcc" "src/stats/CMakeFiles/mcs_stats.dir/empirical.cpp.o.d"
+  "/root/repo/src/stats/evt.cpp" "src/stats/CMakeFiles/mcs_stats.dir/evt.cpp.o" "gcc" "src/stats/CMakeFiles/mcs_stats.dir/evt.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/mcs_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/mcs_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/stats/CMakeFiles/mcs_stats.dir/moments.cpp.o" "gcc" "src/stats/CMakeFiles/mcs_stats.dir/moments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/mcs_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/mcs_stats.dir/chebyshev.cpp.o"
+  "CMakeFiles/mcs_stats.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/mcs_stats.dir/distributions.cpp.o"
+  "CMakeFiles/mcs_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/mcs_stats.dir/empirical.cpp.o"
+  "CMakeFiles/mcs_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/mcs_stats.dir/evt.cpp.o"
+  "CMakeFiles/mcs_stats.dir/evt.cpp.o.d"
+  "CMakeFiles/mcs_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/mcs_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/mcs_stats.dir/moments.cpp.o"
+  "CMakeFiles/mcs_stats.dir/moments.cpp.o.d"
+  "libmcs_stats.a"
+  "libmcs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

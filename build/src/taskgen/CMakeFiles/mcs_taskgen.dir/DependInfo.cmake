@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskgen/generator.cpp" "src/taskgen/CMakeFiles/mcs_taskgen.dir/generator.cpp.o" "gcc" "src/taskgen/CMakeFiles/mcs_taskgen.dir/generator.cpp.o.d"
+  "/root/repo/src/taskgen/uunifast.cpp" "src/taskgen/CMakeFiles/mcs_taskgen.dir/uunifast.cpp.o" "gcc" "src/taskgen/CMakeFiles/mcs_taskgen.dir/uunifast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/mcs_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_taskgen.dir/generator.cpp.o"
+  "CMakeFiles/mcs_taskgen.dir/generator.cpp.o.d"
+  "CMakeFiles/mcs_taskgen.dir/uunifast.cpp.o"
+  "CMakeFiles/mcs_taskgen.dir/uunifast.cpp.o.d"
+  "libmcs_taskgen.a"
+  "libmcs_taskgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_taskgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wcet/analyzer.cpp" "src/wcet/CMakeFiles/mcs_wcet.dir/analyzer.cpp.o" "gcc" "src/wcet/CMakeFiles/mcs_wcet.dir/analyzer.cpp.o.d"
+  "/root/repo/src/wcet/cache.cpp" "src/wcet/CMakeFiles/mcs_wcet.dir/cache.cpp.o" "gcc" "src/wcet/CMakeFiles/mcs_wcet.dir/cache.cpp.o.d"
+  "/root/repo/src/wcet/cost_model.cpp" "src/wcet/CMakeFiles/mcs_wcet.dir/cost_model.cpp.o" "gcc" "src/wcet/CMakeFiles/mcs_wcet.dir/cost_model.cpp.o.d"
+  "/root/repo/src/wcet/dot.cpp" "src/wcet/CMakeFiles/mcs_wcet.dir/dot.cpp.o" "gcc" "src/wcet/CMakeFiles/mcs_wcet.dir/dot.cpp.o.d"
+  "/root/repo/src/wcet/ipet.cpp" "src/wcet/CMakeFiles/mcs_wcet.dir/ipet.cpp.o" "gcc" "src/wcet/CMakeFiles/mcs_wcet.dir/ipet.cpp.o.d"
+  "/root/repo/src/wcet/ir.cpp" "src/wcet/CMakeFiles/mcs_wcet.dir/ir.cpp.o" "gcc" "src/wcet/CMakeFiles/mcs_wcet.dir/ir.cpp.o.d"
+  "/root/repo/src/wcet/program.cpp" "src/wcet/CMakeFiles/mcs_wcet.dir/program.cpp.o" "gcc" "src/wcet/CMakeFiles/mcs_wcet.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_wcet.dir/analyzer.cpp.o"
+  "CMakeFiles/mcs_wcet.dir/analyzer.cpp.o.d"
+  "CMakeFiles/mcs_wcet.dir/cache.cpp.o"
+  "CMakeFiles/mcs_wcet.dir/cache.cpp.o.d"
+  "CMakeFiles/mcs_wcet.dir/cost_model.cpp.o"
+  "CMakeFiles/mcs_wcet.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mcs_wcet.dir/dot.cpp.o"
+  "CMakeFiles/mcs_wcet.dir/dot.cpp.o.d"
+  "CMakeFiles/mcs_wcet.dir/ipet.cpp.o"
+  "CMakeFiles/mcs_wcet.dir/ipet.cpp.o.d"
+  "CMakeFiles/mcs_wcet.dir/ir.cpp.o"
+  "CMakeFiles/mcs_wcet.dir/ir.cpp.o.d"
+  "CMakeFiles/mcs_wcet.dir/program.cpp.o"
+  "CMakeFiles/mcs_wcet.dir/program.cpp.o.d"
+  "libmcs_wcet.a"
+  "libmcs_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amc.dir/test_amc.cpp.o"
+  "CMakeFiles/test_amc.dir/test_amc.cpp.o.d"
+  "test_amc"
+  "test_amc.pdb"
+  "test_amc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

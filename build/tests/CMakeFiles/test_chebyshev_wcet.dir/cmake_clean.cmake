@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chebyshev_wcet.dir/test_chebyshev_wcet.cpp.o"
+  "CMakeFiles/test_chebyshev_wcet.dir/test_chebyshev_wcet.cpp.o.d"
+  "test_chebyshev_wcet"
+  "test_chebyshev_wcet.pdb"
+  "test_chebyshev_wcet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chebyshev_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbf.dir/test_dbf.cpp.o"
+  "CMakeFiles/test_dbf.dir/test_dbf.cpp.o.d"
+  "test_dbf"
+  "test_dbf.pdb"
+  "test_dbf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edf_vd.dir/test_edf_vd.cpp.o"
+  "CMakeFiles/test_edf_vd.dir/test_edf_vd.cpp.o.d"
+  "test_edf_vd"
+  "test_edf_vd.pdb"
+  "test_edf_vd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edf_vd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_drivers.dir/test_exp_drivers.cpp.o"
+  "CMakeFiles/test_exp_drivers.dir/test_exp_drivers.cpp.o.d"
+  "test_exp_drivers"
+  "test_exp_drivers.pdb"
+  "test_exp_drivers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipet.dir/test_ipet.cpp.o"
+  "CMakeFiles/test_ipet.dir/test_ipet.cpp.o.d"
+  "test_ipet"
+  "test_ipet.pdb"
+  "test_ipet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_level.dir/test_multi_level.cpp.o"
+  "CMakeFiles/test_multi_level.dir/test_multi_level.cpp.o.d"
+  "test_multi_level"
+  "test_multi_level.pdb"
+  "test_multi_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

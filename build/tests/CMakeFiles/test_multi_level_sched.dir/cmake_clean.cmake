@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_level_sched.dir/test_multi_level_sched.cpp.o"
+  "CMakeFiles/test_multi_level_sched.dir/test_multi_level_sched.cpp.o.d"
+  "test_multi_level_sched"
+  "test_multi_level_sched.pdb"
+  "test_multi_level_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_level_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

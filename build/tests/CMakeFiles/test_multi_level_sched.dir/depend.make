@@ -1,0 +1,2 @@
+# Empty dependencies file for test_multi_level_sched.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_accumulator.dir/test_stats_accumulator.cpp.o"
+  "CMakeFiles/test_stats_accumulator.dir/test_stats_accumulator.cpp.o.d"
+  "test_stats_accumulator"
+  "test_stats_accumulator.pdb"
+  "test_stats_accumulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskset_io.dir/test_taskset_io.cpp.o"
+  "CMakeFiles/test_taskset_io.dir/test_taskset_io.cpp.o.d"
+  "test_taskset_io"
+  "test_taskset_io.pdb"
+  "test_taskset_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskset_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uunifast.dir/test_uunifast.cpp.o"
+  "CMakeFiles/test_uunifast.dir/test_uunifast.cpp.o.d"
+  "test_uunifast"
+  "test_uunifast.pdb"
+  "test_uunifast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uunifast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

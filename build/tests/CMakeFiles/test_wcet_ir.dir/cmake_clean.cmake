@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wcet_ir.dir/test_wcet_ir.cpp.o"
+  "CMakeFiles/test_wcet_ir.dir/test_wcet_ir.cpp.o.d"
+  "test_wcet_ir"
+  "test_wcet_ir.pdb"
+  "test_wcet_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wcet_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

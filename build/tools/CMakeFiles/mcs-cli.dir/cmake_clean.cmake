@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs-cli.dir/mcs_cli.cpp.o"
+  "CMakeFiles/mcs-cli.dir/mcs_cli.cpp.o.d"
+  "mcs-cli"
+  "mcs-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
