@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
                  "the runtime policies are actually exercised");
   cli.add_u64("ga-population", &ga_population, "GA population size");
   cli.add_u64("ga-generations", &ga_generations, "GA generations");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   mcs::core::OptimizerConfig optimizer;

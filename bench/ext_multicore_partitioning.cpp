@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
       "Extension E1: partitioned multicore acceptance ratio per approach");
   cli.add_u64("tasksets", &tasksets, "task sets per grid point");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   const std::vector<std::size_t> cores = {2, 4};

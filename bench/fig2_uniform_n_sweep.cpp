@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_double("n-max", &n_max, "sweep upper bound");
   cli.add_double("step", &step, "sweep step");
   cli.add_u64("seed", &seed, "task-set generation seed");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   const mcs::exp::Fig2Data data =

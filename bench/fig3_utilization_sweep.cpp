@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
       "of n and U_HC^HI (use --tasksets=1000 for paper scale)");
   cli.add_u64("tasksets", &tasksets, "task sets per grid point (paper: 1000)");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   const std::vector<double> n_values = {5.0, 10.0, 15.0, 20.0};

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
       "(use --tasksets=1000 for paper scale)");
   cli.add_u64("tasksets", &tasksets, "task sets per point (paper: 1000)");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   const std::vector<double> u_values = {0.5,  0.6,  0.7,  0.8,  0.9,

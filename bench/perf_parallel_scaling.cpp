@@ -1,0 +1,107 @@
+// Wall-clock scaling benchmark for the deterministic parallel-evaluation
+// layer (common/thread_pool.hpp): runs a Table II-style Chebyshev-bound
+// sweep at increasing --jobs counts, reports speedup over the serial
+// path, and verifies that every run is bit-identical to --jobs=1.
+//
+// Exit status is nonzero if any parallel run's result hash differs from
+// the serial one, so this doubles as a determinism smoke test on any
+// machine it is benchmarked on.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/table2.hpp"
+
+namespace {
+
+std::uint64_t bits(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+/// FNV-1a over every measured overrun probability in the Table II data.
+std::uint64_t result_hash(const mcs::exp::Table2Data& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(data.applications.size());
+  for (const mcs::exp::Table2Row& row : data.rows) {
+    mix(static_cast<std::uint64_t>(row.n));
+    mix(bits(row.analysis_bound));
+    for (const double measured : row.measured) mix(bits(measured));
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t samples = 2000;
+  std::uint64_t seed = 3;
+  std::uint64_t max_jobs = mcs::common::hardware_jobs();
+  std::uint64_t repeats = 3;
+  mcs::common::Cli cli(
+      "Parallel-scaling benchmark: Table II Chebyshev-bound sweep at "
+      "--jobs 1, 2, 4, ... with bit-identity verification against the "
+      "serial run");
+  cli.add_u64("samples", &samples, "Monte Carlo samples per kernel");
+  cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_u64("max-jobs", &max_jobs, "highest job count to benchmark");
+  cli.add_u64("repeats", &repeats, "timed repetitions per job count (best kept)");
+  if (!cli.parse(argc, argv)) return 1;
+  if (max_jobs == 0) max_jobs = 1;
+  if (repeats == 0) repeats = 1;
+
+  const std::size_t saved_jobs = mcs::common::default_jobs();
+  std::uint64_t serial_hash = 0;
+  double serial_seconds = 0.0;
+  bool identical = true;
+
+  mcs::common::Table table({"jobs", "seconds (best)", "speedup", "identical"});
+  table.set_title("Table II sweep: wall-clock vs --jobs (" +
+                  std::to_string(samples) + " samples/kernel)");
+
+  std::vector<std::uint64_t> job_counts;
+  for (std::uint64_t j = 1; j <= max_jobs; j *= 2) job_counts.push_back(j);
+  if (job_counts.back() != max_jobs) job_counts.push_back(max_jobs);
+
+  for (const std::uint64_t jobs : job_counts) {
+    mcs::common::set_default_jobs(jobs);
+    double best = 0.0;
+    std::uint64_t hash = 0;
+    for (std::uint64_t r = 0; r < repeats; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      const mcs::exp::Table2Data data =
+          mcs::exp::run_table2(static_cast<std::size_t>(samples), seed);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      hash = result_hash(data);
+      if (r == 0 || elapsed.count() < best) best = elapsed.count();
+    }
+    if (jobs == 1) {
+      serial_hash = hash;
+      serial_seconds = best;
+    }
+    const bool match = hash == serial_hash;
+    identical = identical && match;
+    table.add_row({std::to_string(jobs),
+                   mcs::common::format_double(best, 3),
+                   mcs::common::format_double(serial_seconds / best, 2),
+                   match ? "yes" : "NO"});
+  }
+  mcs::common::set_default_jobs(saved_jobs);
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(identical
+                ? "\nAll job counts produced bit-identical Table II data."
+                : "\nDETERMINISM VIOLATION: parallel result differs from "
+                  "--jobs=1.");
+  return identical ? 0 : 1;
+}

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   cli.add_flag("zoo", &zoo,
                "append the library's extra kernels (fft, matmul) as "
                "additional rows beyond the paper's seven");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   auto rows = mcs::exp::run_table1(samples, seed, large_qsort);

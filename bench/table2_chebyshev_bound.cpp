@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
       "TABLE II reproduction: Chebyshev bound vs measured overrun rates");
   cli.add_u64("samples", &samples, "executions per application (paper: 20000)");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   const mcs::exp::Table2Data data = mcs::exp::run_table2(samples, seed);

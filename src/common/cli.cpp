@@ -4,12 +4,17 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/thread_pool.hpp"
+
 namespace mcs::common {
 
 namespace {
 
 bool parse_u64(const std::string& text, std::uint64_t& out) {
   if (text.empty()) return false;
+  // strtoull silently negates "-1" to 2^64-1; reject signs outright so
+  // --jobs=-1 (or --tasksets=-5) is an error, not a huge count.
+  if (text[0] == '-' || text[0] == '+') return false;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return false;
@@ -68,6 +73,21 @@ void Cli::add_flag(const std::string& name, bool* target,
                         return true;
                       },
                       *target ? "true" : "false"});
+}
+
+void Cli::add_jobs() {
+  options_.push_back({"jobs",
+                      "worker threads for parallel evaluation "
+                      "(0 = hardware concurrency, 1 = serial; results are "
+                      "identical for any value)",
+                      false,
+                      [](const std::string& v) {
+                        std::uint64_t jobs = 0;
+                        if (!parse_u64(v, jobs)) return false;
+                        set_default_jobs(static_cast<std::size_t>(jobs));
+                        return true;
+                      },
+                      "0"});
 }
 
 const Cli::Option* Cli::find(const std::string& name) const {

@@ -34,6 +34,12 @@ class Cli {
   /// Registers a boolean flag (presence sets true; --name=false clears).
   void add_flag(const std::string& name, bool* target, const std::string& help);
 
+  /// Registers the standard `--jobs N` option: sets the process-wide
+  /// degree of parallelism for parallel_map/parallel_for (see
+  /// common/thread_pool.hpp). 0 or absent means hardware concurrency;
+  /// 1 selects the legacy serial path. Results are identical for any N.
+  void add_jobs();
+
   /// Parses argv. Returns false if --help was requested (help text already
   /// printed) or on a parse error (message printed to stderr).
   [[nodiscard]] bool parse(int argc, const char* const* argv);

@@ -62,8 +62,14 @@ std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
 }
 
 std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo);
-  return lo + static_cast<std::int64_t>(uniform_u64(0, span));
+  // Compute the span in unsigned arithmetic: hi - lo overflows int64_t
+  // whenever the range spans more than half the signed domain (e.g.
+  // [INT64_MIN, INT64_MAX]), which is UB in signed math but well defined
+  // modulo 2^64.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   uniform_u64(0, span));
 }
 
 double Rng::normal() {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "sched/edf_vd.hpp"
 #include "sched/policies.hpp"
@@ -60,14 +61,23 @@ bool accepts(Approach approach, const mc::TaskSet& tasks, common::Rng& rng) {
 double acceptance_ratio(Approach approach, double u_bound,
                         std::size_t num_tasksets, std::uint64_t seed,
                         const taskgen::GeneratorConfig& config) {
+  // Pre-split one RNG stream per task set (serially, preserving the
+  // legacy stream assignment), then run the schedulability tests in
+  // parallel; the count is order-independent.
   common::Rng rng(seed);
+  std::vector<common::Rng> set_rngs;
+  set_rngs.reserve(num_tasksets);
+  for (std::size_t t = 0; t < num_tasksets; ++t)
+    set_rngs.push_back(rng.split());
+  const std::vector<std::size_t> verdicts =
+      common::parallel_map(num_tasksets, [&](std::size_t t) -> std::size_t {
+        common::Rng set_rng = set_rngs[t];
+        const mc::TaskSet tasks =
+            taskgen::generate_mixed(config, u_bound, set_rng);
+        return accepts(approach, tasks, set_rng) ? 1 : 0;
+      });
   std::size_t accepted = 0;
-  for (std::size_t t = 0; t < num_tasksets; ++t) {
-    common::Rng set_rng = rng.split();
-    const mc::TaskSet tasks = taskgen::generate_mixed(config, u_bound,
-                                                      set_rng);
-    if (accepts(approach, tasks, set_rng)) ++accepted;
-  }
+  for (const std::size_t verdict : verdicts) accepted += verdict;
   return static_cast<double>(accepted) / static_cast<double>(num_tasksets);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "taskgen/generator.hpp"
 
 namespace mcs::core {
@@ -49,29 +50,41 @@ std::vector<PolicyScore> compare_policies(double u_hc_hi,
     scores[p].policy = baselines[p]->name();
   scores.back().policy = "proposed(GA)";
 
+  // Monte Carlo replications: every task set owns a pre-split RNG stream
+  // (split serially, exactly as the serial loop drew them), so the
+  // replications evaluate in parallel while the per-policy sums below are
+  // reduced in submission order — bit-identical at any --jobs value.
   common::Rng rng(seed);
-  const taskgen::GeneratorConfig gen_config;
-  for (std::size_t t = 0; t < num_tasksets; ++t) {
-    common::Rng set_rng = rng.split();
-    const mc::TaskSet tasks =
-        taskgen::generate_hc_only(gen_config, u_hc_hi, set_rng);
+  std::vector<common::Rng> set_rngs;
+  set_rngs.reserve(num_tasksets);
+  for (std::size_t t = 0; t < num_tasksets; ++t)
+    set_rngs.push_back(rng.split());
 
-    for (std::size_t p = 0; p < baselines.size(); ++p) {
-      const ObjectiveBreakdown b =
-          apply_and_evaluate_policy(tasks, *baselines[p], set_rng);
+  const taskgen::GeneratorConfig gen_config;
+  const std::vector<std::vector<ObjectiveBreakdown>> per_set =
+      common::parallel_map(num_tasksets, [&](std::size_t t) {
+        common::Rng set_rng = set_rngs[t];
+        const mc::TaskSet tasks =
+            taskgen::generate_hc_only(gen_config, u_hc_hi, set_rng);
+        std::vector<ObjectiveBreakdown> breakdowns;
+        breakdowns.reserve(baselines.size() + 1);
+        for (const sched::WcetOptPolicyPtr& baseline : baselines)
+          breakdowns.push_back(
+              apply_and_evaluate_policy(tasks, *baseline, set_rng));
+        OptimizerConfig opt = optimizer;
+        opt.ga.seed = set_rng();
+        breakdowns.push_back(optimize_multipliers_ga(tasks, opt).breakdown);
+        return breakdowns;
+      });
+
+  for (const std::vector<ObjectiveBreakdown>& breakdowns : per_set) {
+    for (std::size_t p = 0; p < breakdowns.size(); ++p) {
+      const ObjectiveBreakdown& b = breakdowns[p];
       scores[p].p_ms += b.p_ms;
       scores[p].max_u_lc += b.max_u_lc;
       scores[p].objective += b.objective;
       scores[p].feasible_fraction += b.feasible ? 1.0 : 0.0;
     }
-
-    OptimizerConfig opt = optimizer;
-    opt.ga.seed = set_rng();
-    const OptimizationResult ga = optimize_multipliers_ga(tasks, opt);
-    scores.back().p_ms += ga.breakdown.p_ms;
-    scores.back().max_u_lc += ga.breakdown.max_u_lc;
-    scores.back().objective += ga.breakdown.objective;
-    scores.back().feasible_fraction += ga.breakdown.feasible ? 1.0 : 0.0;
   }
 
   const auto denom = static_cast<double>(num_tasksets);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "core/chebyshev_wcet.hpp"
 
 namespace mcs::core {
@@ -57,12 +58,15 @@ std::vector<UniformSweepPoint> sweep_uniform_n(const mc::TaskSet& tasks,
   if (n_min < 0.0 || step <= 0.0 || n_max < n_min)
     throw std::invalid_argument("sweep_uniform_n: invalid range");
   const std::size_t hc_count = tasks.count(mc::Criticality::kHigh);
-  std::vector<UniformSweepPoint> points;
-  for (double n = n_min; n <= n_max + 1e-12; n += step) {
-    const std::vector<double> genes(hc_count, n);
-    points.push_back({n, evaluate_multipliers(tasks, genes)});
-  }
-  return points;
+  // Enumerate the grid with the same repeated-addition recurrence as the
+  // legacy loop (n_min + i*step is not bit-identical to it), then
+  // evaluate the points — pure analytic work — in parallel.
+  std::vector<double> grid;
+  for (double n = n_min; n <= n_max + 1e-12; n += step) grid.push_back(n);
+  return common::parallel_map(grid.size(), [&](std::size_t i) {
+    const std::vector<double> genes(hc_count, grid[i]);
+    return UniformSweepPoint{grid[i], evaluate_multipliers(tasks, genes)};
+  });
 }
 
 UniformSweepPoint best_uniform_n(const mc::TaskSet& tasks, double n_min,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "sched/edf_vd.hpp"
 #include "taskgen/generator.hpp"
@@ -37,27 +38,42 @@ std::vector<GaVsUniformPoint> run_ga_vs_uniform(
     common::Rng rng(seed + static_cast<std::uint64_t>(u * 1000.0));
     GaVsUniformPoint point;
     point.u_hc_hi = u;
-    for (std::size_t t = 0; t < tasksets; ++t) {
-      common::Rng set_rng = rng.split();
-      const mc::TaskSet tasks =
-          taskgen::generate_hc_only(config, u, set_rng);
-      const core::UniformSweepPoint uniform =
-          core::best_uniform_n(tasks, 0.0, optimizer.n_cap, 0.5);
-      core::OptimizerConfig opt = optimizer;
-      opt.ga.seed = set_rng();
-      const core::OptimizationResult ga =
-          core::optimize_multipliers_ga(tasks, opt);
-      core::OptimizerConfig gaussian_opt = opt;
-      gaussian_opt.ga.mutation = ga::MutationKind::kGaussian;
-      const core::OptimizationResult ga_gaussian =
-          core::optimize_multipliers_ga(tasks, gaussian_opt);
-      point.uniform_objective += uniform.breakdown.objective;
-      point.ga_objective += ga.breakdown.objective;
-      point.ga_gaussian_objective += ga_gaussian.breakdown.objective;
-      if (uniform.breakdown.objective > 1e-9)
-        point.mean_gain += (ga.breakdown.objective -
-                            uniform.breakdown.objective) /
-                           uniform.breakdown.objective;
+    // One pre-split stream per replication; GA and uniform baselines run
+    // in parallel across task sets, means reduced in replication order.
+    std::vector<common::Rng> set_rngs;
+    set_rngs.reserve(tasksets);
+    for (std::size_t t = 0; t < tasksets; ++t)
+      set_rngs.push_back(rng.split());
+    struct Objectives {
+      double uniform = 0.0;
+      double ga = 0.0;
+      double ga_gaussian = 0.0;
+    };
+    const std::vector<Objectives> results =
+        common::parallel_map(tasksets, [&](std::size_t t) {
+          common::Rng set_rng = set_rngs[t];
+          const mc::TaskSet tasks =
+              taskgen::generate_hc_only(config, u, set_rng);
+          const core::UniformSweepPoint uniform =
+              core::best_uniform_n(tasks, 0.0, optimizer.n_cap, 0.5);
+          core::OptimizerConfig opt = optimizer;
+          opt.ga.seed = set_rng();
+          const core::OptimizationResult ga =
+              core::optimize_multipliers_ga(tasks, opt);
+          core::OptimizerConfig gaussian_opt = opt;
+          gaussian_opt.ga.mutation = ga::MutationKind::kGaussian;
+          const core::OptimizationResult ga_gaussian =
+              core::optimize_multipliers_ga(tasks, gaussian_opt);
+          return Objectives{uniform.breakdown.objective,
+                            ga.breakdown.objective,
+                            ga_gaussian.breakdown.objective};
+        });
+    for (const Objectives& r : results) {
+      point.uniform_objective += r.uniform;
+      point.ga_objective += r.ga;
+      point.ga_gaussian_objective += r.ga_gaussian;
+      if (r.uniform > 1e-9)
+        point.mean_gain += (r.ga - r.uniform) / r.uniform;
     }
     const auto denom = static_cast<double>(tasksets);
     point.uniform_objective /= denom;
@@ -94,41 +110,70 @@ std::vector<SimValidationPoint> run_sim_validation(
     common::Rng rng(seed + 7 + static_cast<std::uint64_t>(u * 1000.0));
     SimValidationPoint point;
     point.u_hc_hi = u;
+    // Optimize + simulate every replication in parallel on its own
+    // pre-split stream; infeasible/unschedulable sets contribute nothing,
+    // exactly as in the serial loop.
+    std::vector<common::Rng> set_rngs;
+    set_rngs.reserve(tasksets);
+    for (std::size_t t = 0; t < tasksets; ++t)
+      set_rngs.push_back(rng.split());
+    struct Replication {
+      bool valid = false;
+      double analytic_p_ms = 0.0;
+      double overrun_rate = 0.0;
+      double drop_rate_dropall = 0.0;
+      double drop_rate_degrade = 0.0;
+      double hc_miss_dropall = 0.0;
+      double hc_miss_degrade = 0.0;
+    };
+    const std::vector<Replication> replications =
+        common::parallel_map(tasksets, [&](std::size_t t) {
+          Replication r;
+          common::Rng set_rng = set_rngs[t];
+          mc::TaskSet tasks = taskgen::generate_hc_only(config, u, set_rng);
+          core::OptimizerConfig opt = optimizer;
+          opt.ga.seed = set_rng();
+          const core::OptimizationResult best =
+              core::optimize_multipliers_ga(tasks, opt);
+          if (!best.breakdown.feasible) return r;
+          (void)core::apply_chebyshev_assignment(tasks, best.n);
+          // Fill with LC tasks slightly under the admissible maximum so
+          // the EDF-VD test passes with margin.
+          add_lc_fill(tasks, 0.9 * best.breakdown.max_u_lc, set_rng);
+          const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
+          if (!vd.schedulable) return r;
+          r.valid = true;
+          r.analytic_p_ms = best.breakdown.p_ms;
+
+          sim::SimConfig sim_config;
+          sim_config.horizon = horizon;
+          sim_config.x = vd.x;
+          sim_config.seed = set_rng();
+
+          sim_config.lc_policy = sim::LcPolicy::kDropAll;
+          const sim::SimResult drop = sim::simulate(tasks, sim_config);
+          sim_config.lc_policy = sim::LcPolicy::kDegradeHalf;
+          const sim::SimResult degrade = sim::simulate(tasks, sim_config);
+
+          r.overrun_rate = drop.metrics.hc_overrun_rate();
+          r.drop_rate_dropall = drop.metrics.lc_drop_rate();
+          r.drop_rate_degrade = degrade.metrics.lc_drop_rate();
+          r.hc_miss_dropall =
+              static_cast<double>(drop.metrics.hc_deadline_misses);
+          r.hc_miss_degrade =
+              static_cast<double>(degrade.metrics.hc_deadline_misses);
+          return r;
+        });
     std::size_t valid_sets = 0;
-    for (std::size_t t = 0; t < tasksets; ++t) {
-      common::Rng set_rng = rng.split();
-      mc::TaskSet tasks = taskgen::generate_hc_only(config, u, set_rng);
-      core::OptimizerConfig opt = optimizer;
-      opt.ga.seed = set_rng();
-      const core::OptimizationResult best =
-          core::optimize_multipliers_ga(tasks, opt);
-      if (!best.breakdown.feasible) continue;
-      (void)core::apply_chebyshev_assignment(tasks, best.n);
-      // Fill with LC tasks slightly under the admissible maximum so the
-      // EDF-VD test passes with margin.
-      add_lc_fill(tasks, 0.9 * best.breakdown.max_u_lc, set_rng);
-      const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
-      if (!vd.schedulable) continue;
+    for (const Replication& r : replications) {
+      if (!r.valid) continue;
       ++valid_sets;
-      point.analytic_p_ms += best.breakdown.p_ms;
-
-      sim::SimConfig sim_config;
-      sim_config.horizon = horizon;
-      sim_config.x = vd.x;
-      sim_config.seed = set_rng();
-
-      sim_config.lc_policy = sim::LcPolicy::kDropAll;
-      const sim::SimResult drop = sim::simulate(tasks, sim_config);
-      sim_config.lc_policy = sim::LcPolicy::kDegradeHalf;
-      const sim::SimResult degrade = sim::simulate(tasks, sim_config);
-
-      point.sim_overrun_rate += drop.metrics.hc_overrun_rate();
-      point.sim_drop_rate_dropall += drop.metrics.lc_drop_rate();
-      point.sim_drop_rate_degrade += degrade.metrics.lc_drop_rate();
-      point.sim_hc_miss_dropall +=
-          static_cast<double>(drop.metrics.hc_deadline_misses);
-      point.sim_hc_miss_degrade +=
-          static_cast<double>(degrade.metrics.hc_deadline_misses);
+      point.analytic_p_ms += r.analytic_p_ms;
+      point.sim_overrun_rate += r.overrun_rate;
+      point.sim_drop_rate_dropall += r.drop_rate_dropall;
+      point.sim_drop_rate_degrade += r.drop_rate_degrade;
+      point.sim_hc_miss_dropall += r.hc_miss_dropall;
+      point.sim_hc_miss_degrade += r.hc_miss_degrade;
     }
     if (valid_sets > 0) {
       const auto denom = static_cast<double>(valid_sets);

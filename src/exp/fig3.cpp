@@ -1,5 +1,6 @@
 #include "exp/fig3.hpp"
 
+#include "common/thread_pool.hpp"
 #include "core/objective.hpp"
 #include "taskgen/generator.hpp"
 
@@ -19,14 +20,23 @@ Fig3Data run_fig3(const std::vector<double>& n_values,
       Fig3Cell cell;
       cell.n = n;
       cell.u_hc_hi = u;
-      for (std::size_t t = 0; t < tasksets; ++t) {
-        common::Rng set_rng = rng.split();
-        const mc::TaskSet tasks =
-            taskgen::generate_hc_only(config, u, set_rng);
-        const std::vector<double> genes(tasks.count(mc::Criticality::kHigh),
-                                        n);
-        const core::ObjectiveBreakdown b =
-            core::evaluate_multipliers(tasks, genes);
+      // One pre-split stream per task set; the per-cell means below are
+      // reduced in replication order, keeping any --jobs value
+      // bit-identical to the serial sweep.
+      std::vector<common::Rng> set_rngs;
+      set_rngs.reserve(tasksets);
+      for (std::size_t t = 0; t < tasksets; ++t)
+        set_rngs.push_back(rng.split());
+      const std::vector<core::ObjectiveBreakdown> breakdowns =
+          common::parallel_map(tasksets, [&](std::size_t t) {
+            common::Rng set_rng = set_rngs[t];
+            const mc::TaskSet tasks =
+                taskgen::generate_hc_only(config, u, set_rng);
+            const std::vector<double> genes(
+                tasks.count(mc::Criticality::kHigh), n);
+            return core::evaluate_multipliers(tasks, genes);
+          });
+      for (const core::ObjectiveBreakdown& b : breakdowns) {
         cell.mean_p_ms += b.p_ms;
         cell.mean_max_u_lc += b.max_u_lc;
         cell.mean_objective += b.objective;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "sched/policies.hpp"
 #include "taskgen/generator.hpp"
@@ -49,23 +50,38 @@ std::vector<MulticorePoint> run_multicore(
       point.u_bound_per_core = u;
       common::Rng rng(seed + 1000 * m +
                       static_cast<std::uint64_t>(u * 100.0));
+      // Pre-split per-replication streams, partition-test in parallel.
+      std::vector<common::Rng> set_rngs;
+      set_rngs.reserve(tasksets);
+      for (std::size_t t = 0; t < tasksets; ++t)
+        set_rngs.push_back(rng.split());
+      struct Verdict {
+        bool lambda_ok = false;
+        bool chebyshev_ok = false;
+      };
+      const std::vector<Verdict> verdicts =
+          common::parallel_map(tasksets, [&](std::size_t t) {
+            common::Rng set_rng = set_rngs[t];
+            const mc::TaskSet tasks = taskgen::generate_mixed(
+                config, u * static_cast<double>(m), set_rng);
+            const mc::TaskSet with_lambda = assign(tasks, false, set_rng);
+            const mc::TaskSet with_chebyshev = assign(tasks, true, set_rng);
+            Verdict v;
+            v.lambda_ok =
+                sched::partition_tasks(with_lambda, m,
+                                       sched::PartitionHeuristic::kWorstFit)
+                    .feasible;
+            v.chebyshev_ok =
+                sched::partition_tasks(with_chebyshev, m,
+                                       sched::PartitionHeuristic::kWorstFit)
+                    .feasible;
+            return v;
+          });
       std::size_t lambda_ok = 0;
       std::size_t chebyshev_ok = 0;
-      for (std::size_t t = 0; t < tasksets; ++t) {
-        common::Rng set_rng = rng.split();
-        const mc::TaskSet tasks =
-            taskgen::generate_mixed(config, u * static_cast<double>(m),
-                                    set_rng);
-        const mc::TaskSet with_lambda = assign(tasks, false, set_rng);
-        const mc::TaskSet with_chebyshev = assign(tasks, true, set_rng);
-        if (sched::partition_tasks(with_lambda, m,
-                                   sched::PartitionHeuristic::kWorstFit)
-                .feasible)
-          ++lambda_ok;
-        if (sched::partition_tasks(with_chebyshev, m,
-                                   sched::PartitionHeuristic::kWorstFit)
-                .feasible)
-          ++chebyshev_ok;
+      for (const Verdict& v : verdicts) {
+        if (v.lambda_ok) ++lambda_ok;
+        if (v.chebyshev_ok) ++chebyshev_ok;
       }
       const auto denom = static_cast<double>(tasksets);
       point.lambda_acceptance = static_cast<double>(lambda_ok) / denom;

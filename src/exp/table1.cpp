@@ -2,6 +2,7 @@
 
 #include "apps/measurement.hpp"
 #include "apps/registry.hpp"
+#include "common/thread_pool.hpp"
 
 namespace mcs::exp {
 
@@ -9,9 +10,15 @@ std::vector<Table1Row> run_table1(std::size_t samples, std::uint64_t seed,
                                   std::size_t large_qsort) {
   std::vector<Table1Row> rows;
   const auto kernels = apps::table1_kernels(large_qsort);
+  // Every kernel's measurement campaign is seeded independently (seed + k)
+  // already, so the campaigns run in parallel; rows are built in kernel
+  // order afterwards.
+  const std::vector<apps::ExecutionProfile> profiles =
+      common::parallel_map(kernels.size(), [&](std::size_t k) {
+        return apps::measure_kernel(*kernels[k], samples, seed + k);
+      });
   for (std::size_t k = 0; k < kernels.size(); ++k) {
-    const apps::ExecutionProfile profile =
-        apps::measure_kernel(*kernels[k], samples, seed + k);
+    const apps::ExecutionProfile& profile = profiles[k];
     Table1Row row;
     row.application = profile.name;
     row.acet = profile.acet;

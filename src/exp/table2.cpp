@@ -2,6 +2,7 @@
 
 #include "apps/measurement.hpp"
 #include "apps/registry.hpp"
+#include "common/thread_pool.hpp"
 #include "stats/chebyshev.hpp"
 
 namespace mcs::exp {
@@ -9,10 +10,14 @@ namespace mcs::exp {
 Table2Data run_table2(std::size_t samples, std::uint64_t seed) {
   Table2Data data;
   const auto kernels = apps::table2_kernels();
+  // Kernel campaigns are independently seeded (seed + 100 + k): measure
+  // them in parallel, then collect names/empiricals in kernel order.
+  const std::vector<apps::ExecutionProfile> profiles =
+      common::parallel_map(kernels.size(), [&](std::size_t k) {
+        return apps::measure_kernel(*kernels[k], samples, seed + 100 + k);
+      });
   std::vector<stats::EmpiricalDistribution> empiricals;
-  for (std::size_t k = 0; k < kernels.size(); ++k) {
-    const apps::ExecutionProfile profile =
-        apps::measure_kernel(*kernels[k], samples, seed + 100 + k);
+  for (const apps::ExecutionProfile& profile : profiles) {
     data.applications.push_back(profile.name);
     empiricals.push_back(profile.empirical());
   }

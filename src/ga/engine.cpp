@@ -2,17 +2,35 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
+
+#include "common/thread_pool.hpp"
 
 namespace mcs::ga {
 
 namespace {
 
-void evaluate(Individual& ind, const Problem& problem, std::size_t& evals) {
-  if (ind.evaluated) return;
-  ind.fitness = problem.evaluate(ind.genes);
-  ind.evaluated = true;
-  ++evals;
+/// Evaluates every unevaluated individual of `population`, fanning the
+/// fitness calls out across the shared thread pool. Problem::evaluate is
+/// a pure function of the genes, so the only ordering that matters is
+/// where each result lands — and results are written back by index, which
+/// makes the outcome identical to the serial loop for any --jobs value.
+void evaluate_population(std::vector<Individual>& population,
+                         const Problem& problem, std::size_t& evals) {
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < population.size(); ++i)
+    if (!population[i].evaluated) todo.push_back(i);
+  if (todo.empty()) return;
+  const std::vector<double> fitness =
+      common::parallel_map(todo.size(), [&](std::size_t k) {
+        return problem.evaluate(population[todo[k]].genes);
+      });
+  for (std::size_t k = 0; k < todo.size(); ++k) {
+    population[todo[k]].fitness = fitness[k];
+    population[todo[k]].evaluated = true;
+  }
+  evals += todo.size();
 }
 
 GenerationStats summarize(const std::vector<Individual>& population) {
@@ -43,10 +61,8 @@ GaResult run_ga(const Problem& problem, const GaConfig& config) {
   GaResult result;
 
   std::vector<Individual> population(config.population_size);
-  for (Individual& ind : population) {
-    ind.genes = random_genome(problem, rng);
-    evaluate(ind, problem, result.evaluations);
-  }
+  for (Individual& ind : population) ind.genes = random_genome(problem, rng);
+  evaluate_population(population, problem, result.evaluations);
 
   auto fitter = [](const Individual& a, const Individual& b) {
     return a.fitness > b.fitness;
@@ -60,14 +76,18 @@ GaResult run_ga(const Problem& problem, const GaConfig& config) {
     std::vector<Individual> next;
     next.reserve(config.population_size);
 
-    // Elitism: carry over the current best individuals unchanged.
-    std::vector<Individual> sorted = population;
-    std::partial_sort(sorted.begin(),
-                      sorted.begin() + static_cast<std::ptrdiff_t>(
-                                           config.elitism),
-                      sorted.end(), fitter);
+    // Elitism: carry over the current best individuals unchanged. Sorting
+    // indices avoids deep-copying every genome just to find the winners.
+    std::vector<std::size_t> order(population.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(
+                                          config.elitism),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return fitter(population[a], population[b]);
+                      });
     for (std::size_t e = 0; e < config.elitism; ++e)
-      next.push_back(sorted[e]);
+      next.push_back(population[order[e]]);
 
     while (next.size() < config.population_size) {
       Individual child_a =
@@ -103,7 +123,7 @@ GaResult run_ga(const Problem& problem, const GaConfig& config) {
         next.push_back(std::move(child_b));
     }
 
-    for (Individual& ind : next) evaluate(ind, problem, result.evaluations);
+    evaluate_population(next, problem, result.evaluations);
     population = std::move(next);
 
     const GenerationStats stats = summarize(population);

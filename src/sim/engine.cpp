@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include "common/reservoir.hpp"
+#include "common/thread_pool.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -202,6 +203,18 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
     mode = mc::Mode::kLow;
     m.hi_mode_time += now - hi_since;
     pending_overhead += config.mode_switch_ms;
+    // Back in LO mode every guarantee is restored: still-pending LC jobs
+    // degraded while the system was in HI mode get their full C^LO budget
+    // back. Without this, jobs released under kDegradeHalf kept a halved
+    // budget (and the degraded flag) across the back-switch, inflating
+    // lc_jobs_degraded / drop counts. HC budgets need no action here:
+    // pending HC work blocks the back-switch (and under kIdleInstant the
+    // ready queue is empty), so no HC job can carry a C^HI budget across.
+    for (Job& job : ready) {
+      if (job.hc || !job.degraded) continue;
+      job.budget = tasks[job.task].wcet_lo;
+      job.degraded = false;
+    }
     trace.record(now, TraceEventKind::kModeSwitchLo, "");
   };
 
@@ -355,16 +368,19 @@ MulticoreSimResult simulate_partitioned(const std::vector<mc::TaskSet>& cores,
         "simulate_partitioned: one x factor per core required");
   MulticoreSimResult result;
   result.combined.horizon = config.horizon;
-  for (std::size_t c = 0; c < cores.size(); ++c) {
-    if (cores[c].empty()) {
-      result.cores.emplace_back();
-      continue;
-    }
+  // Each core's simulation owns an independent seed, so the cores run in
+  // parallel; the combined metrics are reduced in core order below, which
+  // keeps the result bit-identical to the serial loop at any job count.
+  result.cores = common::parallel_map(cores.size(), [&](std::size_t c) {
+    if (cores[c].empty()) return SimResult();
     SimConfig core_config = config;
     core_config.x = xs[c];
     core_config.seed = config.seed + 0x9E37'79B9U * (c + 1);
-    result.cores.push_back(simulate(cores[c], core_config));
-    const SimMetrics& m = result.cores.back().metrics;
+    return simulate(cores[c], core_config);
+  });
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    if (cores[c].empty()) continue;
+    const SimMetrics& m = result.cores[c].metrics;
     result.combined.busy_time += m.busy_time;
     result.combined.hi_mode_time += m.hi_mode_time;
     result.combined.hc_jobs_released += m.hc_jobs_released;

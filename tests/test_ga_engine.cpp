@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
 
 namespace mcs::ga {
@@ -79,6 +81,56 @@ TEST(GaEngine, HistoryLengthAndEvaluationCount) {
   EXPECT_EQ(r.history.size(), 20U);
   EXPECT_GE(r.evaluations, 10U);          // initial population
   EXPECT_LE(r.evaluations, 10U * 21U);    // at most every individual fresh
+}
+
+/// FNV-1a over the bit patterns of every GA observable: the full history,
+/// the best genome, its fitness and the evaluation count.
+std::uint64_t ga_result_hash(const GaResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  const auto bits = [](double x) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &x, sizeof u);
+    return u;
+  };
+  for (const GenerationStats& g : r.history) {
+    mix(bits(g.best));
+    mix(bits(g.mean));
+    mix(bits(g.worst));
+  }
+  for (const double g : r.best.genes) mix(bits(g));
+  mix(bits(r.best.fitness));
+  mix(r.evaluations);
+  return h;
+}
+
+TEST(GaEngine, GoldenHistoryUnchangedBySeed) {
+  // Golden hashes recorded from the serial generational engine (before
+  // index-based elitism and parallel evaluation were introduced). Any bit
+  // of drift in the evolution path — selection order, elitism ties,
+  // evaluation count — changes the hash.
+  struct Golden {
+    std::uint64_t seed;
+    std::uint64_t hash;
+  };
+  constexpr Golden kGolden[] = {
+      {1, 0x8f7718a2eaa6ca74ULL},
+      {5, 0x606a67bedd6e9774ULL},
+      {42, 0x041ff1f9690e602aULL},
+  };
+  const Sphere problem;
+  for (const Golden& g : kGolden) {
+    GaConfig config;
+    config.population_size = 24;
+    config.generations = 30;
+    config.elitism = 3;
+    config.seed = g.seed;
+    const GaResult r = run_ga(problem, config);
+    EXPECT_EQ(ga_result_hash(r), g.hash) << "seed " << g.seed;
+  }
 }
 
 TEST(GaEngine, DeterministicInSeed) {

@@ -42,6 +42,30 @@ TEST(Reservoir, UniformInclusionProbability) {
   }
 }
 
+TEST(Reservoir, UniformInclusionOverLongStream) {
+  // Same property over a 10k-element stream, where replacement dominates
+  // (k/n = 1%): aggregated over ten equal stream segments, each segment
+  // must hold ~10% of the retained sample — early positions are as likely
+  // to survive as late ones.
+  constexpr int kStream = 10000;
+  constexpr int kCapacity = 100;
+  constexpr int kTrials = 300;
+  constexpr int kSegments = 10;
+  std::vector<int> segment_hits(kSegments, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ReservoirSampler r(kCapacity, static_cast<std::uint64_t>(trial) + 1);
+    for (int i = 0; i < kStream; ++i) r.add(static_cast<double>(i));
+    for (const double v : r.sample())
+      ++segment_hits[static_cast<std::size_t>(v) / (kStream / kSegments)];
+  }
+  constexpr int kTotal = kCapacity * kTrials;
+  for (int s = 0; s < kSegments; ++s) {
+    const double fraction = static_cast<double>(segment_hits[s]) / kTotal;
+    // Binomial std-dev of a segment fraction is ~0.0017; 0.02 is > 10 sigma.
+    EXPECT_NEAR(fraction, 1.0 / kSegments, 0.02) << "segment " << s;
+  }
+}
+
 TEST(Reservoir, QuantileApproximatesStream) {
   ReservoirSampler r(500, 7);
   for (int i = 0; i < 50000; ++i) r.add(static_cast<double>(i % 1000));

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 namespace mcs::common {
@@ -82,6 +83,43 @@ TEST(Rng, UniformI64NegativeRange) {
     const std::int64_t v = rng.uniform_i64(-3, 2);
     EXPECT_GE(v, -3);
     EXPECT_LE(v, 2);
+  }
+}
+
+TEST(Rng, UniformI64ExtremeBounds) {
+  // Regression: hi - lo overflowed int64_t (signed UB) for wide ranges.
+  // The full domain, half-domain straddles and the singleton extremes
+  // must all stay in range with no UB (caught by -fsanitize=undefined).
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  Rng rng(29);
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_i64(kMin, kMax);
+    saw_negative = saw_negative || v < 0;
+    saw_positive = saw_positive || v > 0;
+  }
+  // A uniform draw over the full domain hits both signs w.h.p.
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_i64(kMin + 1, kMax - 1);
+    EXPECT_GE(v, kMin + 1);
+    EXPECT_LE(v, kMax - 1);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_i64(kMin, kMin), kMin);
+    EXPECT_EQ(rng.uniform_i64(kMax, kMax), kMax);
+  }
+  // Narrow ranges hugging each limit stay inside them.
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t lo_edge = rng.uniform_i64(kMin, kMin + 3);
+    EXPECT_GE(lo_edge, kMin);
+    EXPECT_LE(lo_edge, kMin + 3);
+    const std::int64_t hi_edge = rng.uniform_i64(kMax - 3, kMax);
+    EXPECT_GE(hi_edge, kMax - 3);
+    EXPECT_LE(hi_edge, kMax);
   }
 }
 

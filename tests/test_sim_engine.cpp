@@ -25,6 +25,19 @@ mc::McTask deterministic_hc(const std::string& name, double wcet_lo,
   return t;
 }
 
+/// LC task whose demand distribution is a point mass at `exec` ms.
+mc::McTask deterministic_lc(const std::string& name, double wcet,
+                            double period, double exec) {
+  mc::McTask t = mc::McTask::low(name, wcet, period);
+  mc::ExecutionStats stats;
+  stats.acet = exec;
+  stats.sigma = 0.0;
+  stats.distribution =
+      std::make_shared<stats::UniformDistribution>(exec, exec);
+  t.stats = stats;
+  return t;
+}
+
 TEST(Sim, SingleTaskUtilizationAccounting) {
   mc::TaskSet tasks;
   tasks.add(deterministic_hc("h", 20.0, 30.0, 100.0, 10.0));
@@ -269,6 +282,60 @@ TEST(Sim, ModeSwitchOverheadCharged) {
   // Each LO->HI has a matching HI->LO, both charged.
   EXPECT_NEAR(r.metrics.overhead_time,
               2.0 * static_cast<double>(r.metrics.mode_switches), 2.0);
+  EXPECT_EQ(r.metrics.hc_deadline_misses, 0U);
+}
+
+TEST(Sim, BackSwitchRestoresDegradedLcBudget) {
+  // Regression: an LC job degraded at the LO->HI switch straddles the
+  // HI->LO back-switch. Once the system is back in LO mode, the paper's
+  // guarantees hold again, so the job must regain its full C^LO budget
+  // (and lose the degraded flag). Previously the halved budget survived
+  // the back-switch and the job was dropped mid-LO-mode.
+  mc::TaskSet tasks;
+  // h overruns at t=10 and completes at t=35 (demand 35 under C^HI 40).
+  tasks.add(deterministic_hc("h", 10.0, 40.0, 100.0, 35.0));
+  // l is pending at the switch: degraded budget 10 < demand 15 <= C^LO 20.
+  tasks.add(deterministic_lc("l", 20.0, 100.0, 15.0));
+  SimConfig config;
+  config.horizon = 100.0;
+  config.lc_policy = LcPolicy::kDegradeHalf;
+  config.back_switch = BackSwitchPolicy::kNoReadyHc;
+  const SimResult r = simulate(tasks, config);
+  EXPECT_EQ(r.metrics.mode_switches, 1U);
+  EXPECT_EQ(r.metrics.lc_jobs_released, 1U);
+  // With the full budget restored at t=35 the job (15 ms demand) finishes
+  // at t=50, undegraded; with the stale halved budget it was dropped.
+  EXPECT_EQ(r.metrics.lc_jobs_completed, 1U);
+  EXPECT_EQ(r.metrics.lc_jobs_dropped, 0U);
+  EXPECT_EQ(r.metrics.lc_jobs_degraded, 0U);
+  EXPECT_EQ(r.metrics.hc_deadline_misses, 0U);
+}
+
+TEST(Sim, LcReleasedInHiModeRegainsFullBudgetAfterBackSwitch) {
+  // Same regression for the other degradation path: an LC job *released*
+  // while the system is in HI mode (admitted at half budget) that is
+  // still pending when the system returns to LO mode.
+  mc::TaskSet tasks;
+  // Timeline: l#1 (deadline 50) runs 0-15; h runs 15-25, overruns -> HI;
+  // l#2 releases at t=50 in HI mode (degraded budget 10, deadline 100)
+  // but h's real deadline 80 keeps the processor until h completes at
+  // t=70; the back-switch at t=70 must restore l#2's budget to 20 so its
+  // 15 ms demand completes at t=85.
+  tasks.add(deterministic_hc("h", 10.0, 60.0, 80.0, 55.0));
+  tasks.add(deterministic_lc("l", 20.0, 50.0, 15.0));
+  SimConfig config;
+  config.horizon = 120.0;
+  config.lc_policy = LcPolicy::kDegradeHalf;
+  config.back_switch = BackSwitchPolicy::kNoReadyHc;
+  const SimResult r = simulate(tasks, config);
+  // l#3 (released t=100, inside h#2's HI window) legitimately exhausts
+  // its degraded budget and is dropped in HI mode under this policy.
+  EXPECT_EQ(r.metrics.lc_jobs_released, 3U);
+  EXPECT_EQ(r.metrics.lc_jobs_completed, 2U);
+  EXPECT_EQ(r.metrics.lc_jobs_dropped, 1U);
+  // l#2 completes with its restored (full) budget, so no completion is
+  // counted as degraded.
+  EXPECT_EQ(r.metrics.lc_jobs_degraded, 0U);
   EXPECT_EQ(r.metrics.hc_deadline_misses, 0U);
 }
 

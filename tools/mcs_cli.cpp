@@ -155,6 +155,7 @@ int cmd_optimize(const std::string& path, int argc,
   cli.add_u64("population", &population, "GA population size");
   cli.add_u64("generations", &generations, "GA generations");
   cli.add_double("n-cap", &n_cap, "upper bound of the multiplier search");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   mc::TaskSet tasks = load_file(path);
