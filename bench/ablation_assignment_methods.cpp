@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
       "assignment on held-out data");
   cli.add_u64("samples", &samples, "executions per application");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   const auto comparisons = mcs::exp::run_assignment_methods(samples, seed);

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   cli.add_u64("samples", &samples, "executions (paper: 20000)");
   cli.add_u64("bins", &bins, "histogram bins");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   const mcs::exp::Fig1Data data =

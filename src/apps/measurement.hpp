@@ -39,9 +39,17 @@ struct ExecutionProfile {
   [[nodiscard]] double pessimism_ratio() const;
 };
 
-/// Runs `samples` randomized executions of `kernel` (deterministic in
-/// `seed`), computes the moments and the static WCET, and checks the
-/// static bound dominates every observation. Requires samples >= 1.
+/// Runs `samples` randomized executions of `kernel`, computes the moments
+/// and the static WCET, and checks the static bound dominates every
+/// observation. Requires samples >= 1.
+///
+/// Sample i draws from a counter-based stream seeded by
+/// common::index_seed(seed, i), so the campaign is deterministic in `seed`
+/// alone and bit-identical at every --jobs count (the per-sample loop runs
+/// through the chunked parallel dispatcher). This stream scheme replaced
+/// the original single sequential Rng; golden ACET/sigma tables were
+/// re-recorded once for the migration (see tests/test_measurement_golden
+/// and DESIGN.md's threading-model notes).
 [[nodiscard]] ExecutionProfile measure_kernel(const Kernel& kernel,
                                               std::size_t samples,
                                               std::uint64_t seed);

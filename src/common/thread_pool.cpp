@@ -127,7 +127,16 @@ bool must_run_inline(std::size_t count) {
          ThreadPool::on_worker_thread();
 }
 
-void run_indexed(std::size_t count, std::size_t jobs,
+std::size_t auto_grain(std::size_t count, std::size_t jobs) {
+  // Aim for ~4 chunks per pump: few enough queue operations that dispatch
+  // cost vanishes, enough chunks that an unlucky slow chunk cannot leave
+  // the other pumps idle for the whole tail.
+  const std::size_t pumps = jobs == 0 ? 1 : jobs;
+  const std::size_t grain = count / (pumps * 4);
+  return grain == 0 ? 1 : grain;
+}
+
+void run_chunked(std::size_t count, std::size_t grain, std::size_t jobs,
                  const std::function<void(std::size_t)>& body) {
   struct Batch {
     std::atomic<std::size_t> next{0};
@@ -136,24 +145,28 @@ void run_indexed(std::size_t count, std::size_t jobs,
     std::condition_variable done;
     std::exception_ptr error;
   };
-  const std::size_t pumps = jobs < count ? jobs : count;
+  if (grain == 0) grain = auto_grain(count, jobs);
+  const std::size_t chunks = (count + grain - 1) / grain;
+  const std::size_t pumps = jobs < chunks ? jobs : chunks;
   ThreadPool& pool = shared_pool(jobs);
   auto batch = std::make_shared<Batch>();
   batch->remaining.store(pumps, std::memory_order_relaxed);
 
-  auto pump = [batch, count, &body] {
+  auto pump = [batch, count, grain, chunks, &body] {
     for (;;) {
-      const std::size_t i =
+      const std::size_t c =
           batch->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      // After the first failure, drain remaining indices without running
+      if (c >= chunks) break;
+      // After the first failure, drain remaining chunks without running
       // them so the batch finishes promptly.
       {
         std::lock_guard<std::mutex> lock(batch->mutex);
         if (batch->error) break;
       }
+      const std::size_t begin = c * grain;
+      const std::size_t end = begin + grain < count ? begin + grain : count;
       try {
-        body(i);
+        for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(batch->mutex);
         if (!batch->error) batch->error = std::current_exception();

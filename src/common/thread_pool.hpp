@@ -12,9 +12,17 @@
 //    result is stored at slot i and reductions happen in submission
 //    order, so the output is bit-identical to the serial loop at any
 //    thread count (including --jobs 1, which bypasses the pool entirely).
+//  * parallel_map_chunked / parallel_for_chunked — the same contract with
+//    a grain-size parameter: pumps claim `grain` consecutive indices per
+//    atomic queue operation instead of one, so million-item sweeps stop
+//    paying one dispatch per item. Chunking only changes which thread
+//    executes an index, never the per-index work or the reduction order,
+//    so results are bit-identical to the unchunked (grain 1) path.
 //  * index_seed — derives a per-item 64-bit seed from a base seed via
 //    SplitMix64 so new parallel call sites can give every item an
-//    independent stream without sequential split() chains.
+//    independent stream without sequential split() chains. The same
+//    recipe powers counter-based per-sample streams (apps::measure_kernel
+//    seeds sample i from index_seed(seed, i)).
 //
 // Determinism contract: a work item must draw randomness only from state
 // it owns (an Rng passed by value, or one seeded from index_seed), must
@@ -100,11 +108,17 @@ class ThreadPool {
 namespace detail {
 
 /// Runs body(0..count-1) across the shared pool with `jobs` concurrent
-/// pumps pulling indices from an atomic counter. Rethrows the first
-/// exception (by index order of the throwing pump's first failure is not
-/// guaranteed; exactly one of the captured exceptions propagates).
-void run_indexed(std::size_t count, std::size_t jobs,
+/// pumps pulling chunks of `grain` consecutive indices from an atomic
+/// counter (grain 0 resolves via auto_grain). Rethrows the first captured
+/// exception (which pump fails first is scheduling-dependent; exactly one
+/// of the captured exceptions propagates).
+void run_chunked(std::size_t count, std::size_t grain, std::size_t jobs,
                  const std::function<void(std::size_t)>& body);
+
+/// Grain used when the caller passes 0 ("auto"): large enough that each
+/// pump sees only a handful of queue operations, small enough that a slow
+/// chunk cannot serialize the tail (several chunks per pump).
+[[nodiscard]] std::size_t auto_grain(std::size_t count, std::size_t jobs);
 
 /// True when the calling context must execute parallel constructs inline:
 /// jobs <= 1, a trivial item count, or already inside a worker.
@@ -113,13 +127,18 @@ void run_indexed(std::size_t count, std::size_t jobs,
 }  // namespace detail
 
 /// Applies fn(i) for i in [0, count) and returns the results in index
-/// order. Deterministic for any thread count provided fn honours the
-/// determinism contract above.
+/// order, dispatching `grain` consecutive indices per queue operation
+/// (grain 0 picks an automatic grain from the item and job counts; grain 1
+/// is the legacy one-task-per-item dispatch). Bit-identical to the serial
+/// loop — and to every other grain — for any thread count provided fn
+/// honours the determinism contract above.
 template <typename Fn>
-[[nodiscard]] auto parallel_map(std::size_t count, Fn&& fn)
+[[nodiscard]] auto parallel_map_chunked(std::size_t count, std::size_t grain,
+                                        Fn&& fn)
     -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
   using R = std::invoke_result_t<Fn&, std::size_t>;
-  static_assert(!std::is_void_v<R>, "use parallel_for for void bodies");
+  static_assert(!std::is_void_v<R>,
+                "use parallel_for_chunked for void bodies");
   std::vector<R> out;
   if (count == 0) return out;
   if (detail::must_run_inline(count)) {
@@ -128,24 +147,43 @@ template <typename Fn>
     return out;
   }
   std::vector<std::optional<R>> slots(count);
-  detail::run_indexed(count, default_jobs(),
+  detail::run_chunked(count, grain, default_jobs(),
                       [&](std::size_t i) { slots[i].emplace(fn(i)); });
   out.reserve(count);
   for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
   return out;
 }
 
-/// Applies fn(i) for i in [0, count); no results. Item order of side
-/// effects is unspecified across threads — write only to slot i.
+/// Applies fn(i) for i in [0, count) with chunked dispatch; no results.
+/// Side-effect ordering across threads is unspecified — write only to
+/// slot i.
 template <typename Fn>
-void parallel_for(std::size_t count, Fn&& fn) {
+void parallel_for_chunked(std::size_t count, std::size_t grain, Fn&& fn) {
   if (count == 0) return;
   if (detail::must_run_inline(count)) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  detail::run_indexed(count, default_jobs(),
+  detail::run_chunked(count, grain, default_jobs(),
                       [&](std::size_t i) { fn(i); });
+}
+
+/// Applies fn(i) for i in [0, count) and returns the results in index
+/// order with one-task-per-item dispatch (grain 1) — right for coarse
+/// items; prefer parallel_map_chunked for large fine-grained sweeps.
+/// Deterministic for any thread count provided fn honours the determinism
+/// contract above.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::size_t count, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  return parallel_map_chunked(count, 1, std::forward<Fn>(fn));
+}
+
+/// Applies fn(i) for i in [0, count); no results. Item order of side
+/// effects is unspecified across threads — write only to slot i.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn) {
+  parallel_for_chunked(count, 1, std::forward<Fn>(fn));
 }
 
 }  // namespace mcs::common

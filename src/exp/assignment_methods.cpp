@@ -29,6 +29,10 @@ std::vector<AssignmentComparison> run_assignment_methods(std::size_t samples,
   const auto kernels = apps::table2_kernels();
   common::Rng policy_rng(seed);
 
+  // The kernel loop stays serial: policy_rng is one sequential stream
+  // shared across kernels (the λ-policy draws must keep their historical
+  // order). Parallelism comes from measure_kernel's counter-based
+  // per-sample streams instead.
   for (std::size_t k = 0; k < kernels.size(); ++k) {
     const apps::ExecutionProfile profile =
         apps::measure_kernel(*kernels[k], samples, seed + 31 * k);

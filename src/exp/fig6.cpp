@@ -1,26 +1,33 @@
 #include "exp/fig6.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace mcs::exp {
 
 std::vector<Fig6Point> run_fig6(const std::vector<double>& u_values,
                                 std::size_t tasksets, std::uint64_t seed) {
-  std::vector<Fig6Point> points;
-  for (const double u : u_values) {
-    const std::uint64_t point_seed =
-        seed + static_cast<std::uint64_t>(u * 1000.0);
-    Fig6Point point;
-    point.u_bound = u;
-    point.baruah_lambda = core::acceptance_ratio(
-        core::Approach::kBaruahLambda, u, tasksets, point_seed);
-    point.baruah_chebyshev = core::acceptance_ratio(
-        core::Approach::kBaruahChebyshev, u, tasksets, point_seed);
-    point.liu_lambda = core::acceptance_ratio(core::Approach::kLiuLambda, u,
-                                              tasksets, point_seed);
-    point.liu_chebyshev = core::acceptance_ratio(
-        core::Approach::kLiuChebyshev, u, tasksets, point_seed);
-    points.push_back(point);
-  }
-  return points;
+  // The outer utilization axis fans out too: each point's seed depends
+  // only on its u value, so the points are independent work items. The
+  // nested acceptance_ratio sweeps then run inline on the worker, which
+  // keeps small per-point taskset counts from serializing the whole
+  // figure behind one u value.
+  return common::parallel_map_chunked(
+      u_values.size(), 1, [&](std::size_t p) {
+        const double u = u_values[p];
+        const std::uint64_t point_seed =
+            seed + static_cast<std::uint64_t>(u * 1000.0);
+        Fig6Point point;
+        point.u_bound = u;
+        point.baruah_lambda = core::acceptance_ratio(
+            core::Approach::kBaruahLambda, u, tasksets, point_seed);
+        point.baruah_chebyshev = core::acceptance_ratio(
+            core::Approach::kBaruahChebyshev, u, tasksets, point_seed);
+        point.liu_lambda = core::acceptance_ratio(core::Approach::kLiuLambda,
+                                                  u, tasksets, point_seed);
+        point.liu_chebyshev = core::acceptance_ratio(
+            core::Approach::kLiuChebyshev, u, tasksets, point_seed);
+        return point;
+      });
 }
 
 common::Table render_fig6(const std::vector<Fig6Point>& points) {

@@ -12,7 +12,9 @@ std::vector<Table1Row> run_table1(std::size_t samples, std::uint64_t seed,
   const auto kernels = apps::table1_kernels(large_qsort);
   // Every kernel's measurement campaign is seeded independently (seed + k)
   // already, so the campaigns run in parallel; rows are built in kernel
-  // order afterwards.
+  // order afterwards. Inside each campaign measure_kernel fans out over
+  // counter-based per-sample streams, which run inline on the worker that
+  // owns the kernel (nested regions never over-subscribe the pool).
   const std::vector<apps::ExecutionProfile> profiles =
       common::parallel_map(kernels.size(), [&](std::size_t k) {
         return apps::measure_kernel(*kernels[k], samples, seed + k);

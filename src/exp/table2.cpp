@@ -11,7 +11,9 @@ Table2Data run_table2(std::size_t samples, std::uint64_t seed) {
   Table2Data data;
   const auto kernels = apps::table2_kernels();
   // Kernel campaigns are independently seeded (seed + 100 + k): measure
-  // them in parallel, then collect names/empiricals in kernel order.
+  // them in parallel, then collect names/empiricals in kernel order. The
+  // per-sample loops inside measure_kernel use counter-based streams and
+  // run inline on the owning worker.
   const std::vector<apps::ExecutionProfile> profiles =
       common::parallel_map(kernels.size(), [&](std::size_t k) {
         return apps::measure_kernel(*kernels[k], samples, seed + 100 + k);

@@ -22,6 +22,13 @@ grep -q "P_sys^MS" "$WORKDIR/report.txt"
 grep -q "mode switches" "$WORKDIR/sim.txt"
 grep -q "misses" "$WORKDIR/sim.txt"
 
+# The measurement path must be bit-identical at every --jobs count now
+# that measure_kernel samples through counter-based per-sample streams.
+"$CLI" wcet qsort-100 --samples=400 --seed=5 --jobs=1 > "$WORKDIR/wcet_j1.txt"
+"$CLI" wcet qsort-100 --samples=400 --seed=5 --jobs=4 > "$WORKDIR/wcet_j4.txt"
+grep -q "ACET" "$WORKDIR/wcet_j1.txt"
+cmp "$WORKDIR/wcet_j1.txt" "$WORKDIR/wcet_j4.txt"
+
 # The simulator exits non-zero on HC deadline misses; reaching this line
 # means the optimized set ran clean.
 echo "cli pipeline OK"

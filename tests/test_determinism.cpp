@@ -1,10 +1,15 @@
-// Determinism contract tests: every parallelized pipeline (GA, Monte
-// Carlo sweeps, experiment drivers, partitioned simulation) must produce
-// bit-identical results for --jobs 1, --jobs 4, and across repeated runs.
+// Determinism contract tests: every parallelized pipeline (measurement
+// campaigns, GA, Monte Carlo sweeps, experiment drivers, partitioned
+// simulation) must produce bit-identical results across the --jobs
+// matrix {1, 2, 8}, across repeated runs, and across chunked vs
+// unchunked dispatch.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
+#include "apps/measurement.hpp"
+#include "apps/registry.hpp"
 #include "common/thread_pool.hpp"
 #include "core/acceptance.hpp"
 #include "core/comparison.hpp"
@@ -21,19 +26,72 @@
 namespace mcs {
 namespace {
 
-/// Runs `make_result` serially and at 4 jobs (twice), returning the three
-/// results for bitwise comparison.
+/// Runs `make_result` across the --jobs matrix {1, 2, 8} plus a repeated
+/// run at 8 jobs, returning the four results for bitwise comparison
+/// (index 0 is the serial reference).
 template <typename Fn>
 auto serial_and_parallel(Fn&& make_result) {
   const std::size_t saved = common::default_jobs();
   common::set_default_jobs(1);
   auto serial = make_result();
-  common::set_default_jobs(4);
-  auto parallel_a = make_result();
-  auto parallel_b = make_result();
+  common::set_default_jobs(2);
+  auto parallel_2 = make_result();
+  common::set_default_jobs(8);
+  auto parallel_8 = make_result();
+  auto parallel_8_repeat = make_result();
   common::set_default_jobs(saved);
-  return std::array{std::move(serial), std::move(parallel_a),
-                    std::move(parallel_b)};
+  return std::array{std::move(serial), std::move(parallel_2),
+                    std::move(parallel_8), std::move(parallel_8_repeat)};
+}
+
+TEST(Determinism, MeasureKernelBitIdenticalAcrossJobs) {
+  // The per-sample loop uses counter-based streams (index_seed(seed, i)),
+  // so the whole campaign — every sample and the reduced moments — must be
+  // bit-identical at every --jobs count.
+  for (const apps::KernelPtr& kernel : apps::table2_kernels()) {
+    const auto results = serial_and_parallel(
+        [&] { return apps::measure_kernel(*kernel, 150, 2024); });
+    for (std::size_t r = 1; r < results.size(); ++r) {
+      EXPECT_EQ(results[0].samples, results[r].samples) << kernel->name();
+      EXPECT_EQ(results[0].acet, results[r].acet) << kernel->name();
+      EXPECT_EQ(results[0].sigma, results[r].sigma) << kernel->name();
+      EXPECT_EQ(results[0].observed_max, results[r].observed_max)
+          << kernel->name();
+      EXPECT_EQ(results[0].wcet_pes, results[r].wcet_pes) << kernel->name();
+    }
+  }
+}
+
+TEST(Determinism, ChunkedDispatchMatchesUnchunkedAtEveryGrain) {
+  // Chunking is a pure dispatch optimization: for a stream-per-index
+  // workload the results must be bit-identical to grain-1 dispatch for
+  // every grain (including auto) and every job count.
+  auto item = [](std::size_t i) {
+    common::Rng rng(common::index_seed(99, i));
+    double acc = 0.0;
+    for (int k = 0; k < 50; ++k) acc += rng.uniform01();
+    return acc;
+  };
+  std::vector<double> reference;
+  {
+    const std::size_t saved = common::default_jobs();
+    common::set_default_jobs(1);
+    reference = common::parallel_map(257, item);
+    common::set_default_jobs(saved);
+  }
+  for (const std::size_t jobs : {2U, 8U}) {
+    const std::size_t saved = common::default_jobs();
+    common::set_default_jobs(jobs);
+    for (const std::size_t grain : {0U, 1U, 3U, 64U, 500U}) {
+      const std::vector<double> chunked =
+          common::parallel_map_chunked(257, grain, item);
+      ASSERT_EQ(chunked.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(chunked[i], reference[i])
+            << "jobs=" << jobs << " grain=" << grain << " i=" << i;
+    }
+    common::set_default_jobs(saved);
+  }
 }
 
 class Rosenbrock final : public ga::Problem {

@@ -1,0 +1,103 @@
+// Randomized property suites for src/stats, the analytical core the
+// Chebyshev pipeline rests on:
+//  S1 — Cantelli bound monotonicity: 1/(1+n^2) strictly decreases in n.
+//  S2 — Inverse round-trip: n_for_exceedance_bound inverts
+//       chebyshev_exceedance_bound across randomized n.
+//  S3 — Empirical exceedance <= bound for every parametric distribution
+//       in the zoo (the bound is distribution-free).
+//  S4 — Implied-n consistency: implied_n inverts C^LO = ACET + n*sigma.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/chebyshev.hpp"
+#include "stats/distributions.hpp"
+
+namespace mcs::stats {
+namespace {
+
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsProperty, S1_CantelliBoundStrictlyMonotoneInN) {
+  common::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a = rng.uniform(0.0, 60.0);
+    const double b = a + rng.uniform(1e-6, 10.0);
+    EXPECT_LT(chebyshev_exceedance_bound(b), chebyshev_exceedance_bound(a))
+        << "a=" << a << " b=" << b;
+    // And the bound always lands in (0, 1].
+    EXPECT_GT(chebyshev_exceedance_bound(b), 0.0);
+    EXPECT_LE(chebyshev_exceedance_bound(a), 1.0);
+  }
+}
+
+TEST_P(StatsProperty, S2_InverseRoundTripsAcrossRandomizedN) {
+  common::Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double n = rng.uniform(0.0, 80.0);
+    const double p = chebyshev_exceedance_bound(n);
+    const double back = n_for_exceedance_bound(p);
+    EXPECT_NEAR(back, n, 1e-9 * (1.0 + n)) << "n=" << n << " p=" << p;
+    // The other direction: starting from a probability.
+    const double target = rng.uniform(1e-4, 1.0);
+    const double n_t = n_for_exceedance_bound(target);
+    EXPECT_LE(chebyshev_exceedance_bound(n_t), target + 1e-12);
+  }
+}
+
+TEST_P(StatsProperty, S3_EmpiricalExceedanceWithinBoundForEveryDistribution) {
+  // Distribution-free claim: for each zoo member, the measured fraction of
+  // samples at or above mean + n*sigma stays below 1/(1+n^2) (plus a
+  // small-sample allowance).
+  const std::vector<DistributionPtr> zoo = {
+      std::make_shared<NormalDistribution>(100.0, 15.0),
+      std::make_shared<TruncatedNormalDistribution>(50.0, 10.0),
+      std::make_shared<UniformDistribution>(10.0, 90.0),
+      std::make_shared<ShiftedExponentialDistribution>(0.05, 20.0),
+      LogNormalDistribution::from_moments(80.0, 25.0),
+      std::make_shared<WeibullDistribution>(1.5, 60.0),
+      std::make_shared<GumbelDistribution>(70.0, 12.0),
+      make_bimodal_execution_time(40.0, 5.0, 120.0, 12.0, 0.7),
+  };
+  constexpr std::size_t kDraws = 4000;
+  for (const DistributionPtr& dist : zoo) {
+    common::Rng rng(GetParam() + 200);
+    std::vector<double> xs(kDraws);
+    for (double& x : xs) x = dist->sample(rng);
+    // Use empirical moments, as the measurement pipeline would (Eq. 3-4).
+    double mean = 0.0;
+    for (const double x : xs) mean += x;
+    mean /= static_cast<double>(kDraws);
+    double var = 0.0;
+    for (const double x : xs) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(kDraws);
+    const double sigma = std::sqrt(var);
+    for (const double n : {1.0, 2.0, 3.0, 4.0}) {
+      std::size_t over = 0;
+      for (const double x : xs)
+        if (x >= mean + n * sigma) ++over;
+      const double rate = static_cast<double>(over) / kDraws;
+      EXPECT_LE(rate, chebyshev_exceedance_bound(n) + 0.02)
+          << dist->name() << " at n=" << n;
+    }
+  }
+}
+
+TEST_P(StatsProperty, S4_ImpliedNInvertsAssignment) {
+  common::Rng rng(GetParam() + 300);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double acet = rng.uniform(1.0, 1e6);
+    const double sigma = rng.uniform(1e-3, 0.5 * acet);
+    const double n = rng.uniform(0.0, 64.0);
+    const double wcet_opt = acet + n * sigma;
+    EXPECT_NEAR(implied_n(acet, sigma, wcet_opt), n, 1e-6 * (1.0 + n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace mcs::stats

@@ -86,6 +86,66 @@ TEST(ThreadPool, IndexSeedDecorrelatesNeighbours) {
   EXPECT_NE(index_seed(7, 0), index_seed(8, 0));  // base matters too
 }
 
+TEST(ThreadPool, ChunkedMapPreservesIndexOrder) {
+  const JobsGuard guard(4);
+  for (const std::size_t grain : {0U, 1U, 7U, 100U, 5000U}) {
+    const std::vector<std::size_t> out = parallel_map_chunked(
+        1000, grain, [](std::size_t i) { return i * 3 + 1; });
+    ASSERT_EQ(out.size(), 1000U) << "grain=" << grain;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], i * 3 + 1) << "grain=" << grain;
+  }
+}
+
+TEST(ThreadPool, ChunkedForWritesEverySlotExactlyOnce) {
+  const JobsGuard guard(4);
+  for (const std::size_t grain : {0U, 1U, 13U, 512U}) {
+    std::vector<int> hits(997, 0);  // prime count: last chunk is ragged
+    parallel_for_chunked(hits.size(), grain,
+                         [&](std::size_t i) { ++hits[i]; });
+    for (const int h : hits) EXPECT_EQ(h, 1) << "grain=" << grain;
+  }
+}
+
+TEST(ThreadPool, AutoGrainIsSaneAtEveryScale) {
+  // Auto grain must never be 0, never exceed what leaves each pump some
+  // work, and give a million-item sweep a few chunks per pump.
+  EXPECT_EQ(detail::auto_grain(1, 4), 1U);
+  EXPECT_EQ(detail::auto_grain(8, 4), 1U);
+  EXPECT_GE(detail::auto_grain(1000000, 4), 1U);
+  const std::size_t grain = detail::auto_grain(1000000, 4);
+  const std::size_t chunks = (1000000 + grain - 1) / grain;
+  EXPECT_GE(chunks, 8U);    // several chunks per pump
+  EXPECT_LE(chunks, 64U);   // dispatch count stays trivial
+}
+
+TEST(ThreadPool, ChunkedExceptionPropagatesAndPoolSurvives) {
+  const JobsGuard guard(4);
+  EXPECT_THROW(parallel_for_chunked(1000, 64,
+                                    [](std::size_t i) {
+                                      if (i == 777)
+                                        throw std::runtime_error("item 777");
+                                    }),
+               std::runtime_error);
+  const auto out =
+      parallel_map_chunked(16, 4, [](std::size_t i) { return i; });
+  EXPECT_EQ(out.size(), 16U);
+}
+
+TEST(ThreadPool, NestedChunkedMapRunsInline) {
+  const JobsGuard guard(4);
+  const std::vector<std::size_t> sums =
+      parallel_map_chunked(8, 2, [](std::size_t i) {
+        const std::vector<std::size_t> inner = parallel_map_chunked(
+            100, 10, [i](std::size_t j) { return i * 1000 + j; });
+        std::size_t s = 0;
+        for (const std::size_t v : inner) s += v;
+        return s;
+      });
+  for (std::size_t i = 0; i < sums.size(); ++i)
+    EXPECT_EQ(sums[i], i * 1000 * 100 + 99 * 100 / 2);
+}
+
 TEST(ThreadPool, ParallelForWritesEverySlot) {
   const JobsGuard guard(4);
   std::vector<int> hits(500, 0);

@@ -91,6 +91,7 @@ int cmd_wcet(const std::string& kernel_name, int argc,
   cli.add_u64("samples", &samples, "randomized executions");
   cli.add_u64("seed", &seed, "PRNG seed");
   cli.add_flag("dot", &dot, "emit the worst-case CFG as graphviz dot");
+  cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   for (const apps::KernelPtr& kernel : apps::all_kernels()) {
