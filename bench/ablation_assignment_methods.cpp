@@ -5,23 +5,35 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/assignment_methods.hpp"
 
 int main(int argc, char** argv) {
   std::uint64_t samples = 4000;
   std::uint64_t seed = 23;
+  bool csv_only = false;
+  mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Ablation A4: Chebyshev vs quantile vs EVT optimistic-WCET "
       "assignment on held-out data");
   cli.add_u64("samples", &samples, "executions per application");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_flag("csv", &csv_only,
+               "emit only the CSV block (implied by --shard)");
+  cli.add_shard(&shard);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
+  if (shard.active()) csv_only = true;
 
-  const auto comparisons = mcs::exp::run_assignment_methods(samples, seed);
+  const auto comparisons = mcs::exp::run_assignment_methods(
+      samples, seed, mcs::common::Executor(shard));
   const mcs::common::Table table =
       mcs::exp::render_assignment_methods(comparisons);
+  if (csv_only) {
+    std::fputs(table.render_csv().c_str(), stdout);
+    return 0;
+  }
   std::fputs(table.render().c_str(), stdout);
 
   std::puts("\nReading: chebyshev never exceeds its 10% target (safe but "

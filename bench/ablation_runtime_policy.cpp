@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/ablation.hpp"
 
@@ -16,6 +17,8 @@ int main(int argc, char** argv) {
   double n_cap = 2.0;
   std::uint64_t ga_population = 30;
   std::uint64_t ga_generations = 30;
+  bool csv_only = false;
+  mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Ablations A2+A3: runtime LC policy comparison and analytic-vs-"
       "simulated validation");
@@ -27,17 +30,26 @@ int main(int argc, char** argv) {
                  "the runtime policies are actually exercised");
   cli.add_u64("ga-population", &ga_population, "GA population size");
   cli.add_u64("ga-generations", &ga_generations, "GA generations");
+  cli.add_flag("csv", &csv_only,
+               "emit only the CSV block (implied by --shard)");
+  cli.add_shard(&shard);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
+  if (shard.active()) csv_only = true;
 
   mcs::core::OptimizerConfig optimizer;
   optimizer.ga.population_size = ga_population;
   optimizer.ga.generations = ga_generations;
   optimizer.n_cap = n_cap;
   const std::vector<double> u_values = {0.4, 0.6, 0.8};
-  const auto points = mcs::exp::run_sim_validation(u_values, tasksets,
-                                                   horizon, seed, optimizer);
+  const auto points =
+      mcs::exp::run_sim_validation(u_values, tasksets, horizon, seed,
+                                   optimizer, mcs::common::Executor(shard));
   const mcs::common::Table table = mcs::exp::render_sim_validation(points);
+  if (csv_only) {
+    std::fputs(table.render_csv().c_str(), stdout);
+    return 0;
+  }
   std::fputs(table.render().c_str(), stdout);
 
   std::puts("\nInvariants: sim overrun rate <= Eq. 10 bound; HC misses = 0; "

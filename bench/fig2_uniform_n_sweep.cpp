@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/fig2.hpp"
 
@@ -15,6 +16,8 @@ int main(int argc, char** argv) {
   double n_max = 40.0;
   double step = 1.0;
   std::uint64_t seed = 3;
+  bool csv_only = false;
+  mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Fig. 2 reproduction: uniform-n sweep of P_sys^MS, max(U_LC^LO) and "
       "their product");
@@ -23,12 +26,20 @@ int main(int argc, char** argv) {
   cli.add_double("n-max", &n_max, "sweep upper bound");
   cli.add_double("step", &step, "sweep step");
   cli.add_u64("seed", &seed, "task-set generation seed");
+  cli.add_flag("csv", &csv_only,
+               "emit only the CSV block (implied by --shard)");
+  cli.add_shard(&shard);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
+  if (shard.active()) csv_only = true;
 
-  const mcs::exp::Fig2Data data =
-      mcs::exp::run_fig2(utilization, n_max, step, seed);
+  const mcs::exp::Fig2Data data = mcs::exp::run_fig2(
+      utilization, n_max, step, seed, mcs::common::Executor(shard));
   const mcs::common::Table table = mcs::exp::render_fig2(data);
+  if (csv_only) {
+    std::fputs(table.render_csv().c_str(), stdout);
+    return 0;
+  }
   std::fputs(table.render().c_str(), stdout);
 
   std::printf("\nOptimum (Fig. 2b): n = %.2f with P_sys^MS = %.4f, "

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/policy_sweep.hpp"
 
@@ -12,6 +13,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   std::uint64_t ga_population = 40;
   std::uint64_t ga_generations = 50;
+  bool csv_only = false;
+  mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Fig. 4 reproduction: P_sys^MS and max(U_LC^LO) per policy across "
       "U_HC^HI (use --tasksets=1000 for paper scale)");
@@ -19,16 +22,24 @@ int main(int argc, char** argv) {
   cli.add_u64("seed", &seed, "PRNG seed");
   cli.add_u64("ga-population", &ga_population, "GA population size");
   cli.add_u64("ga-generations", &ga_generations, "GA generations");
+  cli.add_flag("csv", &csv_only,
+               "emit only the CSV block (implied by --shard)");
+  cli.add_shard(&shard);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
+  if (shard.active()) csv_only = true;
 
   mcs::core::OptimizerConfig optimizer;
   optimizer.ga.population_size = ga_population;
   optimizer.ga.generations = ga_generations;
   const std::vector<double> u_values = {0.4, 0.5, 0.6, 0.7, 0.8};
-  const auto points =
-      mcs::exp::run_policy_sweep(u_values, tasksets, seed, optimizer);
+  const auto points = mcs::exp::run_policy_sweep(
+      u_values, tasksets, seed, optimizer, mcs::common::Executor(shard));
   const mcs::common::Table table = mcs::exp::render_fig4(points);
+  if (csv_only) {
+    std::fputs(table.render_csv().c_str(), stdout);
+    return 0;
+  }
   std::fputs(table.render().c_str(), stdout);
 
   std::puts("\nCSV:");

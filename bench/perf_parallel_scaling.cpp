@@ -16,7 +16,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,44 @@ Timed time_best(std::uint64_t repeats,
   return best;
 }
 
+/// One timed configuration, for the optional --json artifact.
+struct JsonRecord {
+  std::string section;
+  std::uint64_t jobs = 1;
+  std::uint64_t grain = 0;  ///< 0 = not applicable / auto
+  double seconds = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+std::vector<JsonRecord>& json_records() {
+  static std::vector<JsonRecord> records;
+  return records;
+}
+
+/// Renders the collected records as a JSON document (stable key order, no
+/// external dependency — consumed by the CI artifact upload).
+std::string render_json(bool identical, std::uint64_t samples,
+                        std::uint64_t items) {
+  std::ostringstream out;
+  out << "{\n  \"benchmark\": \"perf_parallel_scaling\",\n"
+      << "  \"samples\": " << samples << ",\n"
+      << "  \"items\": " << items << ",\n"
+      << "  \"all_identical\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"results\": [\n";
+  const std::vector<JsonRecord>& records = json_records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << "    {\"section\": \"" << r.section << "\", \"jobs\": " << r.jobs
+        << ", \"grain\": " << r.grain << ", \"seconds\": " << r.seconds
+        << ", \"speedup\": " << r.speedup
+        << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
 std::vector<std::uint64_t> power_of_two_jobs(std::uint64_t max_jobs) {
   std::vector<std::uint64_t> job_counts;
   for (std::uint64_t j = 1; j <= max_jobs; j *= 2) job_counts.push_back(j);
@@ -95,8 +135,8 @@ std::vector<std::uint64_t> power_of_two_jobs(std::uint64_t max_jobs) {
 
 /// Sweeps --jobs over powers of two, timing `work` at each count and
 /// checking its hash against the --jobs=1 run. Returns overall identity.
-bool sweep_jobs(mcs::common::Table& table, std::uint64_t max_jobs,
-                std::uint64_t repeats,
+bool sweep_jobs(mcs::common::Table& table, const std::string& section,
+                std::uint64_t max_jobs, std::uint64_t repeats,
                 const std::function<std::uint64_t()>& work) {
   double serial_seconds = 0.0;
   std::uint64_t serial_hash = 0;
@@ -115,6 +155,8 @@ bool sweep_jobs(mcs::common::Table& table, std::uint64_t max_jobs,
                    mcs::common::format_double(serial_seconds / timed.seconds,
                                               2),
                    match ? "yes" : "NO"});
+    json_records().push_back({section, jobs, 0, timed.seconds,
+                              serial_seconds / timed.seconds, match});
   }
   return identical;
 }
@@ -127,6 +169,7 @@ int main(int argc, char** argv) {
   std::uint64_t max_jobs = mcs::common::hardware_jobs();
   std::uint64_t repeats = 3;
   std::uint64_t items = 1000000;
+  std::string json_path;
   mcs::common::Cli cli(
       "Parallel-scaling benchmark: Table II sweep, measure_kernel's "
       "per-sample loop, and a chunked million-item parallel_map, each at "
@@ -138,6 +181,8 @@ int main(int argc, char** argv) {
   cli.add_u64("repeats", &repeats,
               "timed repetitions per configuration (best kept)");
   cli.add_u64("items", &items, "item count for the chunked-map section");
+  cli.add_string("json", &json_path,
+                 "also write the results as JSON to this path (CI artifact)");
   if (!cli.parse(argc, argv)) return 1;
   if (max_jobs == 0) max_jobs = 1;
   if (repeats == 0) repeats = 1;
@@ -151,7 +196,7 @@ int main(int argc, char** argv) {
       {"jobs", "seconds (best)", "speedup", "identical"});
   table2_table.set_title("Table II sweep: wall-clock vs --jobs (" +
                          std::to_string(samples) + " samples/kernel)");
-  identical &= sweep_jobs(table2_table, max_jobs, repeats, [&] {
+  identical &= sweep_jobs(table2_table, "table2_sweep", max_jobs, repeats, [&] {
     return result_hash(
         mcs::exp::run_table2(static_cast<std::size_t>(samples), seed));
   });
@@ -165,7 +210,8 @@ int main(int argc, char** argv) {
   measure_table.set_title("measure_kernel(" + kernel->name() + ", " +
                           std::to_string(4 * samples) +
                           " samples): wall-clock vs --jobs");
-  identical &= sweep_jobs(measure_table, max_jobs, repeats, [&] {
+  identical &= sweep_jobs(measure_table, "measure_kernel", max_jobs, repeats,
+                          [&] {
     return profile_hash(mcs::apps::measure_kernel(
         *kernel, static_cast<std::size_t>(4 * samples), seed));
   });
@@ -205,6 +251,8 @@ int main(int argc, char** argv) {
     grain_table.add_row({"1", "-",
                          mcs::common::format_double(serial.seconds, 3), "1",
                          "yes"});
+    json_records().push_back(
+        {"chunked_map", 1, 1, serial.seconds, 1.0, true});
   }
   for (const std::uint64_t jobs : power_of_two_jobs(max_jobs)) {
     if (jobs == 1) continue;
@@ -221,6 +269,8 @@ int main(int argc, char** argv) {
            mcs::common::format_double(timed.seconds, 3),
            mcs::common::format_double(grain_serial_seconds / timed.seconds, 2),
            match ? "yes" : "NO"});
+      json_records().push_back({"chunked_map", jobs, grain, timed.seconds,
+                                grain_serial_seconds / timed.seconds, match});
     }
   }
   std::printf("\n%s", grain_table.render().c_str());
@@ -231,5 +281,15 @@ int main(int argc, char** argv) {
                   "configuration."
                 : "\nDETERMINISM VIOLATION: a parallel result differs from "
                   "--jobs=1.");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write JSON to %s\n", json_path.c_str());
+      return 1;
+    }
+    out << render_json(identical, samples, items);
+    std::printf("JSON written to %s\n", json_path.c_str());
+  }
   return identical ? 0 : 1;
 }

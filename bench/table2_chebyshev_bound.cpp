@@ -7,21 +7,35 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/table2.hpp"
 
 int main(int argc, char** argv) {
   std::uint64_t samples = 5000;
   std::uint64_t seed = 1;
+  bool csv_only = false;
+  mcs::common::Shard shard;
   mcs::common::Cli cli(
-      "TABLE II reproduction: Chebyshev bound vs measured overrun rates");
+      "TABLE II reproduction: Chebyshev bound vs measured overrun rates "
+      "(shards column-wise over the kernels; merge with mcs_merge "
+      "--paste=2)");
   cli.add_u64("samples", &samples, "executions per application (paper: 20000)");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_flag("csv", &csv_only,
+               "emit only the CSV block (implied by --shard)");
+  cli.add_shard(&shard);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
+  if (shard.active()) csv_only = true;
 
-  const mcs::exp::Table2Data data = mcs::exp::run_table2(samples, seed);
+  const mcs::exp::Table2Data data =
+      mcs::exp::run_table2(samples, seed, mcs::common::Executor(shard));
   const mcs::common::Table table = mcs::exp::render_table2(data);
+  if (csv_only) {
+    std::fputs(table.render_csv().c_str(), stdout);
+    return 0;
+  }
   std::fputs(table.render().c_str(), stdout);
 
   std::puts("\nEvery measured rate must sit below the distribution-free "

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/executor.hpp"
 #include "common/thread_pool.hpp"
 
 namespace mcs::common {
@@ -88,6 +89,23 @@ void Cli::add_jobs() {
                         return true;
                       },
                       "0"});
+}
+
+void Cli::add_shard(Shard* target) {
+  options_.push_back({"shard",
+                      "evaluate only slice i of N (\"i/N\") of the outer "
+                      "index space and emit a partial CSV for mcs_merge; "
+                      "absent = the whole space",
+                      false,
+                      [target](const std::string& v) {
+                        try {
+                          *target = Shard::parse(v);
+                        } catch (const std::invalid_argument&) {
+                          return false;
+                        }
+                        return true;
+                      },
+                      "0/1"});
 }
 
 const Cli::Option* Cli::find(const std::string& name) const {

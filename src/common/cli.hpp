@@ -13,6 +13,8 @@
 
 namespace mcs::common {
 
+struct Shard;
+
 /// Declarative option set. Register options, then `parse(argc, argv)`.
 class Cli {
  public:
@@ -39,6 +41,12 @@ class Cli {
   /// common/thread_pool.hpp). 0 or absent means hardware concurrency;
   /// 1 selects the legacy serial path. Results are identical for any N.
   void add_jobs();
+
+  /// Registers the standard `--shard i/N` option for multi-host fan-out:
+  /// the driver evaluates only shard i's slice of its outer index space
+  /// and emits a partial CSV that tools/mcs_merge recombines (see
+  /// common/executor.hpp). Absent means the whole space.
+  void add_shard(Shard* target);
 
   /// Parses argv. Returns false if --help was requested (help text already
   /// printed) or on a parse error (message printed to stderr).

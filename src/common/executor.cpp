@@ -1,0 +1,38 @@
+#include "common/executor.hpp"
+
+#include <stdexcept>
+
+namespace mcs::common {
+
+std::pair<std::size_t, std::size_t> Shard::slice(std::size_t n) const {
+  if (count == 0 || index >= count)
+    throw std::invalid_argument("Shard::slice: invalid shard " + spec());
+  return {index * n / count, (index + 1) * n / count};
+}
+
+Shard Shard::parse(const std::string& text) {
+  const auto sep = text.find('/');
+  std::size_t pos_i = 0;
+  std::size_t pos_n = 0;
+  Shard shard;
+  try {
+    if (sep == std::string::npos || sep == 0 || sep + 1 >= text.size())
+      throw std::invalid_argument("missing '/'");
+    shard.index = std::stoull(text.substr(0, sep), &pos_i);
+    shard.count = std::stoull(text.substr(sep + 1), &pos_n);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Shard::parse: expected \"i/N\", got \"" +
+                                text + "\"");
+  }
+  if (pos_i != sep || pos_n != text.size() - sep - 1 || shard.count == 0 ||
+      shard.index >= shard.count)
+    throw std::invalid_argument("Shard::parse: expected \"i/N\" with i < N, "
+                                "got \"" + text + "\"");
+  return shard;
+}
+
+std::string Shard::spec() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+}  // namespace mcs::common

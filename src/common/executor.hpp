@@ -1,0 +1,87 @@
+// Executor seam behind the parallel_map contract: where an experiment's
+// outer index space runs.
+//
+// Every experiment driver enumerates a deterministic index space (the
+// utilization axis, the n × U grid, the kernel roster) in which item i's
+// randomness derives only from i (counter-based index_seed streams or
+// value-derived seeds), never from which process evaluates it. That makes
+// the index space splittable across *hosts* with no coordination: shard
+// k of N owns a contiguous slice of the indices, computes exactly the
+// values the unsharded run would compute for them, and emits a partial
+// CSV. `tools/mcs_merge` recombines the partial CSVs into output
+// byte-identical to the unsharded run.
+//
+// Two backends, one contract:
+//   * in-process (default): the full index space, fanned out over the
+//     thread pool (`--jobs`), exactly the pre-seam behaviour;
+//   * shard (`--shard i/N` on the drivers): the slice [i*count/N,
+//     (i+1)*count/N), fanned out over the thread pool within the slice.
+// Results are bit-identical item-for-item across backends, shard counts
+// and job counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+
+namespace mcs::common {
+
+/// One shard of a deterministically split index space. The default
+/// (index 0 of 1) denotes the whole space.
+struct Shard {
+  std::size_t index = 0;  ///< this shard's id, in [0, count)
+  std::size_t count = 1;  ///< total number of shards, >= 1
+
+  /// True when the index space is actually split.
+  [[nodiscard]] bool active() const { return count > 1; }
+
+  /// The contiguous slice [begin, end) of [0, n) owned by this shard.
+  /// Slices of all shards partition [0, n); sizes differ by at most 1.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> slice(std::size_t n) const;
+
+  /// Parses an "i/N" spec (e.g. "0/4"). Requires N >= 1 and i < N;
+  /// throws std::invalid_argument otherwise.
+  [[nodiscard]] static Shard parse(const std::string& spec);
+
+  /// Renders back to the "i/N" form.
+  [[nodiscard]] std::string spec() const;
+};
+
+/// Executes an experiment's outer index space on one of the backends
+/// described above.
+class Executor {
+ public:
+  /// In-process backend: the full index space.
+  Executor() = default;
+
+  /// Shard backend: only `shard`'s slice of the index space.
+  explicit Executor(const Shard& shard) : shard_(shard) {}
+
+  [[nodiscard]] const Shard& shard() const { return shard_; }
+
+  /// The global index range this executor evaluates out of [0, count).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> range(
+      std::size_t count) const {
+    return shard_.slice(count);
+  }
+
+  /// Applies fn(global_index) over the owned range and returns the
+  /// results in global-index order (the vector holds range(count)'s
+  /// items only). In-process parallelism follows the parallel_map
+  /// contract, so every (backend, jobs) combination yields the same
+  /// bits for a given global index.
+  template <typename Fn>
+  [[nodiscard]] auto map(std::size_t count, Fn&& fn) const {
+    const auto [begin, end] = range(count);
+    return parallel_map_chunked(
+        end - begin, 1,
+        [&fn, base = begin](std::size_t k) { return fn(base + k); });
+  }
+
+ private:
+  Shard shard_;
+};
+
+}  // namespace mcs::common

@@ -1,0 +1,240 @@
+// Bounded producer/consumer pipeline on top of the shared thread pool.
+//
+// The Monte Carlo experiments all have the same two-stage shape: a cheap,
+// inherently *sequential* generation stage (task sets drawn from one
+// split()-chain RNG, preserving the historical stream assignment) feeding
+// an expensive, embarrassingly parallel evaluation stage (EDF-VD tests,
+// GA optimization, simulation). `pipeline_map` overlaps the two: one
+// producer walks the index space in order and pushes items through a
+// bounded queue while the caller plus the pool workers consume them
+// concurrently, each result landing in its index slot.
+//
+// Determinism contract (inherits common/thread_pool.hpp's): `produce(i)`
+// is invoked for i = 0..count-1 *in index order from a single thread*, so
+// it may advance sequential state captured by reference (an RNG split
+// chain); `consume(i, item)` runs on arbitrary threads and must draw only
+// from state carried inside `item` or derived from `i`. Under that
+// contract the result vector is bit-identical to the serial loop
+//   for (i) out.push_back(consume(i, produce(i)));
+// at every `--jobs` value (jobs <= 1 runs exactly that loop), every queue
+// capacity, and across runs.
+//
+// Shutdown safety: the bounded queue never deadlocks on failure. A
+// producer exception aborts the queue (waking consumers blocked in pop);
+// a consumer exception aborts it too (waking a producer blocked in push
+// on a full queue). The first exception thrown by either stage is
+// rethrown on the caller after every stage has quiesced.
+//
+// Nesting: like the parallel_map family, a pipeline_map issued from
+// inside a pool worker runs inline (serially, in index order) — same
+// results, no deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace mcs::common {
+
+/// Bounded multi-producer/multi-consumer FIFO with close/abort shutdown
+/// semantics. push() blocks while the queue is full; pop() blocks while
+/// it is empty and still open. close() ends the stream gracefully
+/// (consumers drain the backlog, then see nullopt); abort() discards the
+/// backlog and wakes every blocked thread immediately (the failure path).
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` >= 1 enforced.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room, then enqueues. Returns false (dropping
+  /// `item`) when the queue was closed or aborted instead.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return items_.size() < capacity_ || closed_ || aborted_;
+    });
+    if (closed_ || aborted_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available, the queue is closed and drained,
+  /// or the queue is aborted. Returns nullopt in the latter two cases.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] {
+      return !items_.empty() || closed_ || aborted_;
+    });
+    if (aborted_ || items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Graceful end of stream: no further push() succeeds; pop() drains the
+  /// backlog before reporting nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Failure shutdown: discards the backlog and wakes every blocked
+  /// pusher and popper. Idempotent.
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+      items_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool aborted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+  }
+
+  /// Items currently buffered (for tests; racy by nature otherwise).
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+namespace detail {
+
+/// Tracks stage completion and the first failure of a pipeline run.
+class PipelineState {
+ public:
+  explicit PipelineState(std::size_t stages) : remaining_(stages) {}
+
+  void record_error(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::move(error);
+  }
+
+  void stage_done() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--remaining_ == 0) all_done_.notify_all();
+  }
+
+  /// Blocks until every stage finished, then rethrows the first error.
+  void wait_and_rethrow() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return remaining_ == 0; });
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable all_done_;
+  std::size_t remaining_;
+  std::exception_ptr error_;
+};
+
+}  // namespace detail
+
+/// Overlapped two-stage map: `produce(i)` builds item i (sequentially, in
+/// index order, on one thread) and `consume(i, item)` reduces it to the
+/// result stored at slot i (concurrently, on the caller plus pool
+/// workers). `capacity` bounds the number of produced-but-unconsumed
+/// items (0 = auto: 4 * jobs). Bit-identical to the serial loop at every
+/// jobs value and capacity — see the determinism contract above.
+template <typename Produce, typename Consume>
+[[nodiscard]] auto pipeline_map(std::size_t count, std::size_t capacity,
+                                Produce&& produce, Consume&& consume)
+    -> std::vector<std::invoke_result_t<
+        Consume&, std::size_t, std::invoke_result_t<Produce&, std::size_t>>> {
+  using Item = std::invoke_result_t<Produce&, std::size_t>;
+  using R = std::invoke_result_t<Consume&, std::size_t, Item>;
+  static_assert(!std::is_void_v<R>, "consume must return the slot value");
+  std::vector<R> out;
+  if (count == 0) return out;
+  if (detail::must_run_inline(count)) {
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      out.push_back(consume(i, produce(i)));
+    return out;
+  }
+
+  const std::size_t jobs = default_jobs();
+  if (capacity == 0) capacity = 4 * jobs;
+  std::vector<std::optional<R>> slots(count);
+  BoundedQueue<std::pair<std::size_t, Item>> queue(capacity);
+  // Stages: one producer + (jobs - 1) pool consumers. The caller runs one
+  // more consumer inline, waiting for the pool stages afterwards.
+  detail::PipelineState state(jobs);
+
+  auto consumer_loop = [&queue, &slots, &consume, &state] {
+    for (;;) {
+      std::optional<std::pair<std::size_t, Item>> entry = queue.pop();
+      if (!entry.has_value()) break;
+      try {
+        slots[entry->first].emplace(
+            consume(entry->first, std::move(entry->second)));
+      } catch (...) {
+        state.record_error(std::current_exception());
+        queue.abort();  // wake a producer blocked on a full queue
+        break;
+      }
+    }
+  };
+
+  ThreadPool& pool = detail::shared_pool(jobs);
+  pool.submit([&queue, &produce, &state, count] {
+    try {
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!queue.push({i, produce(i)})) break;  // consumer failed
+      }
+    } catch (...) {
+      state.record_error(std::current_exception());
+      queue.abort();  // wake consumers blocked on an empty queue
+    }
+    queue.close();
+    state.stage_done();
+  });
+  for (std::size_t p = 1; p < jobs; ++p)
+    pool.submit([&consumer_loop, &state] {
+      consumer_loop();
+      state.stage_done();
+    });
+  consumer_loop();
+  state.wait_and_rethrow();
+
+  out.reserve(count);
+  for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace mcs::common

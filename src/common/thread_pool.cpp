@@ -18,19 +18,6 @@ std::atomic<std::size_t> g_default_jobs{0};  // 0 = not yet resolved
 std::mutex g_pool_mutex;
 std::unique_ptr<ThreadPool> g_pool;
 
-/// Returns the shared pool, (re)created so it has at least `jobs`
-/// workers. Callers must not hold tasks in flight when growing — the
-/// only caller is run_indexed, which drains its batch before returning.
-ThreadPool& shared_pool(std::size_t jobs) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  if (!g_pool || g_pool->size() < jobs) {
-    if (g_pool) g_pool->wait_idle();
-    g_pool.reset();  // join old workers before spawning the new set
-    g_pool = std::make_unique<ThreadPool>(jobs);
-  }
-  return *g_pool;
-}
-
 }  // namespace
 
 std::size_t hardware_jobs() {
@@ -121,6 +108,16 @@ void ThreadPool::worker_loop() {
 }
 
 namespace detail {
+
+ThreadPool& shared_pool(std::size_t jobs) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool || g_pool->size() < jobs) {
+    if (g_pool) g_pool->wait_idle();
+    g_pool.reset();  // join old workers before spawning the new set
+    g_pool = std::make_unique<ThreadPool>(jobs);
+  }
+  return *g_pool;
+}
 
 bool must_run_inline(std::size_t count) {
   return count <= 1 || default_jobs() <= 1 ||

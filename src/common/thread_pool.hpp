@@ -107,6 +107,11 @@ class ThreadPool {
 
 namespace detail {
 
+/// Returns the process-wide shared pool, (re)created so it has at least
+/// `jobs` workers. Callers must drain their batch before returning (both
+/// run_chunked and pipeline_map do).
+[[nodiscard]] ThreadPool& shared_pool(std::size_t jobs);
+
 /// Runs body(0..count-1) across the shared pool with `jobs` concurrent
 /// pumps pulling chunks of `grain` consecutive indices from an atomic
 /// counter (grain 0 resolves via auto_grain). Rethrows the first captured

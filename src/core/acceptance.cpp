@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/thread_pool.hpp"
+#include "common/pipeline.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "sched/edf_vd.hpp"
 #include "sched/policies.hpp"
@@ -61,20 +61,26 @@ bool accepts(Approach approach, const mc::TaskSet& tasks, common::Rng& rng) {
 double acceptance_ratio(Approach approach, double u_bound,
                         std::size_t num_tasksets, std::uint64_t seed,
                         const taskgen::GeneratorConfig& config) {
-  // Pre-split one RNG stream per task set (serially, preserving the
-  // legacy stream assignment), then run the schedulability tests in
-  // parallel; the count is order-independent.
+  // Pipelined Monte Carlo: the producer walks the legacy split() chain in
+  // order, generating each task set and handing it (plus its evolved RNG,
+  // which the policy draws continue from) to the consumers running the
+  // schedulability tests concurrently. Stream assignment and per-set
+  // draws are exactly the serial loop's, so the ratio is bit-identical at
+  // every --jobs value.
+  struct SetItem {
+    mc::TaskSet tasks;
+    common::Rng rng;
+  };
   common::Rng rng(seed);
-  std::vector<common::Rng> set_rngs;
-  set_rngs.reserve(num_tasksets);
-  for (std::size_t t = 0; t < num_tasksets; ++t)
-    set_rngs.push_back(rng.split());
-  const std::vector<std::size_t> verdicts =
-      common::parallel_map(num_tasksets, [&](std::size_t t) -> std::size_t {
-        common::Rng set_rng = set_rngs[t];
-        const mc::TaskSet tasks =
-            taskgen::generate_mixed(config, u_bound, set_rng);
-        return accepts(approach, tasks, set_rng) ? 1 : 0;
+  const std::vector<std::size_t> verdicts = common::pipeline_map(
+      num_tasksets, 0,
+      [&](std::size_t) {
+        common::Rng set_rng = rng.split();
+        mc::TaskSet tasks = taskgen::generate_mixed(config, u_bound, set_rng);
+        return SetItem{std::move(tasks), set_rng};
+      },
+      [&](std::size_t, SetItem item) -> std::size_t {
+        return accepts(approach, item.tasks, item.rng) ? 1 : 0;
       });
   std::size_t accepted = 0;
   for (const std::size_t verdict : verdicts) accepted += verdict;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "common/thread_pool.hpp"
+#include "common/pipeline.hpp"
 #include "taskgen/generator.hpp"
 
 namespace mcs::core {
@@ -50,32 +50,40 @@ std::vector<PolicyScore> compare_policies(double u_hc_hi,
     scores[p].policy = baselines[p]->name();
   scores.back().policy = "proposed(GA)";
 
-  // Monte Carlo replications: every task set owns a pre-split RNG stream
-  // (split serially, exactly as the serial loop drew them), so the
-  // replications evaluate in parallel while the per-policy sums below are
-  // reduced in submission order — bit-identical at any --jobs value.
+  // Pipelined Monte Carlo replications: the producer walks the legacy
+  // split() chain in order, generating each task set while consumers
+  // evaluate earlier ones (the GA dominates the cost). Each item carries
+  // the evolved per-set RNG so baseline draws and the GA seed continue
+  // exactly as in the serial loop; the per-policy sums below are reduced
+  // in index order — bit-identical at any --jobs value.
+  struct SetItem {
+    mc::TaskSet tasks;
+    common::Rng rng;
+  };
   common::Rng rng(seed);
-  std::vector<common::Rng> set_rngs;
-  set_rngs.reserve(num_tasksets);
-  for (std::size_t t = 0; t < num_tasksets; ++t)
-    set_rngs.push_back(rng.split());
-
   const taskgen::GeneratorConfig gen_config;
   const std::vector<std::vector<ObjectiveBreakdown>> per_set =
-      common::parallel_map(num_tasksets, [&](std::size_t t) {
-        common::Rng set_rng = set_rngs[t];
-        const mc::TaskSet tasks =
-            taskgen::generate_hc_only(gen_config, u_hc_hi, set_rng);
-        std::vector<ObjectiveBreakdown> breakdowns;
-        breakdowns.reserve(baselines.size() + 1);
-        for (const sched::WcetOptPolicyPtr& baseline : baselines)
-          breakdowns.push_back(
-              apply_and_evaluate_policy(tasks, *baseline, set_rng));
-        OptimizerConfig opt = optimizer;
-        opt.ga.seed = set_rng();
-        breakdowns.push_back(optimize_multipliers_ga(tasks, opt).breakdown);
-        return breakdowns;
-      });
+      common::pipeline_map(
+          num_tasksets, 0,
+          [&](std::size_t) {
+            common::Rng set_rng = rng.split();
+            mc::TaskSet tasks =
+                taskgen::generate_hc_only(gen_config, u_hc_hi, set_rng);
+            return SetItem{std::move(tasks), set_rng};
+          },
+          [&](std::size_t, SetItem item) {
+            common::Rng set_rng = item.rng;
+            std::vector<ObjectiveBreakdown> breakdowns;
+            breakdowns.reserve(baselines.size() + 1);
+            for (const sched::WcetOptPolicyPtr& baseline : baselines)
+              breakdowns.push_back(
+                  apply_and_evaluate_policy(item.tasks, *baseline, set_rng));
+            OptimizerConfig opt = optimizer;
+            opt.ga.seed = set_rng();
+            breakdowns.push_back(
+                optimize_multipliers_ga(item.tasks, opt).breakdown);
+            return breakdowns;
+          });
 
   for (const std::vector<ObjectiveBreakdown>& breakdowns : per_set) {
     for (std::size_t p = 0; p < breakdowns.size(); ++p) {

@@ -52,21 +52,29 @@ OptimizationResult optimize_multipliers_ga(const mc::TaskSet& tasks,
   return result;
 }
 
-std::vector<UniformSweepPoint> sweep_uniform_n(const mc::TaskSet& tasks,
-                                               double n_min, double n_max,
-                                               double step) {
+std::vector<double> uniform_n_grid(double n_min, double n_max, double step) {
   if (n_min < 0.0 || step <= 0.0 || n_max < n_min)
     throw std::invalid_argument("sweep_uniform_n: invalid range");
-  const std::size_t hc_count = tasks.count(mc::Criticality::kHigh);
   // Enumerate the grid with the same repeated-addition recurrence as the
-  // legacy loop (n_min + i*step is not bit-identical to it), then
-  // evaluate the points — pure analytic work — in parallel.
+  // legacy loop so grid values stay bit-identical to it.
   std::vector<double> grid;
   for (double n = n_min; n <= n_max + 1e-12; n += step) grid.push_back(n);
+  return grid;
+}
+
+std::vector<UniformSweepPoint> evaluate_uniform_n(
+    const mc::TaskSet& tasks, const std::vector<double>& grid) {
+  const std::size_t hc_count = tasks.count(mc::Criticality::kHigh);
   return common::parallel_map(grid.size(), [&](std::size_t i) {
     const std::vector<double> genes(hc_count, grid[i]);
     return UniformSweepPoint{grid[i], evaluate_multipliers(tasks, genes)};
   });
+}
+
+std::vector<UniformSweepPoint> sweep_uniform_n(const mc::TaskSet& tasks,
+                                               double n_min, double n_max,
+                                               double step) {
+  return evaluate_uniform_n(tasks, uniform_n_grid(n_min, n_max, step));
 }
 
 UniformSweepPoint best_uniform_n(const mc::TaskSet& tasks, double n_min,

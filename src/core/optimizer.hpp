@@ -37,6 +37,19 @@ struct UniformSweepPoint {
   ObjectiveBreakdown breakdown;
 };
 
+/// The exact n grid sweep_uniform_n evaluates: the legacy loop's
+/// repeated-addition recurrence from n_min (note n_min + i*step is not
+/// bit-identical to it). Exposed so sharded drivers can evaluate a
+/// contiguous slice of the very same grid values.
+/// Requires n_min >= 0, step > 0, n_max >= n_min.
+[[nodiscard]] std::vector<double> uniform_n_grid(double n_min, double n_max,
+                                                 double step);
+
+/// Evaluates a uniform multiplier for all HC tasks at each value of
+/// `grid` (pure analytic work, runs in parallel).
+[[nodiscard]] std::vector<UniformSweepPoint> evaluate_uniform_n(
+    const mc::TaskSet& tasks, const std::vector<double>& grid);
+
 /// Evaluates a uniform multiplier n for all HC tasks over
 /// [n_min, n_max] in steps of `step` (Fig. 2 / Fig. 3 analyses).
 /// Requires n_min >= 0, step > 0, n_max >= n_min.

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <string>
 
-#include "common/thread_pool.hpp"
+#include "common/pipeline.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "sched/edf_vd.hpp"
 #include "taskgen/generator.hpp"
@@ -31,39 +31,49 @@ void add_lc_fill(mc::TaskSet& tasks, double target, common::Rng& rng) {
 
 std::vector<GaVsUniformPoint> run_ga_vs_uniform(
     const std::vector<double>& u_values, std::size_t tasksets,
-    std::uint64_t seed, const core::OptimizerConfig& optimizer) {
+    std::uint64_t seed, const core::OptimizerConfig& optimizer,
+    const common::Executor& exec) {
   std::vector<GaVsUniformPoint> points;
   const taskgen::GeneratorConfig config;
-  for (const double u : u_values) {
+  const auto [u_begin, u_end] = exec.range(u_values.size());
+  points.reserve(u_end - u_begin);
+  for (std::size_t p = u_begin; p < u_end; ++p) {
+    const double u = u_values[p];
     common::Rng rng(seed + static_cast<std::uint64_t>(u * 1000.0));
     GaVsUniformPoint point;
     point.u_hc_hi = u;
-    // One pre-split stream per replication; GA and uniform baselines run
-    // in parallel across task sets, means reduced in replication order.
-    std::vector<common::Rng> set_rngs;
-    set_rngs.reserve(tasksets);
-    for (std::size_t t = 0; t < tasksets; ++t)
-      set_rngs.push_back(rng.split());
+    // Pipelined replications: the producer walks the split() chain in
+    // order (carrying each set's evolved stream into the item) while
+    // consumers run the GA and uniform baselines; means reduced in
+    // replication order — bit-identical at any --jobs value.
+    struct SetItem {
+      mc::TaskSet tasks;
+      common::Rng rng;
+    };
     struct Objectives {
       double uniform = 0.0;
       double ga = 0.0;
       double ga_gaussian = 0.0;
     };
-    const std::vector<Objectives> results =
-        common::parallel_map(tasksets, [&](std::size_t t) {
-          common::Rng set_rng = set_rngs[t];
-          const mc::TaskSet tasks =
-              taskgen::generate_hc_only(config, u, set_rng);
+    const std::vector<Objectives> results = common::pipeline_map(
+        tasksets, 0,
+        [&](std::size_t) {
+          common::Rng set_rng = rng.split();
+          mc::TaskSet tasks = taskgen::generate_hc_only(config, u, set_rng);
+          return SetItem{std::move(tasks), set_rng};
+        },
+        [&](std::size_t, SetItem item) {
+          common::Rng set_rng = item.rng;
           const core::UniformSweepPoint uniform =
-              core::best_uniform_n(tasks, 0.0, optimizer.n_cap, 0.5);
+              core::best_uniform_n(item.tasks, 0.0, optimizer.n_cap, 0.5);
           core::OptimizerConfig opt = optimizer;
           opt.ga.seed = set_rng();
           const core::OptimizationResult ga =
-              core::optimize_multipliers_ga(tasks, opt);
+              core::optimize_multipliers_ga(item.tasks, opt);
           core::OptimizerConfig gaussian_opt = opt;
           gaussian_opt.ga.mutation = ga::MutationKind::kGaussian;
           const core::OptimizationResult ga_gaussian =
-              core::optimize_multipliers_ga(tasks, gaussian_opt);
+              core::optimize_multipliers_ga(item.tasks, gaussian_opt);
           return Objectives{uniform.breakdown.objective,
                             ga.breakdown.objective,
                             ga_gaussian.breakdown.objective};
@@ -103,20 +113,24 @@ common::Table render_ga_vs_uniform(
 std::vector<SimValidationPoint> run_sim_validation(
     const std::vector<double>& u_values, std::size_t tasksets,
     common::Millis horizon, std::uint64_t seed,
-    const core::OptimizerConfig& optimizer) {
+    const core::OptimizerConfig& optimizer, const common::Executor& exec) {
   std::vector<SimValidationPoint> points;
   const taskgen::GeneratorConfig config;
-  for (const double u : u_values) {
+  const auto [u_begin, u_end] = exec.range(u_values.size());
+  points.reserve(u_end - u_begin);
+  for (std::size_t p = u_begin; p < u_end; ++p) {
+    const double u = u_values[p];
     common::Rng rng(seed + 7 + static_cast<std::uint64_t>(u * 1000.0));
     SimValidationPoint point;
     point.u_hc_hi = u;
-    // Optimize + simulate every replication in parallel on its own
-    // pre-split stream; infeasible/unschedulable sets contribute nothing,
-    // exactly as in the serial loop.
-    std::vector<common::Rng> set_rngs;
-    set_rngs.reserve(tasksets);
-    for (std::size_t t = 0; t < tasksets; ++t)
-      set_rngs.push_back(rng.split());
+    // Pipelined replications: generation walks the split() chain in
+    // order while consumers optimize + simulate on the carried stream;
+    // infeasible/unschedulable sets contribute nothing, exactly as in
+    // the serial loop.
+    struct SetItem {
+      mc::TaskSet tasks;
+      common::Rng rng;
+    };
     struct Replication {
       bool valid = false;
       double analytic_p_ms = 0.0;
@@ -126,11 +140,17 @@ std::vector<SimValidationPoint> run_sim_validation(
       double hc_miss_dropall = 0.0;
       double hc_miss_degrade = 0.0;
     };
-    const std::vector<Replication> replications =
-        common::parallel_map(tasksets, [&](std::size_t t) {
-          Replication r;
-          common::Rng set_rng = set_rngs[t];
+    const std::vector<Replication> replications = common::pipeline_map(
+        tasksets, 0,
+        [&](std::size_t) {
+          common::Rng set_rng = rng.split();
           mc::TaskSet tasks = taskgen::generate_hc_only(config, u, set_rng);
+          return SetItem{std::move(tasks), set_rng};
+        },
+        [&](std::size_t, SetItem item) {
+          Replication r;
+          common::Rng set_rng = item.rng;
+          mc::TaskSet tasks = std::move(item.tasks);
           core::OptimizerConfig opt = optimizer;
           opt.ga.seed = set_rng();
           const core::OptimizationResult best =

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/table.hpp"
 #include "core/optimizer.hpp"
 #include "sim/engine.hpp"
@@ -25,10 +26,13 @@ struct GaVsUniformPoint {
   double mean_gain = 0.0;           ///< mean relative improvement of GA
 };
 
-/// Runs A1 over `u_values`, `tasksets` sets per point.
+/// Runs A1 over `u_values`, `tasksets` sets per point. A sharded `exec`
+/// evaluates only its slice of `u_values` (per-point seeds derive from
+/// the u value alone, so shard outputs concatenate).
 [[nodiscard]] std::vector<GaVsUniformPoint> run_ga_vs_uniform(
     const std::vector<double>& u_values, std::size_t tasksets,
-    std::uint64_t seed, const core::OptimizerConfig& optimizer = {});
+    std::uint64_t seed, const core::OptimizerConfig& optimizer = {},
+    const common::Executor& exec = {});
 
 [[nodiscard]] common::Table render_ga_vs_uniform(
     const std::vector<GaVsUniformPoint>& points);
@@ -46,11 +50,13 @@ struct SimValidationPoint {
 };
 
 /// Runs A2+A3: optimizes each task set with the GA, simulates it with
-/// both LC policies, and averages.
+/// both LC policies, and averages. Shards over `u_values` like
+/// run_ga_vs_uniform.
 [[nodiscard]] std::vector<SimValidationPoint> run_sim_validation(
     const std::vector<double>& u_values, std::size_t tasksets,
     common::Millis horizon, std::uint64_t seed,
-    const core::OptimizerConfig& optimizer = {});
+    const core::OptimizerConfig& optimizer = {},
+    const common::Executor& exec = {});
 
 [[nodiscard]] common::Table render_sim_validation(
     const std::vector<SimValidationPoint>& points);

@@ -4,6 +4,7 @@
 
 #include "apps/measurement.hpp"
 #include "apps/registry.hpp"
+#include "common/thread_pool.hpp"
 #include "sched/policies.hpp"
 #include "stats/empirical.hpp"
 #include "stats/ks_test.hpp"
@@ -23,17 +24,20 @@ double overrun_rate(std::span<const double> samples, double threshold) {
 
 }  // namespace
 
-std::vector<AssignmentComparison> run_assignment_methods(std::size_t samples,
-                                                         std::uint64_t seed) {
-  std::vector<AssignmentComparison> out;
+std::vector<AssignmentComparison> run_assignment_methods(
+    std::size_t samples, std::uint64_t seed, const common::Executor& exec) {
   const auto kernels = apps::table2_kernels();
-  common::Rng policy_rng(seed);
 
-  // The kernel loop stays serial: policy_rng is one sequential stream
-  // shared across kernels (the λ-policy draws must keep their historical
-  // order). Parallelism comes from measure_kernel's counter-based
-  // per-sample streams instead.
-  for (std::size_t k = 0; k < kernels.size(); ++k) {
+  // Every kernel owns a counter-based policy stream Rng(index_seed(seed,
+  // k)) — none of the three methods actually draws from it, but tying
+  // the stream to the kernel's global index keeps the loop
+  // order-independent by construction, so the kernels evaluate in
+  // parallel (and shard) with bit-identical output.
+  const auto [begin, end] = exec.range(kernels.size());
+  return common::parallel_map_chunked(end - begin, 1, [&, base = begin](
+                                                          std::size_t j) {
+    const std::size_t k = base + j;
+    common::Rng policy_rng(common::index_seed(seed, k));
     const apps::ExecutionProfile profile =
         apps::measure_kernel(*kernels[k], samples, seed + 31 * k);
     const std::size_t half = profile.samples.size() / 2;
@@ -71,9 +75,8 @@ std::vector<AssignmentComparison> run_assignment_methods(std::size_t samples,
       score.utilization_cost = score.wcet_opt / hc.acet;
       cmp.methods.push_back(std::move(score));
     }
-    out.push_back(std::move(cmp));
-  }
-  return out;
+    return cmp;
+  });
 }
 
 common::Table render_assignment_methods(

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/table.hpp"
 
 namespace mcs::exp {
@@ -45,9 +46,13 @@ struct AssignmentComparison {
 
 /// Runs the experiment on the five Table II applications with `samples`
 /// runs each (split 50/50 train/holdout). Target overrun rate is 10%
-/// (Chebyshev n=3).
+/// (Chebyshev n=3). Every kernel owns a counter-based RNG stream
+/// (index_seed), so kernels evaluate in parallel — and a sharded `exec`
+/// evaluates only its slice of the kernel list — without changing any
+/// number.
 [[nodiscard]] std::vector<AssignmentComparison> run_assignment_methods(
-    std::size_t samples, std::uint64_t seed);
+    std::size_t samples, std::uint64_t seed,
+    const common::Executor& exec = {});
 
 /// Renders one row per (application, method).
 [[nodiscard]] common::Table render_assignment_methods(

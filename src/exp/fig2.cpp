@@ -1,18 +1,33 @@
 #include "exp/fig2.hpp"
 
+#include <algorithm>
+
 #include "taskgen/generator.hpp"
 
 namespace mcs::exp {
 
 Fig2Data run_fig2(double u_hc_hi, double n_max, double step,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, const common::Executor& exec) {
   common::Rng rng(seed);
   const taskgen::GeneratorConfig config;
   const mc::TaskSet tasks = taskgen::generate_hc_only(config, u_hc_hi, rng);
   Fig2Data data;
   data.u_hc_hi = u_hc_hi;
-  data.sweep = core::sweep_uniform_n(tasks, 0.0, n_max, step);
-  data.optimum = core::best_uniform_n(tasks, 0.0, n_max, step);
+  // The grid is always enumerated over the full range so a shard's slice
+  // holds exactly the values the unsharded sweep would evaluate there.
+  const std::vector<double> grid = core::uniform_n_grid(0.0, n_max, step);
+  const auto [begin, end] = exec.range(grid.size());
+  data.sweep = core::evaluate_uniform_n(
+      tasks, std::vector<double>(grid.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 grid.begin() + static_cast<std::ptrdiff_t>(end)));
+  // First-max tie rule, matching core::best_uniform_n.
+  if (!data.sweep.empty()) {
+    data.optimum = *std::max_element(
+        data.sweep.begin(), data.sweep.end(),
+        [](const core::UniformSweepPoint& a, const core::UniformSweepPoint& b) {
+          return a.breakdown.objective < b.breakdown.objective;
+        });
+  }
   return data;
 }
 

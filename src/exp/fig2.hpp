@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/table.hpp"
 #include "core/optimizer.hpp"
 
@@ -20,9 +21,13 @@ struct Fig2Data {
 };
 
 /// Generates one HC-only example task set at `u_hc_hi` and sweeps
-/// n in [0, n_max] with the given step.
+/// n in [0, n_max] with the given step. A sharded `exec` evaluates only
+/// its slice of the sweep grid (the grid values are computed once for
+/// the whole range, so slices line up bit-for-bit); `optimum` is then
+/// the best point of the slice, not of the whole sweep.
 [[nodiscard]] Fig2Data run_fig2(double u_hc_hi, double n_max, double step,
-                                std::uint64_t seed);
+                                std::uint64_t seed,
+                                const common::Executor& exec = {});
 
 /// Renders both panels as a series table.
 [[nodiscard]] common::Table render_fig2(const Fig2Data& data);

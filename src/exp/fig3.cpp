@@ -1,52 +1,67 @@
 #include "exp/fig3.hpp"
 
-#include "common/thread_pool.hpp"
+#include "common/pipeline.hpp"
 #include "core/objective.hpp"
 #include "taskgen/generator.hpp"
 
 namespace mcs::exp {
 
-Fig3Data run_fig3(const std::vector<double>& n_values,
-                  const std::vector<double>& u_values, std::size_t tasksets,
-                  std::uint64_t seed) {
-  Fig3Data data;
-  data.n_values = n_values;
-  data.u_values = u_values;
-  const taskgen::GeneratorConfig config;
-  for (const double n : n_values) {
-    for (const double u : u_values) {
-      // Same seed per u-column so every n sees the same task-set sample.
-      common::Rng rng(seed + static_cast<std::uint64_t>(u * 1000.0));
-      Fig3Cell cell;
-      cell.n = n;
-      cell.u_hc_hi = u;
-      // One pre-split stream per task set; the per-cell means below are
-      // reduced in replication order, keeping any --jobs value
-      // bit-identical to the serial sweep.
-      std::vector<common::Rng> set_rngs;
-      set_rngs.reserve(tasksets);
-      for (std::size_t t = 0; t < tasksets; ++t)
-        set_rngs.push_back(rng.split());
-      const std::vector<core::ObjectiveBreakdown> breakdowns =
-          common::parallel_map(tasksets, [&](std::size_t t) {
-            common::Rng set_rng = set_rngs[t];
-            const mc::TaskSet tasks =
-                taskgen::generate_hc_only(config, u, set_rng);
+namespace {
+
+/// Evaluates one (n, u) grid cell: `tasksets` replications pipelined
+/// through generation -> objective evaluation. The producer walks the
+/// cell's split() chain in order (preserving the historical per-set
+/// stream assignment) while consumers evaluate; the means are reduced in
+/// replication order — bit-identical to the serial sweep at any --jobs.
+Fig3Cell evaluate_cell(double n, double u, std::size_t tasksets,
+                       std::uint64_t seed,
+                       const taskgen::GeneratorConfig& config) {
+  // Same seed per u-column so every n sees the same task-set sample.
+  common::Rng rng(seed + static_cast<std::uint64_t>(u * 1000.0));
+  Fig3Cell cell;
+  cell.n = n;
+  cell.u_hc_hi = u;
+  const std::vector<core::ObjectiveBreakdown> breakdowns =
+      common::pipeline_map(
+          tasksets, 0,
+          [&](std::size_t) {
+            common::Rng set_rng = rng.split();
+            return taskgen::generate_hc_only(config, u, set_rng);
+          },
+          [&](std::size_t, mc::TaskSet tasks) {
             const std::vector<double> genes(
                 tasks.count(mc::Criticality::kHigh), n);
             return core::evaluate_multipliers(tasks, genes);
           });
-      for (const core::ObjectiveBreakdown& b : breakdowns) {
-        cell.mean_p_ms += b.p_ms;
-        cell.mean_max_u_lc += b.max_u_lc;
-        cell.mean_objective += b.objective;
-      }
-      const auto denom = static_cast<double>(tasksets);
-      cell.mean_p_ms /= denom;
-      cell.mean_max_u_lc /= denom;
-      cell.mean_objective /= denom;
-      data.cells.push_back(cell);
-    }
+  for (const core::ObjectiveBreakdown& b : breakdowns) {
+    cell.mean_p_ms += b.p_ms;
+    cell.mean_max_u_lc += b.max_u_lc;
+    cell.mean_objective += b.objective;
+  }
+  const auto denom = static_cast<double>(tasksets);
+  cell.mean_p_ms /= denom;
+  cell.mean_max_u_lc /= denom;
+  cell.mean_objective /= denom;
+  return cell;
+}
+
+}  // namespace
+
+Fig3Data run_fig3(const std::vector<double>& n_values,
+                  const std::vector<double>& u_values, std::size_t tasksets,
+                  std::uint64_t seed, const common::Executor& exec) {
+  Fig3Data data;
+  data.n_values = n_values;
+  data.u_values = u_values;
+  const taskgen::GeneratorConfig config;
+  // Row-major flattening of the (n, u) grid; each cell is self-seeded so
+  // a sharded executor can evaluate any contiguous slice independently.
+  const auto [begin, end] = exec.range(n_values.size() * u_values.size());
+  data.cells.reserve(end - begin);
+  for (std::size_t c = begin; c < end; ++c) {
+    const double n = n_values[c / u_values.size()];
+    const double u = u_values[c % u_values.size()];
+    data.cells.push_back(evaluate_cell(n, u, tasksets, seed, config));
   }
   return data;
 }

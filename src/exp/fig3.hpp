@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/table.hpp"
 
 namespace mcs::exp {
@@ -27,10 +28,14 @@ struct Fig3Data {
 };
 
 /// Runs the grid: for each (n, U_HC^HI) pair, `tasksets` random HC-only
-/// sets are generated and evaluated at uniform multiplier n.
+/// sets are generated and evaluated at uniform multiplier n. A sharded
+/// `exec` evaluates only its slice of the row-major flattened grid and
+/// returns just those cells (each cell's seed derives from its u value
+/// alone, so shard outputs concatenate to the unsharded result).
 [[nodiscard]] Fig3Data run_fig3(const std::vector<double>& n_values,
                                 const std::vector<double>& u_values,
-                                std::size_t tasksets, std::uint64_t seed);
+                                std::size_t tasksets, std::uint64_t seed,
+                                const common::Executor& exec = {});
 
 /// Renders the three panels (one row per grid cell).
 [[nodiscard]] common::Table render_fig3(const Fig3Data& data);

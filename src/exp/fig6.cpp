@@ -5,29 +5,30 @@
 namespace mcs::exp {
 
 std::vector<Fig6Point> run_fig6(const std::vector<double>& u_values,
-                                std::size_t tasksets, std::uint64_t seed) {
+                                std::size_t tasksets, std::uint64_t seed,
+                                const common::Executor& exec) {
   // The outer utilization axis fans out too: each point's seed depends
   // only on its u value, so the points are independent work items. The
-  // nested acceptance_ratio sweeps then run inline on the worker, which
-  // keeps small per-point taskset counts from serializing the whole
-  // figure behind one u value.
-  return common::parallel_map_chunked(
-      u_values.size(), 1, [&](std::size_t p) {
-        const double u = u_values[p];
-        const std::uint64_t point_seed =
-            seed + static_cast<std::uint64_t>(u * 1000.0);
-        Fig6Point point;
-        point.u_bound = u;
-        point.baruah_lambda = core::acceptance_ratio(
-            core::Approach::kBaruahLambda, u, tasksets, point_seed);
-        point.baruah_chebyshev = core::acceptance_ratio(
-            core::Approach::kBaruahChebyshev, u, tasksets, point_seed);
-        point.liu_lambda = core::acceptance_ratio(core::Approach::kLiuLambda,
-                                                  u, tasksets, point_seed);
-        point.liu_chebyshev = core::acceptance_ratio(
-            core::Approach::kLiuChebyshev, u, tasksets, point_seed);
-        return point;
-      });
+  // nested acceptance_ratio pipelines then run inline on the worker,
+  // which keeps small per-point taskset counts from serializing the
+  // whole figure behind one u value. Under a sharded executor only the
+  // shard's slice of points is evaluated.
+  return exec.map(u_values.size(), [&](std::size_t p) {
+    const double u = u_values[p];
+    const std::uint64_t point_seed =
+        seed + static_cast<std::uint64_t>(u * 1000.0);
+    Fig6Point point;
+    point.u_bound = u;
+    point.baruah_lambda = core::acceptance_ratio(
+        core::Approach::kBaruahLambda, u, tasksets, point_seed);
+    point.baruah_chebyshev = core::acceptance_ratio(
+        core::Approach::kBaruahChebyshev, u, tasksets, point_seed);
+    point.liu_lambda = core::acceptance_ratio(core::Approach::kLiuLambda, u,
+                                              tasksets, point_seed);
+    point.liu_chebyshev = core::acceptance_ratio(
+        core::Approach::kLiuChebyshev, u, tasksets, point_seed);
+    return point;
+  });
 }
 
 common::Table render_fig6(const std::vector<Fig6Point>& points) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/table.hpp"
 #include "core/acceptance.hpp"
 
@@ -22,9 +23,14 @@ struct Fig6Point {
 
 /// Runs the acceptance experiment over `u_values` with `tasksets` random
 /// task sets per point (paper: 1000, P(HC) = 0.5, periods [100,900] ms).
+/// `exec` selects the backend: the default evaluates every point
+/// in-process; a sharded executor evaluates only its contiguous slice of
+/// `u_values` and returns just those points (each point's seed derives
+/// from its u value alone, so shard outputs concatenate to the
+/// unsharded result byte-for-byte).
 [[nodiscard]] std::vector<Fig6Point> run_fig6(
     const std::vector<double>& u_values, std::size_t tasksets,
-    std::uint64_t seed);
+    std::uint64_t seed, const common::Executor& exec = {});
 
 /// Renders the four series.
 [[nodiscard]] common::Table render_fig6(const std::vector<Fig6Point>& points);

@@ -8,21 +8,21 @@ namespace mcs::exp {
 
 std::vector<PolicySweepPoint> run_policy_sweep(
     const std::vector<double>& u_values, std::size_t tasksets,
-    std::uint64_t seed, const core::OptimizerConfig& optimizer) {
+    std::uint64_t seed, const core::OptimizerConfig& optimizer,
+    const common::Executor& exec) {
   // Outer-axis fan-out: every utilization point derives its seed from its
   // own u value, so the Fig. 4/5 points are independent work items; the
   // per-taskset GA runs inside compare_policies execute inline on the
-  // worker that owns the point.
-  return common::parallel_map_chunked(
-      u_values.size(), 1, [&](std::size_t p) {
-        const double u = u_values[p];
-        PolicySweepPoint point;
-        point.u_hc_hi = u;
-        point.scores = core::compare_policies(
-            u, tasksets, seed + static_cast<std::uint64_t>(u * 1000.0),
-            optimizer);
-        return point;
-      });
+  // worker that owns the point. Under a sharded executor only the
+  // shard's slice of points is evaluated.
+  return exec.map(u_values.size(), [&](std::size_t p) {
+    const double u = u_values[p];
+    PolicySweepPoint point;
+    point.u_hc_hi = u;
+    point.scores = core::compare_policies(
+        u, tasksets, seed + static_cast<std::uint64_t>(u * 1000.0), optimizer);
+    return point;
+  });
 }
 
 PolicySweepHeadline summarize_policy_sweep(

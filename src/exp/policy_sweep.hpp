@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/table.hpp"
 #include "core/comparison.hpp"
 
@@ -26,10 +27,14 @@ struct PolicySweepHeadline {
   double worst_case_p_ms = 0.0;       ///< scheme's largest P_sys^MS
 };
 
-/// Runs the sweep over `u_values` with `tasksets` sets per point.
+/// Runs the sweep over `u_values` with `tasksets` sets per point. A
+/// sharded `exec` evaluates only its slice of `u_values` and returns
+/// just those points (per-point seeds derive from the u value alone, so
+/// shard outputs concatenate to the unsharded result byte-for-byte).
 [[nodiscard]] std::vector<PolicySweepPoint> run_policy_sweep(
     const std::vector<double>& u_values, std::size_t tasksets,
-    std::uint64_t seed, const core::OptimizerConfig& optimizer = {});
+    std::uint64_t seed, const core::OptimizerConfig& optimizer = {},
+    const common::Executor& exec = {});
 
 /// Computes the headline comparison numbers. Only baselines that remain
 /// feasible are counted in the gain.

@@ -7,15 +7,20 @@
 
 namespace mcs::exp {
 
-Table2Data run_table2(std::size_t samples, std::uint64_t seed) {
+Table2Data run_table2(std::size_t samples, std::uint64_t seed,
+                      const common::Executor& exec) {
   Table2Data data;
   const auto kernels = apps::table2_kernels();
   // Kernel campaigns are independently seeded (seed + 100 + k): measure
   // them in parallel, then collect names/empiricals in kernel order. The
   // per-sample loops inside measure_kernel use counter-based streams and
-  // run inline on the owning worker.
+  // run inline on the owning worker. Table II shards column-wise: a
+  // sharded executor measures only its slice of the kernel list, and the
+  // global index k keeps each campaign's seed shard-invariant.
+  const auto [begin, end] = exec.range(kernels.size());
   const std::vector<apps::ExecutionProfile> profiles =
-      common::parallel_map(kernels.size(), [&](std::size_t k) {
+      common::parallel_map(end - begin, [&, base = begin](std::size_t j) {
+        const std::size_t k = base + j;
         return apps::measure_kernel(*kernels[k], samples, seed + 100 + k);
       });
   std::vector<stats::EmpiricalDistribution> empiricals;

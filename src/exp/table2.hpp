@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/table.hpp"
 
 namespace mcs::exp {
@@ -25,7 +26,12 @@ struct Table2Data {
 };
 
 /// Runs the campaign (`samples` per application) and evaluates n = 0..4.
-[[nodiscard]] Table2Data run_table2(std::size_t samples, std::uint64_t seed);
+/// A sharded `exec` measures only its slice of the kernel list, so the
+/// result holds just those application columns (each kernel's campaign
+/// seed derives from its global index, so shard columns paste back into
+/// the unsharded table via `mcs_merge --paste`).
+[[nodiscard]] Table2Data run_table2(std::size_t samples, std::uint64_t seed,
+                                    const common::Executor& exec = {});
 
 /// Renders in the paper's layout.
 [[nodiscard]] common::Table render_table2(const Table2Data& data);

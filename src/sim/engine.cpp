@@ -214,6 +214,11 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
       if (job.hc || !job.degraded) continue;
       job.budget = tasks[job.task].wcet_lo;
       job.degraded = false;
+      if (config.trace_dispatch)
+        trace.record(TraceEvent{now, TraceEventKind::kBudgetRestore,
+                                tasks[job.task].name, /*hi_mode=*/false,
+                                /*virtual_deadline=*/false, job.release,
+                                job.budget});
     }
     trace.record(now, TraceEventKind::kModeSwitchLo, "");
   };
@@ -273,6 +278,12 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
 
     Job& job = ready[current];
     const mc::McTask& task = tasks[job.task];
+
+    if (config.trace_dispatch)
+      trace.record(TraceEvent{now, TraceEventKind::kDispatch, task.name,
+                              mode == mc::Mode::kHigh,
+                              job.hc && mode == mc::Mode::kLow, job.release,
+                              effective_deadline(job)});
 
     // Dispatching a different job than last time is a context switch.
     if (job.task != last_task ||

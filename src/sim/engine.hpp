@@ -51,6 +51,12 @@ struct SimConfig {
   BackSwitchPolicy back_switch = BackSwitchPolicy::kNoReadyHc;
   std::uint64_t seed = 1;
   std::size_t trace_capacity = 0;      ///< 0 = tracing off
+  /// Also record kDispatch (every scheduler pick, with the deadline the
+  /// EDF comparison actually used) and kBudgetRestore (every degraded LC
+  /// budget restored at the HI->LO back-switch) events. Off by default —
+  /// dispatch events are voluminous and exist for the invariant-oracle
+  /// tests, which re-derive the expected values from the task set.
+  bool trace_dispatch = false;
   /// Fallback LC/no-distribution execution model: actual time ~ U[lo,hi]
   /// fraction of the budget.
   double exec_fraction_lo = 0.4;

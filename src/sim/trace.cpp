@@ -15,15 +15,20 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kModeSwitchLo: return "mode->LO";
     case TraceEventKind::kDropLc: return "drop-LC";
     case TraceEventKind::kDeadlineMiss: return "deadline-miss";
+    case TraceEventKind::kDispatch: return "dispatch";
+    case TraceEventKind::kBudgetRestore: return "budget-restore";
   }
   return "?";
 }
 
 void Trace::record(common::Millis time, TraceEventKind kind,
                    const std::string& task) {
+  record(TraceEvent{time, kind, task});
+}
+
+void Trace::record(TraceEvent event) {
   ++total_;
-  if (events_.size() < capacity_)
-    events_.push_back(TraceEvent{time, kind, task});
+  if (events_.size() < capacity_) events_.push_back(std::move(event));
 }
 
 std::string Trace::render() const {

@@ -22,6 +22,8 @@ enum class TraceEventKind {
   kModeSwitchLo,
   kDropLc,
   kDeadlineMiss,
+  kDispatch,       ///< scheduler picked a job (SimConfig::trace_dispatch)
+  kBudgetRestore,  ///< degraded LC budget restored at the HI->LO switch
 };
 
 /// Human-readable name of a trace event kind.
@@ -32,6 +34,15 @@ struct TraceEvent {
   common::Millis time = 0.0;
   TraceEventKind kind = TraceEventKind::kRelease;
   std::string task;  ///< task name ("" for system-level events)
+  // Extended fields, populated only by the kDispatch / kBudgetRestore
+  // events emitted under SimConfig::trace_dispatch. They expose the
+  // scheduler's actual decision inputs so oracle tests can re-derive the
+  // expected values from the task set and compare.
+  bool hi_mode = false;           ///< system mode at the event (true = HI)
+  bool virtual_deadline = false;  ///< dispatch keyed on the virtual deadline
+  common::Millis release = 0.0;   ///< releasing instant of the job
+  double value = 0.0;  ///< kDispatch: absolute deadline the EDF pick used;
+                       ///< kBudgetRestore: the restored budget (ms)
 };
 
 /// Bounded in-memory trace.
@@ -44,6 +55,9 @@ class Trace {
   /// Records (or counts) an event.
   void record(common::Millis time, TraceEventKind kind,
               const std::string& task);
+
+  /// Records (or counts) a fully populated event (extended fields).
+  void record(TraceEvent event);
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;

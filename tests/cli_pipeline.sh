@@ -1,8 +1,16 @@
 #!/bin/sh
 # End-to-end smoke test of the mcs-cli tool: generate -> optimize ->
-# analyze -> simulate, chained through the portable task-set format.
+# analyze -> simulate, chained through the portable task-set format —
+# plus shard/merge byte-identity checks over the experiment drivers.
+#
+# Usage: cli_pipeline.sh <mcs-cli> [<mcs-merge> <fig6> <fig4> <table2>]
+# The shard checks run only when the extra binaries are passed.
 set -e
 CLI="$1"
+MERGE="$2"
+FIG6="$3"
+FIG4="$4"
+TABLE2="$5"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -31,4 +39,58 @@ cmp "$WORKDIR/wcet_j1.txt" "$WORKDIR/wcet_j4.txt"
 
 # The simulator exits non-zero on HC deadline misses; reaching this line
 # means the optimized set ran clean.
+
+# Shard fan-out: running a driver as 4 independent shards and merging the
+# partial CSVs must reproduce the unsharded CSV byte for byte.
+if [ -n "$MERGE" ]; then
+  # mcs-cli sweep (acceptance ratio, row-wise shards).
+  SWEEP_ARGS="--points=4 --tasksets=20 --seed=2027"
+  "$CLI" sweep $SWEEP_ARGS --csv > "$WORKDIR/sweep_full.csv"
+  for i in 0 1 2 3; do
+    "$CLI" sweep $SWEEP_ARGS --shard=$i/4 > "$WORKDIR/sweep_$i.csv"
+  done
+  "$MERGE" "$WORKDIR/sweep_0.csv" "$WORKDIR/sweep_1.csv" \
+    "$WORKDIR/sweep_2.csv" "$WORKDIR/sweep_3.csv" \
+    --output="$WORKDIR/sweep_merged.csv"
+  cmp "$WORKDIR/sweep_full.csv" "$WORKDIR/sweep_merged.csv"
+
+  # fig6 acceptance-ratio driver (row-wise shards).
+  FIG6_ARGS="--tasksets=15 --seed=11"
+  "$FIG6" $FIG6_ARGS --csv > "$WORKDIR/fig6_full.csv"
+  for i in 0 1 2 3; do
+    "$FIG6" $FIG6_ARGS --shard=$i/4 > "$WORKDIR/fig6_$i.csv"
+  done
+  "$MERGE" "$WORKDIR/fig6_0.csv" "$WORKDIR/fig6_1.csv" \
+    "$WORKDIR/fig6_2.csv" "$WORKDIR/fig6_3.csv" \
+    > "$WORKDIR/fig6_merged.csv"
+  cmp "$WORKDIR/fig6_full.csv" "$WORKDIR/fig6_merged.csv"
+
+  # fig4 policy-comparison driver (row-wise shards; exercises the GA).
+  FIG4_ARGS="--tasksets=2 --seed=13 --ga-population=10 --ga-generations=5"
+  "$FIG4" $FIG4_ARGS --csv > "$WORKDIR/fig4_full.csv"
+  for i in 0 1 2 3; do
+    "$FIG4" $FIG4_ARGS --shard=$i/4 > "$WORKDIR/fig4_$i.csv"
+  done
+  "$MERGE" "$WORKDIR/fig4_0.csv" "$WORKDIR/fig4_1.csv" \
+    "$WORKDIR/fig4_2.csv" "$WORKDIR/fig4_3.csv" \
+    > "$WORKDIR/fig4_merged.csv"
+  cmp "$WORKDIR/fig4_full.csv" "$WORKDIR/fig4_merged.csv"
+
+  # table2 shards column-wise over the kernels: the merge pastes the
+  # measured columns back behind the two key columns.
+  T2_ARGS="--samples=300 --seed=1"
+  "$TABLE2" $T2_ARGS --csv > "$WORKDIR/t2_full.csv"
+  "$TABLE2" $T2_ARGS --shard=0/2 > "$WORKDIR/t2_0.csv"
+  "$TABLE2" $T2_ARGS --shard=1/2 > "$WORKDIR/t2_1.csv"
+  "$MERGE" --paste=2 "$WORKDIR/t2_0.csv" "$WORKDIR/t2_1.csv" \
+    > "$WORKDIR/t2_merged.csv"
+  cmp "$WORKDIR/t2_full.csv" "$WORKDIR/t2_merged.csv"
+
+  # A malformed spec must be rejected, not silently mis-shard.
+  if "$CLI" sweep --shard=4/4 > /dev/null 2>&1; then
+    echo "shard=4/4 should have been rejected" >&2
+    exit 1
+  fi
+fi
+
 echo "cli pipeline OK"

@@ -10,10 +10,12 @@
 
 #include "apps/measurement.hpp"
 #include "apps/registry.hpp"
+#include "common/executor.hpp"
 #include "common/thread_pool.hpp"
 #include "core/acceptance.hpp"
 #include "core/comparison.hpp"
 #include "exp/ablation.hpp"
+#include "exp/assignment_methods.hpp"
 #include "exp/fig3.hpp"
 #include "exp/fig6.hpp"
 #include "exp/multicore.hpp"
@@ -244,6 +246,49 @@ TEST(Determinism, GaVsUniformBitIdenticalAcrossJobs) {
     EXPECT_EQ(results[0][0].ga_gaussian_objective,
               results[r][0].ga_gaussian_objective);
     EXPECT_EQ(results[0][0].mean_gain, results[r][0].mean_gain);
+  }
+}
+
+TEST(Determinism, AssignmentMethodsBitIdenticalAcrossJobs) {
+  // Each kernel owns a counter-based policy stream (index_seed(seed, k))
+  // and a value-derived measurement seed, so the parallelized kernel loop
+  // must reproduce the sequential numbers bit-for-bit — including the
+  // shard backend, whose slices are checked against the full run.
+  const auto results = serial_and_parallel(
+      [&] { return exp::run_assignment_methods(300, 67); });
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[0].size(), results[r].size());
+    for (std::size_t k = 0; k < results[0].size(); ++k) {
+      EXPECT_EQ(results[0][k].application, results[r][k].application);
+      EXPECT_EQ(results[0][k].acet, results[r][k].acet);
+      EXPECT_EQ(results[0][k].sigma, results[r][k].sigma);
+      EXPECT_EQ(results[0][k].representative, results[r][k].representative);
+      ASSERT_EQ(results[0][k].methods.size(), results[r][k].methods.size());
+      for (std::size_t m = 0; m < results[0][k].methods.size(); ++m) {
+        EXPECT_EQ(results[0][k].methods[m].wcet_opt,
+                  results[r][k].methods[m].wcet_opt);
+        EXPECT_EQ(results[0][k].methods[m].holdout_overrun,
+                  results[r][k].methods[m].holdout_overrun);
+        EXPECT_EQ(results[0][k].methods[m].utilization_cost,
+                  results[r][k].methods[m].utilization_cost);
+      }
+    }
+  }
+  // Shard backend: concatenating both shards' comparisons equals the
+  // unsharded list.
+  std::vector<exp::AssignmentComparison> stitched;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto part = exp::run_assignment_methods(
+        300, 67, common::Executor(common::Shard{i, 2}));
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(stitched.size(), results[0].size());
+  for (std::size_t k = 0; k < stitched.size(); ++k) {
+    EXPECT_EQ(stitched[k].application, results[0][k].application);
+    ASSERT_EQ(stitched[k].methods.size(), results[0][k].methods.size());
+    for (std::size_t m = 0; m < stitched[k].methods.size(); ++m)
+      EXPECT_EQ(stitched[k].methods[m].wcet_opt,
+                results[0][k].methods[m].wcet_opt);
   }
 }
 

@@ -1,0 +1,272 @@
+// Golden regression hashes for the pipelined experiment drivers, plus
+// library-level shard-slice equivalence.
+//
+// The five hashes below were recorded from the *pre-pipeline serial*
+// implementations of the drivers (FNV-1a over every result field, in
+// result order). The pipelined executors must keep reproducing them
+// bit-for-bit at every --jobs value; any change to the RNG stream
+// assignment, the reduction order, or the experiment maths shows up here
+// as a hash mismatch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/thread_pool.hpp"
+#include "core/optimizer.hpp"
+#include "exp/fig2.hpp"
+#include "exp/fig3.hpp"
+#include "exp/fig6.hpp"
+#include "exp/policy_sweep.hpp"
+#include "exp/table2.hpp"
+
+namespace mcs {
+namespace {
+
+// Recorded from the serial implementations (seed 2027 workloads below).
+constexpr std::uint64_t kGoldenFig6 = 0xe105b9c4df15d8c3ULL;
+constexpr std::uint64_t kGoldenPolicy = 0x4ae91e877cf14297ULL;
+constexpr std::uint64_t kGoldenFig3 = 0x4dd9afefe08205c4ULL;
+constexpr std::uint64_t kGoldenTable2 = 0xcec2aceca1fa07e1ULL;
+constexpr std::uint64_t kGoldenFig2 = 0x2343d937c0e52313ULL;
+
+/// FNV-1a over 64-bit words; doubles are mixed by bit pattern, so any
+/// non-identical bit anywhere flips the digest.
+class Fnv {
+ public:
+  void mix(std::uint64_t v) {
+    hash_ ^= v;
+    hash_ *= 0x100000001b3ULL;
+  }
+  void mix(double x) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &x, sizeof u);
+    mix(u);
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// RAII guard so a test's --jobs override never leaks into other tests.
+class JobsGuard {
+ public:
+  explicit JobsGuard(std::size_t jobs) : saved_(common::default_jobs()) {
+    common::set_default_jobs(jobs);
+  }
+  ~JobsGuard() { common::set_default_jobs(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+constexpr std::size_t kJobsValues[] = {1, 2, 8};
+
+std::uint64_t fig6_hash(const std::vector<exp::Fig6Point>& points) {
+  Fnv fnv;
+  for (const exp::Fig6Point& p : points) {
+    fnv.mix(p.u_bound);
+    fnv.mix(p.baruah_lambda);
+    fnv.mix(p.baruah_chebyshev);
+    fnv.mix(p.liu_lambda);
+    fnv.mix(p.liu_chebyshev);
+  }
+  return fnv.value();
+}
+
+TEST(ExpGolden, Fig6MatchesSerialAtEveryJobs) {
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    const auto points = exp::run_fig6({0.7, 1.0, 1.3}, 60, 2027);
+    EXPECT_EQ(fig6_hash(points), kGoldenFig6) << "jobs=" << jobs;
+  }
+}
+
+std::uint64_t policy_hash(const std::vector<exp::PolicySweepPoint>& points) {
+  Fnv fnv;
+  for (const exp::PolicySweepPoint& p : points) {
+    fnv.mix(p.u_hc_hi);
+    for (const core::PolicyScore& s : p.scores) {
+      fnv.mix(static_cast<std::uint64_t>(s.policy.size()));
+      fnv.mix(s.p_ms);
+      fnv.mix(s.max_u_lc);
+      fnv.mix(s.objective);
+      fnv.mix(s.feasible_fraction);
+    }
+  }
+  return fnv.value();
+}
+
+TEST(ExpGolden, PolicySweepMatchesSerialAtEveryJobs) {
+  core::OptimizerConfig opt;
+  opt.ga.population_size = 12;
+  opt.ga.generations = 8;
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    const auto points = exp::run_policy_sweep({0.5, 0.7}, 4, 2027, opt);
+    EXPECT_EQ(policy_hash(points), kGoldenPolicy) << "jobs=" << jobs;
+  }
+}
+
+std::uint64_t fig3_hash(const exp::Fig3Data& data) {
+  Fnv fnv;
+  for (const exp::Fig3Cell& c : data.cells) {
+    fnv.mix(c.n);
+    fnv.mix(c.u_hc_hi);
+    fnv.mix(c.mean_p_ms);
+    fnv.mix(c.mean_max_u_lc);
+    fnv.mix(c.mean_objective);
+  }
+  return fnv.value();
+}
+
+TEST(ExpGolden, Fig3MatchesSerialAtEveryJobs) {
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    const auto data = exp::run_fig3({5.0, 15.0}, {0.5, 0.8}, 30, 2027);
+    EXPECT_EQ(fig3_hash(data), kGoldenFig3) << "jobs=" << jobs;
+  }
+}
+
+std::uint64_t table2_hash(const exp::Table2Data& data) {
+  Fnv fnv;
+  for (const exp::Table2Row& r : data.rows) {
+    fnv.mix(static_cast<std::uint64_t>(r.n));
+    fnv.mix(r.analysis_bound);
+    for (const double m : r.measured) fnv.mix(m);
+  }
+  return fnv.value();
+}
+
+TEST(ExpGolden, Table2MatchesSerialAtEveryJobs) {
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    const auto data = exp::run_table2(200, 2027);
+    EXPECT_EQ(table2_hash(data), kGoldenTable2) << "jobs=" << jobs;
+  }
+}
+
+std::uint64_t fig2_hash(const exp::Fig2Data& data) {
+  Fnv fnv;
+  fnv.mix(data.u_hc_hi);
+  for (const auto& p : data.sweep) {
+    fnv.mix(p.n);
+    fnv.mix(p.breakdown.p_ms);
+    fnv.mix(p.breakdown.max_u_lc);
+    fnv.mix(p.breakdown.objective);
+  }
+  fnv.mix(data.optimum.n);
+  fnv.mix(data.optimum.breakdown.objective);
+  return fnv.value();
+}
+
+TEST(ExpGolden, Fig2MatchesSerialAtEveryJobs) {
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    const auto data = exp::run_fig2(0.85, 30.0, 1.0, 2027);
+    EXPECT_EQ(fig2_hash(data), kGoldenFig2) << "jobs=" << jobs;
+  }
+}
+
+TEST(ExpGolden, Fig6ShardSlicesConcatenateToUnsharded) {
+  // Library-level shard contract: the concatenation of all shards'
+  // points equals (bit-for-bit) the unsharded run, so mcs_merge only has
+  // to concatenate partial CSVs.
+  const JobsGuard guard(2);
+  const std::vector<double> u_values = {0.7, 0.9, 1.1, 1.3, 1.5};
+  const auto full = exp::run_fig6(u_values, 30, 2027);
+  std::vector<exp::Fig6Point> stitched;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const common::Executor exec(common::Shard{i, 4});
+    const auto part = exp::run_fig6(u_values, 30, 2027, exec);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(fig6_hash(stitched), fig6_hash(full));
+  EXPECT_EQ(stitched.size(), full.size());
+}
+
+TEST(ExpGolden, PolicySweepShardSlicesConcatenateToUnsharded) {
+  const JobsGuard guard(2);
+  core::OptimizerConfig opt;
+  opt.ga.population_size = 12;
+  opt.ga.generations = 8;
+  const std::vector<double> u_values = {0.5, 0.6, 0.7};
+  const auto full = exp::run_policy_sweep(u_values, 3, 2027, opt);
+  std::vector<exp::PolicySweepPoint> stitched;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const common::Executor exec(common::Shard{i, 2});
+    const auto part = exp::run_policy_sweep(u_values, 3, 2027, opt, exec);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(policy_hash(stitched), policy_hash(full));
+}
+
+TEST(ExpGolden, Fig3ShardSlicesConcatenateToUnsharded) {
+  // The fig3 grid is flattened row-major across shards, so concatenating
+  // the shard cells reproduces the unsharded cell order exactly.
+  const JobsGuard guard(2);
+  const std::vector<double> n_values = {5.0, 15.0};
+  const std::vector<double> u_values = {0.5, 0.8};
+  const auto full = exp::run_fig3(n_values, u_values, 20, 2027);
+  exp::Fig3Data stitched;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const common::Executor exec(common::Shard{i, 3});
+    const auto part = exp::run_fig3(n_values, u_values, 20, 2027, exec);
+    stitched.cells.insert(stitched.cells.end(), part.cells.begin(),
+                          part.cells.end());
+  }
+  EXPECT_EQ(fig3_hash(stitched), fig3_hash(full));
+  EXPECT_EQ(stitched.cells.size(), full.cells.size());
+}
+
+TEST(ExpGolden, Table2ShardColumnsPasteToUnsharded) {
+  // Table2 shards column-wise over the kernels: pasting each shard's
+  // measured columns side by side (the mcs_merge --paste mode) must
+  // rebuild the unsharded rows.
+  const JobsGuard guard(2);
+  const auto full = exp::run_table2(100, 2027);
+  std::vector<exp::Table2Data> parts;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const common::Executor exec(common::Shard{i, 2});
+    parts.push_back(exp::run_table2(100, 2027, exec));
+  }
+  exp::Table2Data stitched;
+  stitched.rows = parts[0].rows;
+  for (std::size_t r = 0; r < stitched.rows.size(); ++r) {
+    ASSERT_LT(r, parts[1].rows.size());
+    stitched.rows[r].measured.insert(stitched.rows[r].measured.end(),
+                                     parts[1].rows[r].measured.begin(),
+                                     parts[1].rows[r].measured.end());
+  }
+  EXPECT_EQ(table2_hash(stitched), table2_hash(full));
+}
+
+TEST(ExpGolden, Fig2ShardSlicesConcatenateToUnsharded) {
+  // Fig2 slices one pre-enumerated uniform-n grid; the stitched sweep
+  // must match point-for-point (the per-shard optimum is slice-local, so
+  // it is not compared here).
+  const JobsGuard guard(2);
+  const auto full = exp::run_fig2(0.85, 20.0, 1.0, 2027);
+  std::vector<exp::Fig2Data> parts;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const common::Executor exec(common::Shard{i, 3});
+    parts.push_back(exp::run_fig2(0.85, 20.0, 1.0, 2027, exec));
+    total += parts.back().sweep.size();
+  }
+  ASSERT_EQ(total, full.sweep.size());
+  std::size_t k = 0;
+  for (const exp::Fig2Data& part : parts) {
+    for (const auto& p : part.sweep) {
+      EXPECT_EQ(p.n, full.sweep[k].n);
+      EXPECT_EQ(p.breakdown.objective, full.sweep[k].breakdown.objective);
+      ++k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs

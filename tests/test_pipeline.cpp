@@ -1,0 +1,310 @@
+// Tests for common/pipeline.hpp: BoundedQueue close/abort shutdown
+// semantics, pipeline_map equivalence to the serial loop at every jobs
+// value and queue capacity, split-chain determinism, and the no-deadlock
+// regression tests for throwing producers/consumers (run under the tsan
+// preset as well as the default one).
+#include "common/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcs::common {
+namespace {
+
+/// RAII guard so a test's --jobs override never leaks into other tests.
+class JobsGuard {
+ public:
+  explicit JobsGuard(std::size_t jobs) : saved_(default_jobs()) {
+    set_default_jobs(jobs);
+  }
+  ~JobsGuard() { set_default_jobs(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(BoundedQueue, FifoOrderWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_TRUE(queue.push(3));
+  EXPECT_EQ(queue.size(), 3U);
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::optional<int>(3));
+}
+
+TEST(BoundedQueue, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_TRUE(queue.push(7));  // would deadlock if capacity stayed 0
+  EXPECT_EQ(queue.pop(), std::optional<int>(7));
+}
+
+TEST(BoundedQueue, CloseDrainsBacklogThenReportsEndOfStream) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(10));
+  EXPECT_TRUE(queue.push(11));
+  queue.close();
+  EXPECT_FALSE(queue.push(12));  // closed: rejected, not blocked
+  EXPECT_EQ(queue.pop(), std::optional<int>(10));
+  EXPECT_EQ(queue.pop(), std::optional<int>(11));
+  EXPECT_EQ(queue.pop(), std::nullopt);  // drained
+  EXPECT_FALSE(queue.aborted());
+}
+
+TEST(BoundedQueue, AbortDiscardsBacklogImmediately) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.abort();
+  EXPECT_TRUE(queue.aborted());
+  EXPECT_EQ(queue.size(), 0U);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // backlog gone, no block
+  EXPECT_FALSE(queue.push(3));
+  queue.abort();  // idempotent
+  EXPECT_TRUE(queue.aborted());
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread pusher([&] {
+    EXPECT_TRUE(queue.push(2));  // blocks until the pop below
+    second_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  pusher.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueue, AbortWakesBlockedPusher) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(1));
+  std::atomic<bool> woke{false};
+  std::thread pusher([&] {
+    EXPECT_FALSE(queue.push(2));  // full queue; abort must wake + reject
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.abort();
+  pusher.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(BoundedQueue, AbortWakesBlockedPopper) {
+  BoundedQueue<int> queue(1);
+  std::atomic<bool> woke{false};
+  std::thread popper([&] {
+    EXPECT_EQ(queue.pop(), std::nullopt);  // empty queue; abort wakes it
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.abort();
+  popper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Pipeline, EmptyAndSingle) {
+  const JobsGuard guard(4);
+  const auto empty = pipeline_map(
+      0, 0, [](std::size_t i) { return i; },
+      [](std::size_t, std::size_t item) { return item; });
+  EXPECT_TRUE(empty.empty());
+  const auto one = pipeline_map(
+      1, 0, [](std::size_t i) { return i + 3; },
+      [](std::size_t, std::size_t item) { return item * 2; });
+  ASSERT_EQ(one.size(), 1U);
+  EXPECT_EQ(one[0], 6U);
+}
+
+TEST(Pipeline, MatchesSerialLoopAtEveryJobsAndCapacity) {
+  // Reference: the exact serial loop the determinism contract promises.
+  auto produce = [](std::size_t i) { return i * 7 + 1; };
+  auto consume = [](std::size_t i, std::size_t item) {
+    return item * 1000 + i;
+  };
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < 200; ++i)
+    expected.push_back(consume(i, produce(i)));
+  for (const std::size_t jobs : {1U, 2U, 8U}) {
+    const JobsGuard guard(jobs);
+    for (const std::size_t capacity : {0U, 1U, 2U, 16U}) {
+      const auto out = pipeline_map(200, capacity, produce, consume);
+      EXPECT_EQ(out, expected) << "jobs=" << jobs << " cap=" << capacity;
+    }
+  }
+}
+
+TEST(Pipeline, ProducerSplitChainIsBitIdenticalAcrossJobs) {
+  // The experiment pattern: the producer advances one sequential split
+  // chain; each item carries its own stream for the consumer. The whole
+  // run must be bit-identical at any jobs value and capacity.
+  auto workload = [](std::uint64_t seed) {
+    Rng rng(seed);
+    return pipeline_map(
+        64, 2,
+        [&rng](std::size_t) { return rng.split(); },
+        [](std::size_t, Rng item_rng) {
+          double acc = 0.0;
+          for (int k = 0; k < 50; ++k) acc += item_rng.uniform01();
+          return acc;
+        });
+  };
+  std::vector<double> serial;
+  {
+    const JobsGuard guard(1);
+    serial = workload(2027);
+  }
+  for (const std::size_t jobs : {2U, 4U, 8U}) {
+    const JobsGuard guard(jobs);
+    const std::vector<double> parallel = workload(2027);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_DOUBLE_EQ(parallel[i], serial[i]) << "jobs=" << jobs;
+  }
+}
+
+TEST(Pipeline, ProducerRunsInIndexOrderOnOneThread) {
+  const JobsGuard guard(4);
+  std::vector<std::size_t> produced_order;
+  const auto out = pipeline_map(
+      100, 3,
+      [&produced_order](std::size_t i) {
+        produced_order.push_back(i);  // single producer: no race
+        return i;
+      },
+      [](std::size_t, std::size_t item) { return item; });
+  ASSERT_EQ(produced_order.size(), 100U);
+  for (std::size_t i = 0; i < produced_order.size(); ++i)
+    EXPECT_EQ(produced_order[i], i);
+  ASSERT_EQ(out.size(), 100U);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(Pipeline, ConsumerExceptionPropagatesWithoutDeadlock) {
+  const JobsGuard guard(4);
+  // Capacity 1 with a fast producer: when the consumer throws, the
+  // producer is likely blocked in push() on a full queue — the abort path
+  // must wake it or this test hangs (deadlock regression).
+  EXPECT_THROW(
+      (void)pipeline_map(
+          1000, 1, [](std::size_t i) { return i; },
+          [](std::size_t i, std::size_t item) -> std::size_t {
+            if (i == 17) throw std::runtime_error("consumer failed");
+            return item;
+          }),
+      std::runtime_error);
+  // The shared pool must stay usable after the failed run.
+  const auto out = pipeline_map(
+      16, 0, [](std::size_t i) { return i; },
+      [](std::size_t, std::size_t item) { return item + 1; });
+  EXPECT_EQ(out.size(), 16U);
+}
+
+TEST(Pipeline, ProducerExceptionPropagatesWithoutDeadlock) {
+  const JobsGuard guard(4);
+  // Capacity 1 with slow-ish consumers: when the producer throws, the
+  // consumers are blocked in pop() on an empty queue — abort must wake
+  // them (deadlock regression).
+  EXPECT_THROW(
+      (void)pipeline_map(
+          1000, 1,
+          [](std::size_t i) -> std::size_t {
+            if (i == 3) throw std::runtime_error("producer failed");
+            return i;
+          },
+          [](std::size_t, std::size_t item) { return item; }),
+      std::runtime_error);
+  const auto out = pipeline_map(
+      16, 0, [](std::size_t i) { return i; },
+      [](std::size_t, std::size_t item) { return item + 1; });
+  EXPECT_EQ(out.size(), 16U);
+}
+
+TEST(Pipeline, RepeatedFailuresLeavePoolHealthy) {
+  const JobsGuard guard(4);
+  // The GA-generation pattern plus failures: many short pipelines, some
+  // failing, must never wedge the shared pool or leak stage bookkeeping.
+  for (int round = 0; round < 50; ++round) {
+    if (round % 2 == 0) {
+      EXPECT_THROW(
+          (void)pipeline_map(
+              64, 1, [](std::size_t i) { return i; },
+              [round](std::size_t i, std::size_t item) -> std::size_t {
+                if (i == static_cast<std::size_t>(round)) {
+                  throw std::runtime_error("round failure");
+                }
+                return item;
+              }),
+          std::runtime_error);
+    } else {
+      const auto out = pipeline_map(
+          64, 1, [](std::size_t i) { return i; },
+          [](std::size_t, std::size_t item) { return item * 2; });
+      ASSERT_EQ(out.size(), 64U);
+    }
+  }
+}
+
+TEST(Pipeline, NestedPipelineRunsInlineWithoutDeadlock) {
+  const JobsGuard guard(4);
+  // A pipeline issued from inside a pool worker must run inline: same
+  // results, no new parallelism, no deadlock when items outnumber
+  // workers.
+  const std::vector<std::size_t> sums = pipeline_map(
+      16, 2, [](std::size_t i) { return i; },
+      [](std::size_t, std::size_t outer) {
+        const auto inner = pipeline_map(
+            32, 2, [](std::size_t j) { return j; },
+            [outer](std::size_t, std::size_t j) { return outer * 100 + j; });
+        return std::accumulate(inner.begin(), inner.end(), std::size_t{0});
+      });
+  for (std::size_t i = 0; i < sums.size(); ++i)
+    EXPECT_EQ(sums[i], i * 100 * 32 + 31 * 32 / 2);
+}
+
+TEST(Pipeline, OverlapsProductionWithConsumption) {
+  const JobsGuard guard(4);
+  // With a bounded queue the producer can run at most `capacity` items
+  // ahead, but it must be able to run ahead at all: check that some
+  // production happens before the last consumption finishes.
+  std::atomic<std::size_t> produced{0};
+  std::atomic<std::size_t> max_lead{0};
+  std::atomic<std::size_t> consumed{0};
+  (void)pipeline_map(
+      64, 8,
+      [&](std::size_t i) {
+        const std::size_t lead =
+            produced.fetch_add(1, std::memory_order_relaxed) + 1 -
+            consumed.load(std::memory_order_relaxed);
+        std::size_t seen = max_lead.load(std::memory_order_relaxed);
+        while (lead > seen &&
+               !max_lead.compare_exchange_weak(seen, lead,
+                                               std::memory_order_relaxed)) {
+        }
+        return i;
+      },
+      [&](std::size_t, std::size_t item) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        consumed.fetch_add(1, std::memory_order_relaxed);
+        return item;
+      });
+  EXPECT_EQ(produced.load(), 64U);
+  EXPECT_EQ(consumed.load(), 64U);
+  EXPECT_GE(max_lead.load(), 2U);  // producer ran ahead of consumers
+}
+
+}  // namespace
+}  // namespace mcs::common

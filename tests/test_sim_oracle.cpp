@@ -1,0 +1,177 @@
+// Invariant oracle for the EDF-VD simulator: randomized task sets are run
+// through the engine with dispatch tracing on, and every invariant the
+// operational model (Section III) promises is re-derived from the task
+// set and checked against the recorded scheduler decisions:
+//
+//  (a) admission soundness — when the Baruah et al. test (Eq. 8) admits a
+//      Chebyshev-assigned set, the simulation shows zero HC deadline
+//      misses;
+//  (b) virtual deadlines are used exactly for HC jobs in LO mode, with
+//      the value release + x * period, and never in HI mode;
+//  (c) every LC budget degraded in HI mode is restored to the full
+//      C^LO at the HI -> LO back-switch.
+//
+// The oracle does not trust the engine's flags alone: dispatch events
+// carry the absolute deadline the EDF comparison actually used, which is
+// recomputed here from the task parameters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/chebyshev_wcet.hpp"
+#include "mc/taskset.hpp"
+#include "sched/edf_vd.hpp"
+#include "sim/engine.hpp"
+#include "taskgen/generator.hpp"
+
+namespace mcs::sim {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+/// One randomized Chebyshev-assigned task set. `n` is clamped by Eq. 9
+/// inside apply_chebyshev_assignment.
+mc::TaskSet make_assigned_set(std::uint64_t seed, double u_bound, double n) {
+  taskgen::GeneratorConfig config;
+  common::Rng rng(common::index_seed(991, seed));
+  mc::TaskSet tasks = taskgen::generate_mixed(config, u_bound, rng);
+  const std::vector<double> genes(tasks.count(mc::Criticality::kHigh), n);
+  (void)core::apply_chebyshev_assignment(tasks, genes);
+  return tasks;
+}
+
+std::unordered_map<std::string, const mc::McTask*> by_name(
+    const mc::TaskSet& tasks) {
+  std::unordered_map<std::string, const mc::McTask*> map;
+  for (const mc::McTask& task : tasks) map.emplace(task.name, &task);
+  return map;
+}
+
+TEST(SimOracle, AdmittedSetsNeverMissHcDeadlines) {
+  // Oracle (a): over 120 randomized sets spanning three utilization
+  // bounds, every set the EDF-VD test admits must simulate miss-free
+  // with the analysis' own x.
+  std::size_t admitted = 0;
+  for (std::uint64_t s = 0; s < 120; ++s) {
+    const double u_bound = 0.4 + 0.2 * static_cast<double>(s % 3);
+    const mc::TaskSet tasks = make_assigned_set(s, u_bound, 3.0);
+    // All-LC draws are trivially admitted and exercise nothing here.
+    if (tasks.count(mc::Criticality::kHigh) == 0) continue;
+    const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
+    if (!vd.schedulable) continue;
+    ++admitted;
+    SimConfig config;
+    config.horizon = 20000.0;
+    config.x = vd.x;
+    config.seed = 1000 + s;
+    const SimResult r = simulate(tasks, config);
+    EXPECT_EQ(r.metrics.hc_deadline_misses, 0U)
+        << "set " << s << " u_bound " << u_bound << " x " << vd.x;
+    EXPECT_GT(r.metrics.hc_jobs_released, 0U);
+  }
+  // The invariant must actually have been exercised.
+  EXPECT_GE(admitted, 60U);
+}
+
+TEST(SimOracle, DispatchDeadlinesMatchTheModel) {
+  // Oracle (b): re-derive every dispatch's deadline from the task set.
+  // A stressed assignment (n = 1) forces overruns so HI-mode dispatches
+  // occur too.
+  std::size_t virtual_dispatches = 0;
+  std::size_t hi_dispatches = 0;
+  for (std::uint64_t s = 0; s < 60; ++s) {
+    const double u_bound = 0.4 + 0.2 * static_cast<double>(s % 3);
+    const mc::TaskSet tasks = make_assigned_set(s, u_bound, 1.0);
+    const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
+    SimConfig config;
+    config.horizon = 5000.0;
+    config.x = vd.schedulable ? vd.x : 1.0;
+    config.seed = 2000 + s;
+    config.trace_capacity = 100000;
+    config.trace_dispatch = true;
+    const SimResult r = simulate(tasks, config);
+    const auto tasks_by_name = by_name(tasks);
+    for (const TraceEvent& event : r.trace.events()) {
+      if (event.kind != TraceEventKind::kDispatch) continue;
+      const auto it = tasks_by_name.find(event.task);
+      ASSERT_NE(it, tasks_by_name.end()) << event.task;
+      const mc::McTask& task = *it->second;
+      const bool hc = task.criticality == mc::Criticality::kHigh;
+      if (event.hi_mode) ++hi_dispatches;
+      // Virtual deadlines are used iff the job is HC and the mode is LO.
+      EXPECT_EQ(event.virtual_deadline, hc && !event.hi_mode)
+          << "set " << s << " task " << event.task << " t " << event.time;
+      if (event.virtual_deadline) {
+        ++virtual_dispatches;
+        EXPECT_NEAR(event.value, event.release + config.x * task.period,
+                    kEps)
+            << "set " << s << " task " << event.task;
+      } else {
+        EXPECT_NEAR(event.value, event.release + task.deadline(), kEps)
+            << "set " << s << " task " << event.task;
+      }
+    }
+  }
+  // Both sides of the invariant must have been exercised.
+  EXPECT_GT(virtual_dispatches, 0U);
+  EXPECT_GT(hi_dispatches, 0U);
+}
+
+TEST(SimOracle, BackSwitchRestoresFullLcBudgets) {
+  // Oracle (c): under the degrade-50% policy, every budget-restore event
+  // at a HI -> LO back-switch must restore exactly the task's full C^LO,
+  // must name an LC task, and must happen in LO mode.
+  std::size_t restores = 0;
+  for (std::uint64_t s = 0; s < 60; ++s) {
+    const double u_bound = 0.5 + 0.15 * static_cast<double>(s % 3);
+    // n = 0.5 puts C^LO barely above the mean: overruns (and therefore
+    // HI dwell time spanning LC releases) are frequent.
+    const mc::TaskSet tasks = make_assigned_set(s, u_bound, 0.5);
+    if (tasks.count(mc::Criticality::kLow) == 0) continue;
+    SimConfig config;
+    config.horizon = 10000.0;
+    config.x = 1.0;
+    config.seed = 3000 + s;
+    config.lc_policy = LcPolicy::kDegradeHalf;
+    config.trace_capacity = 100000;
+    config.trace_dispatch = true;
+    const SimResult r = simulate(tasks, config);
+    const auto tasks_by_name = by_name(tasks);
+    for (const TraceEvent& event : r.trace.events()) {
+      if (event.kind != TraceEventKind::kBudgetRestore) continue;
+      ++restores;
+      const auto it = tasks_by_name.find(event.task);
+      ASSERT_NE(it, tasks_by_name.end()) << event.task;
+      const mc::McTask& task = *it->second;
+      EXPECT_EQ(task.criticality, mc::Criticality::kLow)
+          << "set " << s << " task " << event.task;
+      EXPECT_FALSE(event.hi_mode) << "restore happens at the LO switch";
+      EXPECT_NEAR(event.value, task.wcet_lo, kEps)
+          << "set " << s << " task " << event.task;
+    }
+  }
+  EXPECT_GT(restores, 0U);
+}
+
+TEST(SimOracle, TracingOffRecordsNoDispatchEvents) {
+  // Regression: the oracle hooks must be invisible unless opted into —
+  // both with trace_dispatch unset (default) and with tracing disabled.
+  const mc::TaskSet tasks = make_assigned_set(7, 0.6, 1.0);
+  SimConfig config;
+  config.horizon = 5000.0;
+  config.seed = 7;
+  config.trace_capacity = 100000;  // tracing on, dispatch opt-out
+  const SimResult r = simulate(tasks, config);
+  for (const TraceEvent& event : r.trace.events()) {
+    EXPECT_NE(event.kind, TraceEventKind::kDispatch);
+    EXPECT_NE(event.kind, TraceEventKind::kBudgetRestore);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -16,10 +16,12 @@
 #include "apps/measurement.hpp"
 #include "apps/registry.hpp"
 #include "common/cli.hpp"
+#include "common/executor.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "core/optimizer.hpp"
 #include "core/lint.hpp"
 #include "core/report.hpp"
+#include "exp/fig6.hpp"
 #include "mc/io.hpp"
 #include "sched/edf_vd.hpp"
 #include "sched/partition.hpp"
@@ -42,6 +44,8 @@ int usage() {
       "                      assigned task set on stdout\n"
       "  simulate <file>     run the EDF-VD discrete-event simulator\n"
       "  partition <file>    bin-pack the task set onto m cores\n"
+      "  sweep               acceptance-ratio sweep across U_bound\n"
+      "                      (shardable: --shard i/N + mcs_merge)\n"
       "  wcet <kernel>       measure + statically analyze a benchmark\n"
       "                      kernel (qsort-100, corner, edge, smooth,\n"
       "                      epic, fft-256, matmul-24, ...)\n"
@@ -122,6 +126,55 @@ int cmd_wcet(const std::string& kernel_name, int argc,
   }
   std::fprintf(stderr, "unknown kernel '%s'\n", kernel_name.c_str());
   return 1;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  double u_min = 0.5;
+  double u_max = 1.4;
+  std::uint64_t points = 10;
+  std::uint64_t tasksets = 300;
+  std::uint64_t seed = 11;
+  bool csv_only = false;
+  common::Shard shard;
+  common::Cli cli(
+      "mcs-cli sweep: acceptance ratio of all four approaches across a\n"
+      "U_bound range (the Fig. 6 experiment). With --shard i/N only the\n"
+      "shard's slice of the points is evaluated and a partial CSV is\n"
+      "emitted; recombine the shards with mcs_merge.");
+  cli.add_double("u-min", &u_min, "first utilization bound");
+  cli.add_double("u-max", &u_max, "last utilization bound");
+  cli.add_u64("points", &points, "number of U_bound points");
+  cli.add_u64("tasksets", &tasksets, "task sets per point");
+  cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_flag("csv", &csv_only,
+               "emit only the CSV block (implied by --shard)");
+  cli.add_shard(&shard);
+  cli.add_jobs();
+  if (!cli.parse(argc, argv)) return 1;
+  if (points == 0 || u_max < u_min) {
+    std::fputs("sweep: need points >= 1 and u-max >= u-min\n", stderr);
+    return 1;
+  }
+  if (shard.active()) csv_only = true;
+
+  std::vector<double> u_values;
+  u_values.reserve(points);
+  for (std::uint64_t p = 0; p < points; ++p)
+    u_values.push_back(points == 1 ? u_min
+                                   : u_min + (u_max - u_min) *
+                                                 static_cast<double>(p) /
+                                                 static_cast<double>(points - 1));
+  const auto sweep_points =
+      exp::run_fig6(u_values, tasksets, seed, common::Executor(shard));
+  const common::Table table = exp::render_fig6(sweep_points);
+  if (csv_only) {
+    std::fputs(table.render_csv().c_str(), stdout);
+    return 0;
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nCSV:");
+  std::fputs(table.render_csv().c_str(), stdout);
+  return 0;
 }
 
 int cmd_analyze(const std::string& path, int argc, const char* const* argv) {
@@ -288,6 +341,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "wcet") {
       if (argc < 3) {
         std::fprintf(stderr, "wcet requires a kernel name\n");

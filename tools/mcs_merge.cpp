@@ -1,0 +1,224 @@
+// mcs_merge — recombines partial CSVs produced by sharded experiment
+// drivers (`--shard i/N --csv`) into the file the unsharded run would
+// have written, byte for byte.
+//
+// Two merge modes, matching the two ways drivers shard:
+//
+//  * row concatenation (default): shards slice the driver's outer index
+//    space, so each partial CSV holds a contiguous run of rows under the
+//    same header. Pass the shard files in shard order; the merged output
+//    is the first file's header followed by every file's rows.
+//      mcs_merge fig6_0.csv fig6_1.csv fig6_2.csv fig6_3.csv > fig6.csv
+//
+//  * column paste (`--paste=K`): Table II shards column-wise over the
+//    application kernels, so each partial CSV holds the K key columns
+//    (n, Analysis) plus its slice of application columns. The merged
+//    output keeps the key columns of the first file and appends every
+//    file's remaining columns in argument order.
+//      mcs_merge --paste=2 t2_0.csv t2_1.csv > table2.csv
+//
+// Output goes to stdout (or `--output=FILE`). Any inconsistency between
+// shards — mismatched headers in row mode, mismatched key columns or row
+// counts in paste mode — is a hard error: silent misalignment would
+// corrupt the merged experiment.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+
+namespace {
+
+struct CsvFile {
+  std::string path;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Reads one CSV file (header + rows). Exits with a message on failure.
+CsvFile read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "mcs_merge: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  CsvFile file;
+  file.path = path;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = mcs::common::csv_parse_line(line);
+    if (first) {
+      file.header = std::move(fields);
+      first = false;
+    } else {
+      file.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) {
+    std::fprintf(stderr, "mcs_merge: %s has no header row\n", path.c_str());
+    std::exit(1);
+  }
+  return file;
+}
+
+/// Row concatenation: identical headers required; rows in argument order.
+void merge_rows(const std::vector<CsvFile>& files, std::ostream& out) {
+  for (const CsvFile& file : files) {
+    if (file.header != files.front().header) {
+      std::fprintf(stderr,
+                   "mcs_merge: header of %s differs from %s — these are "
+                   "not shards of the same run\n",
+                   file.path.c_str(), files.front().path.c_str());
+      std::exit(1);
+    }
+  }
+  mcs::common::CsvWriter writer(out);
+  writer.write_row(files.front().header);
+  for (const CsvFile& file : files)
+    for (const auto& row : file.rows) writer.write_row(row);
+}
+
+/// Column paste: the first `keys` columns must agree across shards
+/// row-by-row; the remaining columns are appended in argument order.
+void merge_columns(const std::vector<CsvFile>& files, std::size_t keys,
+                   std::ostream& out) {
+  const CsvFile& first = files.front();
+  if (first.header.size() < keys) {
+    std::fprintf(stderr, "mcs_merge: %s has fewer than %zu key columns\n",
+                 first.path.c_str(), keys);
+    std::exit(1);
+  }
+  for (const CsvFile& file : files) {
+    if (file.rows.size() != first.rows.size()) {
+      std::fprintf(stderr,
+                   "mcs_merge: %s has %zu rows but %s has %zu — shards of "
+                   "the same run must agree\n",
+                   file.path.c_str(), file.rows.size(), first.path.c_str(),
+                   first.rows.size());
+      std::exit(1);
+    }
+    for (std::size_t c = 0; c < keys; ++c) {
+      if (file.header.size() < keys || file.header[c] != first.header[c]) {
+        std::fprintf(stderr, "mcs_merge: key columns of %s differ from %s\n",
+                     file.path.c_str(), first.path.c_str());
+        std::exit(1);
+      }
+      for (std::size_t r = 0; r < file.rows.size(); ++r) {
+        if (file.rows[r].size() <= c || file.rows[r][c] != first.rows[r][c]) {
+          std::fprintf(stderr,
+                       "mcs_merge: key column %zu of %s row %zu differs "
+                       "from %s\n",
+                       c, file.path.c_str(), r, first.path.c_str());
+          std::exit(1);
+        }
+      }
+    }
+  }
+  std::vector<std::string> header(first.header.begin(),
+                                  first.header.begin() +
+                                      static_cast<std::ptrdiff_t>(keys));
+  for (const CsvFile& file : files)
+    header.insert(header.end(),
+                  file.header.begin() + static_cast<std::ptrdiff_t>(keys),
+                  file.header.end());
+  mcs::common::CsvWriter writer(out);
+  writer.write_row(header);
+  for (std::size_t r = 0; r < first.rows.size(); ++r) {
+    std::vector<std::string> row(
+        first.rows[r].begin(),
+        first.rows[r].begin() + static_cast<std::ptrdiff_t>(
+                                    std::min(keys, first.rows[r].size())));
+    for (const CsvFile& file : files)
+      if (file.rows[r].size() > keys)
+        row.insert(row.end(),
+                   file.rows[r].begin() + static_cast<std::ptrdiff_t>(keys),
+                   file.rows[r].end());
+    writer.write_row(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t paste_keys = 0;
+  std::string output;
+  std::vector<std::string> inputs;
+
+  // Hand-rolled argv walk: mcs_merge takes positional shard files, which
+  // common::Cli (options-only) rejects by design.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(
+          "mcs_merge — recombine sharded experiment CSVs\n\n"
+          "usage: mcs_merge [--paste=K] [--output=FILE] shard0.csv "
+          "shard1.csv ...\n\n"
+          "options:\n"
+          "  --paste=K       column-paste mode: keep the first K key\n"
+          "                  columns of the first shard and append every\n"
+          "                  shard's remaining columns (Table II layout);\n"
+          "                  default is row concatenation\n"
+          "  --output=FILE   write to FILE instead of stdout\n"
+          "  --help          show this message\n\n"
+          "Pass the shard files in shard order (0/N, 1/N, ...). The merged\n"
+          "output is byte-identical to the unsharded --csv run.\n",
+          stdout);
+      return 0;
+    }
+    if (arg.rfind("--paste=", 0) == 0) {
+      try {
+        paste_keys = std::stoull(arg.substr(8));
+      } catch (const std::exception&) {
+        paste_keys = 0;
+      }
+      if (paste_keys == 0) {
+        std::fprintf(stderr, "mcs_merge: invalid --paste value in '%s'\n",
+                     arg.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output = arg.substr(9);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "mcs_merge: unknown option %s (see --help)\n",
+                   arg.c_str());
+      return 1;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "mcs_merge: no input files (see --help)\n");
+    return 1;
+  }
+
+  std::vector<CsvFile> files;
+  files.reserve(inputs.size());
+  for (const std::string& path : inputs) files.push_back(read_csv(path));
+
+  std::ostringstream merged;
+  if (paste_keys > 0)
+    merge_columns(files, paste_keys, merged);
+  else
+    merge_rows(files, merged);
+
+  if (output.empty()) {
+    std::cout << merged.str();
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "mcs_merge: cannot write %s\n", output.c_str());
+      return 1;
+    }
+    out << merged.str();
+  }
+  return 0;
+}
