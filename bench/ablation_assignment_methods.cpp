@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/csv_merge.hpp"
 #include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/assignment_methods.hpp"
@@ -13,6 +14,7 @@ int main(int argc, char** argv) {
   std::uint64_t samples = 4000;
   std::uint64_t seed = 23;
   bool csv_only = false;
+  std::string out_path;
   mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Ablation A4: Chebyshev vs quantile vs EVT optimistic-WCET "
@@ -22,18 +24,16 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", &csv_only,
                "emit only the CSV block (implied by --shard)");
   cli.add_shard(&shard);
+  cli.add_output(&out_path);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
-  if (shard.active()) csv_only = true;
+  if (shard.active() || !out_path.empty()) csv_only = true;
 
   const auto comparisons = mcs::exp::run_assignment_methods(
       samples, seed, mcs::common::Executor(shard));
   const mcs::common::Table table =
       mcs::exp::render_assignment_methods(comparisons);
-  if (csv_only) {
-    std::fputs(table.render_csv().c_str(), stdout);
-    return 0;
-  }
+  if (csv_only) return mcs::common::emit_csv(out_path, table.render_csv());
   std::fputs(table.render().c_str(), stdout);
 
   std::puts("\nReading: chebyshev never exceeds its 10% target (safe but "

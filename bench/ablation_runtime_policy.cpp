@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/csv_merge.hpp"
 #include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/ablation.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   std::uint64_t ga_population = 30;
   std::uint64_t ga_generations = 30;
   bool csv_only = false;
+  std::string out_path;
   mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Ablations A2+A3: runtime LC policy comparison and analytic-vs-"
@@ -33,9 +35,10 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", &csv_only,
                "emit only the CSV block (implied by --shard)");
   cli.add_shard(&shard);
+  cli.add_output(&out_path);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
-  if (shard.active()) csv_only = true;
+  if (shard.active() || !out_path.empty()) csv_only = true;
 
   mcs::core::OptimizerConfig optimizer;
   optimizer.ga.population_size = ga_population;
@@ -46,10 +49,7 @@ int main(int argc, char** argv) {
       mcs::exp::run_sim_validation(u_values, tasksets, horizon, seed,
                                    optimizer, mcs::common::Executor(shard));
   const mcs::common::Table table = mcs::exp::render_sim_validation(points);
-  if (csv_only) {
-    std::fputs(table.render_csv().c_str(), stdout);
-    return 0;
-  }
+  if (csv_only) return mcs::common::emit_csv(out_path, table.render_csv());
   std::fputs(table.render().c_str(), stdout);
 
   std::puts("\nInvariants: sim overrun rate <= Eq. 10 bound; HC misses = 0; "

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/csv_merge.hpp"
 #include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/fig2.hpp"
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   double step = 1.0;
   std::uint64_t seed = 3;
   bool csv_only = false;
+  std::string out_path;
   mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Fig. 2 reproduction: uniform-n sweep of P_sys^MS, max(U_LC^LO) and "
@@ -29,17 +31,15 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", &csv_only,
                "emit only the CSV block (implied by --shard)");
   cli.add_shard(&shard);
+  cli.add_output(&out_path);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
-  if (shard.active()) csv_only = true;
+  if (shard.active() || !out_path.empty()) csv_only = true;
 
   const mcs::exp::Fig2Data data = mcs::exp::run_fig2(
       utilization, n_max, step, seed, mcs::common::Executor(shard));
   const mcs::common::Table table = mcs::exp::render_fig2(data);
-  if (csv_only) {
-    std::fputs(table.render_csv().c_str(), stdout);
-    return 0;
-  }
+  if (csv_only) return mcs::common::emit_csv(out_path, table.render_csv());
   std::fputs(table.render().c_str(), stdout);
 
   std::printf("\nOptimum (Fig. 2b): n = %.2f with P_sys^MS = %.4f, "

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/csv_merge.hpp"
 #include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/fig3.hpp"
@@ -12,6 +13,7 @@ int main(int argc, char** argv) {
   std::uint64_t tasksets = 200;
   std::uint64_t seed = 5;
   bool csv_only = false;
+  std::string out_path;
   mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Fig. 3 reproduction: P_sys^MS / max(U_LC^LO) / product over a grid "
@@ -21,19 +23,17 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", &csv_only,
                "emit only the CSV block (implied by --shard)");
   cli.add_shard(&shard);
+  cli.add_output(&out_path);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
-  if (shard.active()) csv_only = true;
+  if (shard.active() || !out_path.empty()) csv_only = true;
 
   const std::vector<double> n_values = {5.0, 10.0, 15.0, 20.0};
   const std::vector<double> u_values = {0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
   const mcs::exp::Fig3Data data = mcs::exp::run_fig3(
       n_values, u_values, tasksets, seed, mcs::common::Executor(shard));
   const mcs::common::Table table = mcs::exp::render_fig3(data);
-  if (csv_only) {
-    std::fputs(table.render_csv().c_str(), stdout);
-    return 0;
-  }
+  if (csv_only) return mcs::common::emit_csv(out_path, table.render_csv());
   std::fputs(table.render().c_str(), stdout);
 
   std::puts("\nExpected shape (paper Section V-B): P_sys^MS rises with "

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/csv_merge.hpp"
 #include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/policy_sweep.hpp"
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
   std::uint64_t ga_population = 40;
   std::uint64_t ga_generations = 50;
   bool csv_only = false;
+  std::string out_path;
   mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Fig. 4 reproduction: P_sys^MS and max(U_LC^LO) per policy across "
@@ -25,9 +27,10 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", &csv_only,
                "emit only the CSV block (implied by --shard)");
   cli.add_shard(&shard);
+  cli.add_output(&out_path);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
-  if (shard.active()) csv_only = true;
+  if (shard.active() || !out_path.empty()) csv_only = true;
 
   mcs::core::OptimizerConfig optimizer;
   optimizer.ga.population_size = ga_population;
@@ -36,10 +39,7 @@ int main(int argc, char** argv) {
   const auto points = mcs::exp::run_policy_sweep(
       u_values, tasksets, seed, optimizer, mcs::common::Executor(shard));
   const mcs::common::Table table = mcs::exp::render_fig4(points);
-  if (csv_only) {
-    std::fputs(table.render_csv().c_str(), stdout);
-    return 0;
-  }
+  if (csv_only) return mcs::common::emit_csv(out_path, table.render_csv());
   std::fputs(table.render().c_str(), stdout);
 
   std::puts("\nCSV:");

@@ -15,6 +15,7 @@
 #include "sched/amc.hpp"
 #include "sched/edf_vd.hpp"
 #include "sched/partition.hpp"
+#include "sched/policies.hpp"
 #include "sim/engine.hpp"
 #include "stats/chebyshev.hpp"
 #include "stats/distributions.hpp"
@@ -133,6 +134,76 @@ void BM_GaOptimize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GaOptimize)->Arg(20)->Arg(60);
+
+std::vector<double> policy_samples(std::size_t count) {
+  common::Rng rng(14);
+  std::vector<double> xs;
+  xs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    xs.push_back(rng.normal(50.0, 5.0));
+  return xs;
+}
+
+sched::HcTaskProfile policy_profile(const std::vector<double>& xs) {
+  sched::HcTaskProfile profile;
+  profile.acet = 50.0;
+  profile.sigma = 5.0;
+  profile.wcet_pes = 500.0;
+  profile.period = 1000.0;
+  profile.samples = &xs;
+  return profile;
+}
+
+// The measurement-based policies memoize the fit per sample vector
+// (SampleFitCache). The *Cached variants reuse one policy instance — the
+// sweep-loop shape — so only the first iteration pays the O(m log m)
+// fit; the *Refit variants construct a fresh policy per iteration to
+// show the un-memoized cost the cache removes.
+void BM_QuantilePolicyCached(benchmark::State& state) {
+  const std::vector<double> xs =
+      policy_samples(static_cast<std::size_t>(state.range(0)));
+  const sched::HcTaskProfile profile = policy_profile(xs);
+  const sched::EmpiricalQuantilePolicy policy(0.99);
+  common::Rng rng(15);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(policy.wcet_opt(profile, rng));
+}
+BENCHMARK(BM_QuantilePolicyCached)->Arg(1000)->Arg(10000);
+
+void BM_QuantilePolicyRefit(benchmark::State& state) {
+  const std::vector<double> xs =
+      policy_samples(static_cast<std::size_t>(state.range(0)));
+  const sched::HcTaskProfile profile = policy_profile(xs);
+  common::Rng rng(16);
+  for (auto _ : state) {
+    const sched::EmpiricalQuantilePolicy policy(0.99);
+    benchmark::DoNotOptimize(policy.wcet_opt(profile, rng));
+  }
+}
+BENCHMARK(BM_QuantilePolicyRefit)->Arg(1000)->Arg(10000);
+
+void BM_EvtPolicyCached(benchmark::State& state) {
+  const std::vector<double> xs =
+      policy_samples(static_cast<std::size_t>(state.range(0)));
+  const sched::HcTaskProfile profile = policy_profile(xs);
+  const sched::EvtPwcetPolicy policy(0.01, 50);
+  common::Rng rng(17);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(policy.wcet_opt(profile, rng));
+}
+BENCHMARK(BM_EvtPolicyCached)->Arg(1000)->Arg(10000);
+
+void BM_EvtPolicyRefit(benchmark::State& state) {
+  const std::vector<double> xs =
+      policy_samples(static_cast<std::size_t>(state.range(0)));
+  const sched::HcTaskProfile profile = policy_profile(xs);
+  common::Rng rng(18);
+  for (auto _ : state) {
+    const sched::EvtPwcetPolicy policy(0.01, 50);
+    benchmark::DoNotOptimize(policy.wcet_opt(profile, rng));
+  }
+}
+BENCHMARK(BM_EvtPolicyRefit)->Arg(1000)->Arg(10000);
 
 void BM_Simulation(benchmark::State& state) {
   common::Rng rng(7);

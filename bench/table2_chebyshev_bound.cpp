@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/csv_merge.hpp"
 #include "common/executor.hpp"
 #include "common/table.hpp"
 #include "exp/table2.hpp"
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   std::uint64_t samples = 5000;
   std::uint64_t seed = 1;
   bool csv_only = false;
+  std::string out_path;
   mcs::common::Shard shard;
   mcs::common::Cli cli(
       "TABLE II reproduction: Chebyshev bound vs measured overrun rates "
@@ -25,17 +27,15 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", &csv_only,
                "emit only the CSV block (implied by --shard)");
   cli.add_shard(&shard);
+  cli.add_output(&out_path);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
-  if (shard.active()) csv_only = true;
+  if (shard.active() || !out_path.empty()) csv_only = true;
 
   const mcs::exp::Table2Data data =
       mcs::exp::run_table2(samples, seed, mcs::common::Executor(shard));
   const mcs::common::Table table = mcs::exp::render_table2(data);
-  if (csv_only) {
-    std::fputs(table.render_csv().c_str(), stdout);
-    return 0;
-  }
+  if (csv_only) return mcs::common::emit_csv(out_path, table.render_csv());
   std::fputs(table.render().c_str(), stdout);
 
   std::puts("\nEvery measured rate must sit below the distribution-free "

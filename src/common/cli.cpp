@@ -91,6 +91,19 @@ void Cli::add_jobs() {
                       "0"});
 }
 
+void Cli::add_output(std::string* target) {
+  options_.push_back({"out",
+                      "write the CSV block atomically to this file "
+                      "instead of stdout (implies --csv)",
+                      false,
+                      [target](const std::string& v) {
+                        if (v.empty()) return false;
+                        *target = v;
+                        return true;
+                      },
+                      "(stdout)"});
+}
+
 void Cli::add_shard(Shard* target) {
   options_.push_back({"shard",
                       "evaluate only slice i of N (\"i/N\") of the outer "

@@ -42,6 +42,13 @@ class Cli {
   /// 1 selects the legacy serial path. Results are identical for any N.
   void add_jobs();
 
+  /// Registers the standard `--out FILE` option: the driver writes its
+  /// CSV block atomically to FILE (temp file + rename, see
+  /// common/csv_merge.hpp) instead of stdout, so supervisors like
+  /// tools/mcs_launch never pick up a torn partial. Implies --csv on
+  /// drivers that have a human-readable mode.
+  void add_output(std::string* target);
+
   /// Registers the standard `--shard i/N` option for multi-host fan-out:
   /// the driver evaluates only shard i's slice of its outer index space
   /// and emits a partial CSV that tools/mcs_merge recombines (see

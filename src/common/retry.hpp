@@ -1,0 +1,61 @@
+// Bounded retry with exponential backoff.
+//
+// The shard launcher (tools/mcs_launch) re-runs failed shard attempts
+// under a policy of this shape; keeping the policy arithmetic and the
+// retry loop here — with an injectable sleep — makes the backoff schedule
+// unit-testable without real waiting and reusable by other supervisors.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace mcs::common {
+
+/// Backoff schedule for a bounded number of attempts.
+struct RetryPolicy {
+  /// Total tries including the first (>= 1). attempts = 1 means no retry.
+  std::size_t attempts = 3;
+  double base_delay_ms = 250.0;  ///< delay before the first retry
+  double multiplier = 2.0;       ///< growth factor per further retry
+  double max_delay_ms = 5000.0;  ///< cap on any single delay
+
+  /// Delay before retry number `retry` (1-based: retry 1 follows the
+  /// first failure). Exponential in `retry`, capped at max_delay_ms.
+  [[nodiscard]] double delay_ms(std::size_t retry) const {
+    if (retry == 0) return 0.0;
+    double delay = base_delay_ms;
+    for (std::size_t i = 1; i < retry; ++i) {
+      delay *= multiplier;
+      if (delay >= max_delay_ms) break;
+    }
+    return delay < max_delay_ms ? delay : max_delay_ms;
+  }
+};
+
+/// Outcome of a retry loop.
+struct RetryResult {
+  bool success = false;
+  std::size_t attempts_used = 0;  ///< tries actually made (>= 1)
+};
+
+/// Runs `try_once()` (returning true on success) up to policy.attempts
+/// times, calling `sleep_ms(delay)` between tries per the policy's
+/// schedule. `sleep_ms` is a parameter so tests can record the schedule
+/// instead of waiting it out.
+template <typename TryFn, typename SleepFn>
+RetryResult retry_with(const RetryPolicy& policy, TryFn&& try_once,
+                       SleepFn&& sleep_ms) {
+  RetryResult result;
+  const std::size_t attempts = policy.attempts == 0 ? 1 : policy.attempts;
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    ++result.attempts_used;
+    if (try_once()) {
+      result.success = true;
+      return result;
+    }
+    if (attempt < attempts) sleep_ms(policy.delay_ms(attempt));
+  }
+  return result;
+}
+
+}  // namespace mcs::common

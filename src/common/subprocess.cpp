@@ -1,0 +1,153 @@
+#include "common/subprocess.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace mcs::common {
+
+namespace {
+
+/// Opens `path` for truncating write and dup2s it onto `target_fd`.
+/// Runs in the child between fork and exec: failures exit(127).
+void redirect_or_die(const std::string& path, int target_fd) {
+  if (path.empty()) return;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) _exit(127);
+  if (::dup2(fd, target_fd) < 0) _exit(127);
+  ::close(fd);
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+std::string ExitStatus::describe() const {
+  std::ostringstream out;
+  if (signaled)
+    out << "signal " << term_signal;
+  else if (exited)
+    out << "exit " << exit_code;
+  else
+    out << "unknown";
+  if (timed_out) out << " (timeout)";
+  return out.str();
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
+                             const SpawnOptions& options) {
+  if (argv.empty())
+    throw std::runtime_error("Subprocess::spawn: empty argv");
+
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv)
+    c_argv.push_back(const_cast<char*>(arg.c_str()));
+  c_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw std::runtime_error(std::string("Subprocess::spawn: fork: ") +
+                             std::strerror(errno));
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls until exec.
+    if (options.new_process_group) (void)::setpgid(0, 0);
+    redirect_or_die(options.stdout_path, STDOUT_FILENO);
+    redirect_or_die(options.stderr_path, STDERR_FILENO);
+    ::execvp(c_argv[0], c_argv.data());
+    _exit(127);  // exec failed (command not found etc.)
+  }
+
+  Subprocess child;
+  child.pid_ = pid;
+  child.own_group_ = options.new_process_group;
+  // Also set the group from the parent: whichever side wins the race,
+  // the group exists before anyone tries to signal it.
+  if (options.new_process_group) (void)::setpgid(pid, pid);
+  return child;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      own_group_(std::exchange(other.own_group_, false)),
+      finished_(std::exchange(other.finished_, true)),
+      status_(other.status_) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    pid_ = std::exchange(other.pid_, -1);
+    own_group_ = std::exchange(other.own_group_, false);
+    finished_ = std::exchange(other.finished_, true);
+    status_ = other.status_;
+  }
+  return *this;
+}
+
+bool Subprocess::poll() {
+  if (finished_) return true;
+  if (pid_ <= 0) {  // empty handle: nothing to reap
+    finished_ = true;
+    return true;
+  }
+  int wstatus = 0;
+  const pid_t r = ::waitpid(pid_, &wstatus, WNOHANG);
+  if (r == 0) return false;
+  finished_ = true;
+  if (r < 0) {
+    // Reaped elsewhere or gone: report as unknown failure.
+    status_ = ExitStatus{};
+    return true;
+  }
+  if (WIFEXITED(wstatus)) {
+    status_.exited = true;
+    status_.exit_code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    status_.signaled = true;
+    status_.term_signal = WTERMSIG(wstatus);
+  }
+  return true;
+}
+
+ExitStatus Subprocess::wait_deadline(double deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  // Poll with a short sleep: simple, portable, and plenty for process
+  // lifetimes measured in milliseconds to minutes.
+  while (!poll()) {
+    if (deadline_ms >= 0.0 && elapsed_ms(start) >= deadline_ms) {
+      kill(SIGKILL);
+      while (!poll())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      status_.timed_out = true;
+      return status_;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return status_;
+}
+
+void Subprocess::kill(int signum) const {
+  if (finished_ || pid_ <= 0) return;
+  if (own_group_) (void)::kill(-pid_, signum);
+  (void)::kill(pid_, signum);
+}
+
+ExitStatus run_process(const std::vector<std::string>& argv,
+                       const SpawnOptions& options, double deadline_ms) {
+  Subprocess child = Subprocess::spawn(argv, options);
+  return child.wait_deadline(deadline_ms);
+}
+
+}  // namespace mcs::common

@@ -68,7 +68,11 @@ std::string render_design_report(const mc::TaskSet& tasks) {
 
   const sched::DbfResult dbf = sched::edf_dbf_test(tasks, mc::Mode::kLow);
   out << "EDF demand-bound (LO mode, constrained deadlines): "
-      << (dbf.schedulable ? "schedulable" : "NOT schedulable") << "\n";
+      << (dbf.schedulable ? "schedulable"
+          : dbf.inconclusive
+              ? "inconclusive (analysis horizon capped)"
+              : "NOT schedulable")
+      << "\n";
 
   if (all_hc_have_stats && tasks.count(mc::Criticality::kHigh) > 0) {
     const ObjectiveBreakdown breakdown = evaluate_current_assignment(tasks);

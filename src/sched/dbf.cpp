@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 #include <queue>
 #include <stdexcept>
 #include <vector>
@@ -12,11 +14,47 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
+/// Hard cap on checked deadline instants: when the analysis horizon (the
+/// hyperperiod for U ≈ 1 sets) needs more points than this, the test
+/// reports "inconclusive" rather than spending unbounded time — it never
+/// claims schedulability it has not verified.
+constexpr std::size_t kMaxPointsChecked = 200'000;
+
 double task_dbf(const mc::McTask& task, double t, mc::Mode mode) {
   const double d = task.deadline();
   if (t + kEps < d) return 0.0;
   const double jobs = std::floor((t - d) / task.period + kEps) + 1.0;
   return jobs * task.wcet(mode);
+}
+
+/// Hyperperiod (lcm) of the task periods, in the original time unit.
+/// Periods are integralized by the smallest power-of-ten scale that makes
+/// every period a near-integer; returns 0 when no scale works or the lcm
+/// overflows `cap` — callers must then treat the horizon as unbounded.
+double hyperperiod(const mc::TaskSet& tasks, double cap) {
+  for (const double scale : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    std::uint64_t lcm = 1;
+    bool ok = true;
+    for (const mc::McTask& task : tasks) {
+      const double scaled = task.period * scale;
+      const double rounded = std::round(scaled);
+      if (rounded < 1.0 ||
+          std::abs(scaled - rounded) > 1e-6 * std::max(1.0, scaled)) {
+        ok = false;
+        break;
+      }
+      const auto p = static_cast<std::uint64_t>(rounded);
+      const std::uint64_t step = p / std::gcd(lcm, p);
+      if (static_cast<double>(lcm) * static_cast<double>(step) >
+          cap * scale) {
+        ok = false;  // lcm would exceed the cap (or overflow)
+        break;
+      }
+      lcm *= step;
+    }
+    if (ok) return static_cast<double>(lcm) / scale;
+  }
+  return 0.0;
 }
 
 }  // namespace
@@ -51,16 +89,35 @@ DbfResult edf_dbf_test(const mc::TaskSet& tasks, mc::Mode mode) {
 
   // Analysis horizon: for U < 1 the classic bound
   //   La = max(max D_i, weighted_laxity / (1 - U))
-  // suffices; for U == 1 fall back to the hyperperiod-style cap
-  // (sum of periods is a safe, finite over-approximation here since all
-  // deadline violations show up within one busy period of that length).
+  // suffices. For U ≈ 1 no finite La exists and the synchronous pattern
+  // only repeats after a full hyperperiod: dbf(t + H) = dbf(t) + H·U for
+  // every t >= max D_i, so checking all deadlines in (0, max D_i + H]
+  // covers every later instant. (A previous version used the sum of
+  // periods here, which is NOT a safe over-approximation — the first
+  // violation of a U = 1 constrained-deadline set can lie far beyond it;
+  // see EdfDbf.ViolationBeyondPeriodSumIsFound.) When the hyperperiod
+  // cannot be bounded (non-integralizable periods or an lcm past the
+  // point budget), the scan runs to the point budget and reports
+  // "inconclusive" instead of claiming schedulability.
   double horizon = max_deadline;
+  bool horizon_exact = true;
   if (total_util < 1.0 - kEps) {
     horizon = std::max(horizon, weighted_laxity / (1.0 - total_util));
   } else {
-    double period_sum = 0.0;
-    for (const mc::McTask& task : tasks) period_sum += task.period;
-    horizon = std::max(horizon, period_sum);
+    double min_period = tasks[0].period;
+    for (const mc::McTask& task : tasks)
+      min_period = std::min(min_period, task.period);
+    // Any horizon needing more than the point budget is uncheckable
+    // anyway, so it also serves as the lcm overflow cap.
+    const double cap =
+        min_period * static_cast<double>(kMaxPointsChecked);
+    const double hp = hyperperiod(tasks, cap);
+    if (hp > 0.0) {
+      horizon = max_deadline + hp;
+    } else {
+      horizon = max_deadline + cap;
+      horizon_exact = false;
+    }
   }
 
   // Merge the per-task deadline sequences (D_i, D_i + T_i, ...) up to the
@@ -82,6 +139,10 @@ DbfResult edf_dbf_test(const mc::TaskSet& tasks, mc::Mode mode) {
     queue.push({next.time + tasks[next.task].period, next.task});
     if (std::abs(next.time - last_checked) < kEps) continue;  // merged instant
     last_checked = next.time;
+    if (result.points_checked >= kMaxPointsChecked) {
+      result.inconclusive = true;
+      return result;
+    }
     ++result.points_checked;
     const double demand = demand_bound(tasks, next.time, mode);
     if (demand > next.time + kEps) {
@@ -89,6 +150,11 @@ DbfResult edf_dbf_test(const mc::TaskSet& tasks, mc::Mode mode) {
       result.violation_demand = demand;
       return result;
     }
+  }
+  // A capped horizon that ran dry proves nothing beyond the cap.
+  if (!horizon_exact) {
+    result.inconclusive = true;
+    return result;
   }
   result.schedulable = true;
   return result;

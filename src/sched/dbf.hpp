@@ -24,6 +24,11 @@ namespace mcs::sched {
 /// Outcome of the processor-demand test.
 struct DbfResult {
   bool schedulable = false;
+  /// True when the analysis ran out of its point budget before covering
+  /// the full horizon (U ≈ 1 sets whose hyperperiod cannot be bounded or
+  /// is too large to scan). No violation was found, but schedulability is
+  /// NOT established — callers must not treat this as schedulable.
+  bool inconclusive = false;
   /// First failing deadline instant (meaningful when !schedulable).
   double violation_time = 0.0;
   /// dbf at the violation (meaningful when !schedulable).
@@ -35,7 +40,9 @@ struct DbfResult {
 /// Exact EDF feasibility for periodic constrained-deadline tasks in the
 /// given mode. Tasks with utilization sum > 1 are rejected immediately;
 /// otherwise every absolute deadline up to the analysis horizon is
-/// checked. Requires a valid task set.
+/// checked (for U < 1 the classic La busy-period bound; for U ≈ 1 the
+/// hyperperiod plus the largest deadline, guarded by a point budget that
+/// reports `inconclusive` when it binds). Requires a valid task set.
 [[nodiscard]] DbfResult edf_dbf_test(const mc::TaskSet& tasks, mc::Mode mode);
 
 }  // namespace mcs::sched

@@ -85,8 +85,11 @@ double EmpiricalQuantilePolicy::wcet_opt(const HcTaskProfile& profile,
   if (profile.samples == nullptr || profile.samples->empty())
     throw std::invalid_argument(
         "EmpiricalQuantilePolicy: profile has no samples");
-  const stats::EmpiricalDistribution emp(*profile.samples);
-  return std::min(emp.quantile(q_), profile.wcet_pes);
+  const double level =
+      cache_.level_for(profile.samples, [this](const auto& samples) {
+        return stats::EmpiricalDistribution(samples).quantile(q_);
+      });
+  return std::min(level, profile.wcet_pes);
 }
 
 std::string EmpiricalQuantilePolicy::name() const {
@@ -106,10 +109,12 @@ EvtPwcetPolicy::EvtPwcetPolicy(double exceedance, std::size_t block_size)
 
 double EvtPwcetPolicy::wcet_opt(const HcTaskProfile& profile,
                                 common::Rng& /*rng*/) const {
-  if (profile.samples == nullptr)
+  if (profile.samples == nullptr || profile.samples->empty())
     throw std::invalid_argument("EvtPwcetPolicy: profile has no samples");
   const double level =
-      stats::pwcet_block_maxima(*profile.samples, block_size_, exceedance_);
+      cache_.level_for(profile.samples, [this](const auto& samples) {
+        return stats::pwcet_block_maxima(samples, block_size_, exceedance_);
+      });
   // pWCET estimates are not certified; clamp into the valid C^LO range.
   return std::clamp(level, 1e-9, profile.wcet_pes);
 }

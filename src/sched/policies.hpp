@@ -13,7 +13,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -48,6 +50,55 @@ class WcetOptPolicy {
 };
 
 using WcetOptPolicyPtr = std::shared_ptr<const WcetOptPolicy>;
+
+/// Memo for the measurement-based policies below: fitting (sorting the
+/// sample vector, estimating the Gumbel) costs O(m log m) per call, and
+/// the comparison sweeps call `wcet_opt` with the same profile over and
+/// over inside their hot loops. The cache keys on the samples pointer
+/// (profiles hand policies a stable vector) and revalidates with the
+/// vector's size and endpoints so a reused address with different data
+/// refits instead of returning a stale level. Thread-safe: policies are
+/// shared across the parallel sweep workers.
+class SampleFitCache {
+ public:
+  /// Returns the cached level for `samples`, or computes it via `fit`
+  /// (called with *samples) and caches it.
+  template <typename Fit>
+  double level_for(const std::vector<double>* samples, Fit&& fit) const {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(samples);
+      if (it != entries_.end() && it->second.matches(*samples))
+        return it->second.level;
+    }
+    // Fit outside the lock: refits of distinct sample vectors proceed in
+    // parallel and only the map insert serializes.
+    Entry entry;
+    entry.size = samples->size();
+    entry.front = samples->front();
+    entry.back = samples->back();
+    entry.level = fit(*samples);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_[samples] = entry;
+    return entry.level;
+  }
+
+ private:
+  struct Entry {
+    std::size_t size = 0;
+    double front = 0.0;
+    double back = 0.0;
+    double level = 0.0;
+
+    [[nodiscard]] bool matches(const std::vector<double>& samples) const {
+      return samples.size() == size && samples.front() == front &&
+             samples.back() == back;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<const std::vector<double>*, Entry> entries_;
+};
 
 /// C^LO = lambda * WCET^pes with lambda drawn uniformly from
 /// [lambda_min, lambda_max] per task — the [1], [9] baseline family.
@@ -106,7 +157,9 @@ class ChebyshevUniformPolicy final : public WcetOptPolicy {
 /// observed execution times. Tighter than Chebyshev when the measurements
 /// are representative, but offers no distribution-free guarantee — the
 /// trade-off the paper's Section II discusses for pWCET approaches.
-/// Requires profile.samples != nullptr.
+/// Requires profile.samples != nullptr. The quantile per sample vector is
+/// cached (SampleFitCache), so repeated calls with the same profile are
+/// O(1) after the first.
 class EmpiricalQuantilePolicy final : public WcetOptPolicy {
  public:
   /// Requires q in (0, 1].
@@ -117,6 +170,7 @@ class EmpiricalQuantilePolicy final : public WcetOptPolicy {
 
  private:
   double q_;
+  SampleFitCache cache_;
 };
 
 /// EVT baseline (the pWCET family [17], [18]): fits a Gumbel law to
@@ -124,7 +178,9 @@ class EmpiricalQuantilePolicy final : public WcetOptPolicy {
 /// exceedance probability is `exceedance`. Model-dependent: can under- or
 /// over-shoot when the tail is not in the Gumbel domain — the reliability
 /// concern of [19]-[21]. Requires profile.samples != nullptr with at
-/// least 2 * block_size samples.
+/// least 2 * block_size samples. The fitted level per sample vector is
+/// cached (SampleFitCache), so repeated calls with the same profile are
+/// O(1) after the first.
 class EvtPwcetPolicy final : public WcetOptPolicy {
  public:
   /// Requires exceedance in (0, 1) and block_size >= 1.
@@ -136,6 +192,7 @@ class EvtPwcetPolicy final : public WcetOptPolicy {
  private:
   double exceedance_;
   std::size_t block_size_;
+  SampleFitCache cache_;
 };
 
 }  // namespace mcs::sched

@@ -103,6 +103,7 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
             config.lc_policy == LcPolicy::kDropAll) {  // server/degrade admit
           // LC releases are rejected outright while in HI mode.
           ++m.lc_jobs_dropped;
+          ++m.per_task[i].dropped;
           trace.record(now, TraceEventKind::kDropLc, task.name);
         } else {
           Job job;
@@ -179,6 +180,7 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
       auto it = std::remove_if(ready.begin(), ready.end(), [&](const Job& j) {
         if (j.hc) return false;
         ++m.lc_jobs_dropped;
+        ++m.per_task[j.task].dropped;
         trace.record(now, TraceEventKind::kDropLc, tasks[j.task].name);
         return true;
       });
@@ -226,11 +228,22 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
   release_due_jobs();
   while (now < config.horizon - kTimeEps) {
     // Expire jobs whose deadline passed while pending (overload handling).
+    // An expired job is a deadline miss *and* a lost job: it is removed
+    // without completing, so it counts as dropped — globally for LC jobs
+    // (lc_jobs_dropped feeds lc_drop_rate) and per task for both levels
+    // (the released == completed + dropped + pending identity).
     for (std::size_t j = 0; j < ready.size();) {
       if (ready[j].deadline <= now + kTimeEps) {
         const Job& job = ready[j];
-        if (job.hc) ++m.hc_deadline_misses;
-        else ++m.lc_deadline_misses;
+        if (job.hc) {
+          ++m.hc_deadline_misses;
+        } else {
+          ++m.lc_deadline_misses;
+          ++m.lc_jobs_dropped;
+        }
+        TaskSimStats& ts = m.per_task[job.task];
+        ++ts.deadline_misses;
+        ++ts.dropped;
         trace.record(now, TraceEventKind::kDeadlineMiss,
                      tasks[job.task].name);
         ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(j));
@@ -319,8 +332,18 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
 
     job.exec_done += step;
     m.busy_time += step;
+    if (on_server) {
+      server_budget -= step;
+      // Server slices carry their start time and duration so oracle
+      // tests can re-derive the budget trajectory and check replenishment
+      // boundaries without trusting server_budget itself.
+      if (config.trace_dispatch && step > kTimeEps)
+        trace.record(TraceEvent{now, TraceEventKind::kServerSlice,
+                                task.name, /*hi_mode=*/true,
+                                /*virtual_deadline=*/false, job.release,
+                                step});
+    }
     now += step;
-    if (on_server) server_budget -= step;
 
     if (job.exec_done + kTimeEps >= job.exec_total) {
       // Completed within budget.
@@ -339,6 +362,7 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
       if (now > job.deadline + kTimeEps) {
         if (job.hc) ++m.hc_deadline_misses;
         else ++m.lc_deadline_misses;
+        ++ts.deadline_misses;
         trace.record(now, TraceEventKind::kDeadlineMiss, task.name);
       }
       trace.record(now, TraceEventKind::kComplete, task.name);
@@ -354,6 +378,7 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
         // Budget exhausted in HI mode (HC at C^HI cannot happen — demand
         // is clamped — so this is a degraded LC job): abandon it.
         ++m.lc_jobs_dropped;
+        ++m.per_task[job.task].dropped;
         trace.record(now, TraceEventKind::kDropLc, task.name);
         ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(current));
       }
@@ -362,6 +387,9 @@ SimResult simulate(const mc::TaskSet& tasks, const SimConfig& config) {
   }
 
   if (mode == mc::Mode::kHigh) m.hi_mode_time += config.horizon - hi_since;
+  // Whatever is still queued was released but neither completed nor
+  // dropped — close the per-task accounting identity.
+  for (const Job& job : ready) ++m.per_task[job.task].pending_at_horizon;
   if (!response_samplers.empty()) {
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       m.per_task[i].p95_response = response_samplers[i].quantile(0.95);

@@ -9,9 +9,22 @@
 namespace mcs::sim {
 
 /// Per-task counters and response-time statistics.
+///
+/// Job accounting invariant (checked by the simulation oracle tests):
+/// every released job is eventually counted exactly once, so
+///   released == completed + dropped + pending_at_horizon.
 struct TaskSimStats {
   std::uint64_t released = 0;
   std::uint64_t completed = 0;
+  /// Jobs removed without completing: rejected at release, discarded at a
+  /// mode switch, abandoned on budget exhaustion, or expired past their
+  /// deadline while pending.
+  std::uint64_t dropped = 0;
+  /// Deadline misses attributed to this task (late completions and
+  /// pending-job expiries).
+  std::uint64_t deadline_misses = 0;
+  /// Jobs still in the ready queue when the simulation horizon ended.
+  std::uint64_t pending_at_horizon = 0;
   common::Millis max_response = 0.0;    ///< worst observed response time
   common::Millis total_response = 0.0;  ///< sum over completed jobs
   /// Approximate response-time percentiles (0 unless the simulation ran

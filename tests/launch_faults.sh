@@ -1,0 +1,95 @@
+#!/bin/sh
+# Fault-injection suite for tools/mcs_launch, run against a tiny fake
+# shard driver so every failure mode is deterministic and fast:
+#
+#   1. crash-once shard     -> retried, run succeeds, merge correct
+#   2. hang-past-timeout    -> SIGKILLed, retried, run succeeds
+#   3. corrupt-CSV shard    -> output rejected, retried, run succeeds
+#   4. permanently failing  -> clean abort: exit 2, no merged output,
+#                              healthy partials preserved, JSON report
+#                              records every attempt
+#
+# Usage: launch_faults.sh <mcs-launch>
+set -e
+LAUNCH="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+# Fake driver: emits a two-row CSV for its shard. Faults are injected by
+# marker files the wrapper template checks.
+cat > driver.sh <<'EOF'
+#!/bin/sh
+# Finds the `--shard i/N` pair mcs_launch appends, ignoring other args.
+shard=""
+while [ $# -gt 0 ]; do
+  if [ "$1" = "--shard" ]; then shard="${2%/*}"; shift; fi
+  shift
+done
+echo "shard,value"
+echo "$shard,$((shard * 10))"
+echo "$shard,$((shard * 10 + 1))"
+EOF
+chmod +x driver.sh
+
+cat > expected.csv <<'EOF'
+shard,value
+0,0
+0,1
+1,10
+1,11
+2,20
+2,21
+EOF
+
+# --- 1. crash-once: shard 1 exits 9 on its first attempt. -------------
+rm -f crash_marker
+"$LAUNCH" --shards=3 --workdir=w1 --output=out1.csv \
+  --base-delay-ms=20 --max-delay-ms=50 \
+  --wrap='if [ "{i}" = 1 ] && [ ! -f crash_marker ]; then touch crash_marker; exit 9; fi; {cmd}' \
+  -- sh ./driver.sh --fake 2> log1.txt
+cmp out1.csv expected.csv
+grep -q "shard 1 attempt 1 failed (exit 9)" log1.txt
+grep -q '"outcome": "exit 9"' w1/report.json
+grep -q '"success": true' w1/report.json
+
+# --- 2. hang-past-timeout: shard 2 sleeps forever on attempt 1. -------
+rm -f hang_marker
+"$LAUNCH" --shards=3 --workdir=w2 --output=out2.csv \
+  --timeout-ms=700 --base-delay-ms=20 --max-delay-ms=50 \
+  --wrap='if [ "{i}" = 2 ] && [ ! -f hang_marker ]; then touch hang_marker; sleep 60; fi; {cmd}' \
+  -- sh ./driver.sh --fake 2> log2.txt
+cmp out2.csv expected.csv
+grep -q "signal 9 (timeout)" log2.txt
+grep -q '"outcome": "signal 9 (timeout)"' w2/report.json
+
+# --- 3. corrupt CSV: shard 0's first attempt emits garbage but exits
+# --- zero; the launcher must reject the partial and retry. ------------
+rm -f corrupt_marker
+"$LAUNCH" --shards=3 --workdir=w3 --output=out3.csv \
+  --base-delay-ms=20 --max-delay-ms=50 \
+  --wrap='if [ "{i}" = 0 ] && [ ! -f corrupt_marker ]; then touch corrupt_marker; exit 0; fi; {cmd}' \
+  -- sh ./driver.sh --fake 2> log3.txt
+cmp out3.csv expected.csv
+grep -q "corrupt partial" log3.txt
+
+# --- 4. permanent failure: shard 1 always crashes; abort cleanly. -----
+"$LAUNCH" --shards=3 --workdir=w4 --output=out4.csv \
+  --retries=2 --base-delay-ms=10 --max-delay-ms=20 \
+  --wrap='if [ "{i}" = 1 ]; then exit 5; fi; {cmd}' \
+  -- sh ./driver.sh --fake 2> log4.txt && {
+    echo "permanent failure must exit non-zero" >&2; exit 1; }
+rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2, got $rc" >&2; exit 1; }
+[ ! -e out4.csv ] || { echo "merged output must not exist" >&2; exit 1; }
+# Healthy shards' partials are preserved; the failing shard recorded
+# every attempt (1 + 2 retries) in the machine-readable report.
+[ -f w4/shard_0.csv ] || { echo "shard 0 partial lost" >&2; exit 1; }
+[ -f w4/shard_2.csv ] || { echo "shard 2 partial lost" >&2; exit 1; }
+grep -q '"success": false' w4/report.json
+grep -q '"state": "failed"' w4/report.json
+attempts=$(grep -o '"outcome": "exit 5"' w4/report.json | wc -l)
+[ "$attempts" -eq 3 ] || {
+  echo "expected 3 recorded attempts, got $attempts" >&2; exit 1; }
+
+echo "launch faults OK"

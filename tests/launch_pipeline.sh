@@ -1,0 +1,59 @@
+#!/bin/sh
+# mcs_launch byte-identity under fault injection, against the real
+# experiment drivers: for each of sweep/fig6/fig4/table2, shard 1
+# crashes on its first attempt and (with 4 shards) shard 2 hangs past
+# the per-attempt timeout on its first attempt. The launcher must retry
+# both and still merge a CSV byte-identical to the unsharded --csv run.
+#
+# Usage: launch_pipeline.sh <mcs-launch> <mcs-cli> <fig6> <fig4> <table2>
+set -e
+LAUNCH="$1"
+CLI="$2"
+FIG6="$3"
+FIG4="$4"
+TABLE2="$5"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+# Wrapper template: marker files make each fault fire exactly once.
+FAULTS='if [ "{i}" = 1 ] && [ ! -f crash_marker ]; then touch crash_marker; exit 3; fi; if [ "{i}" = 2 ] && [ ! -f hang_marker ]; then touch hang_marker; sleep 60; fi; {cmd}'
+
+# check <name> <shards> <paste-keys> <driver...>
+# Runs the driver unsharded with --csv, then via mcs_launch with fault
+# injection, and requires byte-identical output plus evidence that the
+# injected fault actually fired and was retried.
+check() {
+  name="$1"
+  shards="$2"
+  paste="$3"
+  shift 3
+  "$@" --csv > "base_$name.csv"
+  rm -f crash_marker hang_marker
+  if [ "$paste" -gt 0 ]; then
+    "$LAUNCH" --shards="$shards" --paste="$paste" --workdir="w_$name" \
+      --output="launch_$name.csv" --timeout-ms=20000 --base-delay-ms=50 \
+      --wrap="$FAULTS" -- "$@" 2> "log_$name.txt"
+  else
+    "$LAUNCH" --shards="$shards" --workdir="w_$name" \
+      --output="launch_$name.csv" --timeout-ms=20000 --base-delay-ms=50 \
+      --wrap="$FAULTS" -- "$@" 2> "log_$name.txt"
+  fi
+  cmp "base_$name.csv" "launch_$name.csv"
+  grep -q "shard 1 attempt 1 failed (exit 3); retrying" "log_$name.txt"
+  if [ "$shards" -gt 2 ]; then
+    grep -q "signal 9 (timeout)" "log_$name.txt"
+  fi
+}
+
+# Same driver arguments as cli_pipeline.sh so the two suites cross-check
+# the manual recipe and the launcher against the same golden outputs.
+check sweep 4 0 "$CLI" sweep --points=4 --tasksets=20 --seed=2027
+check fig6 4 0 "$FIG6" --tasksets=15 --seed=11
+check fig4 4 0 "$FIG4" --tasksets=2 --seed=13 \
+  --ga-population=10 --ga-generations=5
+# table2 shards column-wise over the kernels (two shards, paste merge);
+# only the crash-once fault applies here.
+check table2 2 2 "$TABLE2" --samples=300 --seed=1
+
+echo "launch pipeline OK"

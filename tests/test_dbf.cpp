@@ -120,6 +120,59 @@ TEST(EdfDbf, TighterDeadlineNeverHelps) {
   }
 }
 
+TEST(EdfDbf, ViolationBeyondPeriodSumIsFound) {
+  // Regression for the U ≈ 1 fallback horizon. This set has total
+  // utilization exactly 1 (0.3 + 0.3 + 0.4) with one constrained
+  // deadline, so it is infeasible — but its first violating deadline
+  // instant lies at t = 77, beyond the sum of periods (7 + 11 + 13 = 31)
+  // that the old fallback used as the horizon: the old test checked
+  // every deadline up to 31, found no violation, and wrongly reported
+  // "schedulable". The hyperperiod horizon (lcm = 1001) finds it.
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::low("a", 2.1, 7.0));
+  tasks.add(mc::McTask::low("b", 3.3, 11.0));
+  tasks.add(mc::McTask::low("c", 5.2, 13.0).with_deadline(12.0));
+
+  // No deadline instant up to the old sum-of-periods horizon violates:
+  // the old code necessarily accepted this set.
+  const double period_sum = 7.0 + 11.0 + 13.0;
+  for (const double t : {7.0, 11.0, 12.0, 14.0, 21.0, 22.0, 25.0, 28.0})
+    EXPECT_LE(demand_bound(tasks, t, mc::Mode::kLow), t) << "t=" << t;
+
+  const DbfResult r = edf_dbf_test(tasks, mc::Mode::kLow);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_FALSE(r.inconclusive);
+  EXPECT_GT(r.violation_time, period_sum);
+  EXPECT_DOUBLE_EQ(r.violation_time, 77.0);
+  EXPECT_GT(r.violation_demand, r.violation_time);
+}
+
+TEST(EdfDbf, UnboundedHyperperiodIsInconclusiveNotSchedulable) {
+  // U = 1 with periods that share no power-of-ten integralization: the
+  // hyperperiod cannot be bounded, so the test must refuse to claim
+  // schedulability rather than silently cap the horizon.
+  mc::TaskSet tasks;
+  const double p1 = 7.1234567;
+  const double p2 = 11.7654321;
+  tasks.add(mc::McTask::low("a", 0.5 * p1, p1));
+  tasks.add(mc::McTask::low("b", 0.5 * p2, p2));
+  const DbfResult r = edf_dbf_test(tasks, mc::Mode::kLow);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_TRUE(r.inconclusive);
+  EXPECT_GT(r.points_checked, 0U);
+}
+
+TEST(EdfDbf, FullUtilizationHyperperiodStaysExact) {
+  // Integral periods with a small lcm: the U ≈ 1 path must still give a
+  // definite answer (implicit deadlines at U = 1 are feasible).
+  mc::TaskSet tasks;
+  tasks.add(mc::McTask::low("a", 3.5, 7.0));
+  tasks.add(mc::McTask::low("b", 5.5, 11.0));
+  const DbfResult r = edf_dbf_test(tasks, mc::Mode::kLow);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_FALSE(r.inconclusive);
+}
+
 TEST(McTaskDeadline, OverrideSemantics) {
   const mc::McTask implicit = mc::McTask::low("a", 2.0, 10.0);
   EXPECT_TRUE(implicit.implicit_deadline());

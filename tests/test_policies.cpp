@@ -151,6 +151,66 @@ TEST(EvtPwcet, Validation) {
   EXPECT_THROW((void)policy.wcet_opt(kProfile, rng), std::invalid_argument);
 }
 
+TEST(SampleFitCache, RepeatedCallsReturnIdenticalLevels) {
+  // The cache is an optimization, not a semantic change: every repeated
+  // call with the same profile must return the bit-identical level.
+  const std::vector<double> xs = ramp_samples();
+  HcTaskProfile profile = kProfile;
+  profile.samples = &xs;
+  profile.wcet_pes = 1000.0;
+  common::Rng rng(10);
+
+  EmpiricalQuantilePolicy quantile(0.9);
+  const double first = quantile.wcet_opt(profile, rng);
+  for (int i = 0; i < 100; ++i)
+    ASSERT_DOUBLE_EQ(quantile.wcet_opt(profile, rng), first);
+
+  common::Rng data_rng(11);
+  std::vector<double> big;
+  for (int i = 0; i < 2000; ++i) big.push_back(data_rng.normal(50.0, 5.0));
+  profile.samples = &big;
+  EvtPwcetPolicy evt(0.01, 50);
+  const double evt_first = evt.wcet_opt(profile, rng);
+  for (int i = 0; i < 100; ++i)
+    ASSERT_DOUBLE_EQ(evt.wcet_opt(profile, rng), evt_first);
+}
+
+TEST(SampleFitCache, RefitsWhenSameAddressHoldsNewData) {
+  // Pointer keys alone would go stale when a sample vector is reused for
+  // a different task (the sweep loops do exactly that); the cache must
+  // revalidate against the contents.
+  std::vector<double> xs = ramp_samples();  // 1..100
+  HcTaskProfile profile = kProfile;
+  profile.samples = &xs;
+  profile.wcet_pes = 1000.0;
+  common::Rng rng(12);
+  EmpiricalQuantilePolicy policy(0.9);
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(profile, rng), 90.0);
+
+  for (double& x : xs) x *= 2.0;  // same address, new data
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(profile, rng), 180.0);
+
+  xs.resize(50);  // size change at the same address
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(profile, rng),
+                   stats::EmpiricalDistribution(xs).quantile(0.9));
+}
+
+TEST(SampleFitCache, DistinctVectorsCachedIndependently) {
+  const std::vector<double> a = ramp_samples();
+  std::vector<double> b = ramp_samples();
+  for (double& x : b) x += 100.0;  // 101..200
+  HcTaskProfile profile = kProfile;
+  profile.wcet_pes = 1000.0;
+  common::Rng rng(13);
+  EmpiricalQuantilePolicy policy(0.9);
+  profile.samples = &a;
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(profile, rng), 90.0);
+  profile.samples = &b;
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(profile, rng), 190.0);
+  profile.samples = &a;  // still cached, still correct
+  EXPECT_DOUBLE_EQ(policy.wcet_opt(profile, rng), 90.0);
+}
+
 TEST(PolicyNames, NewPoliciesDescriptive) {
   EXPECT_NE(EmpiricalQuantilePolicy(0.9).name().find("quantile"),
             std::string::npos);

@@ -158,6 +158,140 @@ TEST(SimOracle, BackSwitchRestoresFullLcBudgets) {
   EXPECT_GT(restores, 0U);
 }
 
+TEST(SimOracle, PerTaskAccountingIdentityHolds) {
+  // Oracle (d): every released job must be counted exactly once —
+  //   released == completed + dropped + pending_at_horizon
+  // per task, under every LC policy, and the per-task counters must sum
+  // to the matching global counters. This pins the fix for expired
+  // pending jobs, which used to vanish from all per-task accounting (and
+  // from lc_jobs_dropped).
+  for (const LcPolicy policy :
+       {LcPolicy::kDropAll, LcPolicy::kDegradeHalf, LcPolicy::kServer}) {
+    std::uint64_t dropped_total = 0;
+    std::uint64_t missed_total = 0;
+    for (std::uint64_t s = 0; s < 60; ++s) {
+      // The generator counts HC tasks at pessimistic utilization while
+      // their actual demand is 8-64x smaller, so genuine overload (jobs
+      // expiring past their deadlines, pending work at the horizon)
+      // needs bound utilizations well above 1.
+      const double u_bound = 1.8 + 0.4 * static_cast<double>(s % 3);
+      const mc::TaskSet tasks = make_assigned_set(s, u_bound, 0.5);
+      SimConfig config;
+      config.horizon = 5000.0;
+      config.x = 1.0;
+      config.seed = 4000 + s;
+      config.lc_policy = policy;
+      if (policy == LcPolicy::kServer) {
+        config.server_capacity = 5.0;
+        config.server_period = 50.0;
+      }
+      const SimResult r = simulate(tasks, config);
+      const SimMetrics& m = r.metrics;
+      std::uint64_t released = 0;
+      std::uint64_t completed = 0;
+      std::uint64_t dropped = 0;
+      std::uint64_t misses = 0;
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const TaskSimStats& ts = m.per_task[i];
+        EXPECT_EQ(ts.released,
+                  ts.completed + ts.dropped + ts.pending_at_horizon)
+            << "set " << s << " task " << tasks[i].name << " policy "
+            << static_cast<int>(policy);
+        released += ts.released;
+        completed += ts.completed;
+        dropped += ts.dropped;
+        misses += ts.deadline_misses;
+      }
+      EXPECT_EQ(released, m.hc_jobs_released + m.lc_jobs_released);
+      EXPECT_EQ(completed, m.hc_jobs_completed + m.lc_jobs_completed);
+      EXPECT_EQ(misses, m.hc_deadline_misses + m.lc_deadline_misses);
+      // Every global LC drop is attributed to some task; HC jobs are
+      // never "dropped" globally, so the per-task sum can only exceed
+      // lc_jobs_dropped by expired HC jobs (== HC expiry misses, which
+      // are a subset of hc_deadline_misses).
+      EXPECT_GE(dropped, m.lc_jobs_dropped);
+      EXPECT_LE(dropped, m.lc_jobs_dropped + m.hc_deadline_misses);
+      dropped_total += dropped;
+      missed_total += misses;
+    }
+    // The identity must actually have been stressed: these overloaded
+    // sets drop jobs and miss deadlines under every policy.
+    EXPECT_GT(dropped_total, 0U) << "policy " << static_cast<int>(policy);
+    EXPECT_GT(missed_total, 0U) << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(SimOracle, ServerSlicesRespectBudgetAndReplenishment) {
+  // Oracle (e), LcPolicy::kServer: re-derive the budget server's state
+  // from the recorded server slices alone and check the model's three
+  // promises — LC work in HI mode runs only through the server, a
+  // replenishment interval [k*P, (k+1)*P) never serves more than the
+  // capacity, and no slice spans a replenishment boundary. Also demands
+  // at least one slice starting exactly at a boundary: LC work blocked
+  // on an exhausted budget must wake at the next replenishment, not at
+  // the next task release.
+  std::size_t slices = 0;
+  std::size_t boundary_wakes = 0;
+  for (std::uint64_t s = 0; s < 60; ++s) {
+    const double u_bound = 0.5 + 0.15 * static_cast<double>(s % 3);
+    const mc::TaskSet tasks = make_assigned_set(s, u_bound, 0.5);
+    if (tasks.count(mc::Criticality::kLow) == 0 ||
+        tasks.count(mc::Criticality::kHigh) == 0)
+      continue;
+    SimConfig config;
+    config.horizon = 10000.0;
+    config.x = 1.0;
+    config.seed = 5000 + s;
+    config.lc_policy = LcPolicy::kServer;
+    // A tight server: exhaustion (and therefore blocked LC work waiting
+    // on a replenishment) is common. The idle-instant back-switch keeps
+    // the system in HI mode while LC jobs are still pending, so blocked
+    // LC work actually idles on the server instead of riding a quick
+    // HI -> LO switch back to normal EDF.
+    config.server_capacity = 2.0;
+    config.server_period = 40.0;
+    config.back_switch = BackSwitchPolicy::kIdleInstant;
+    config.trace_capacity = 200000;
+    config.trace_dispatch = true;
+    const SimResult r = simulate(tasks, config);
+    const auto tasks_by_name = by_name(tasks);
+    // Served time per replenishment interval, keyed by floor(t / P).
+    std::unordered_map<std::uint64_t, double> served;
+    for (const TraceEvent& event : r.trace.events()) {
+      if (event.kind != TraceEventKind::kServerSlice) continue;
+      ++slices;
+      const auto it = tasks_by_name.find(event.task);
+      ASSERT_NE(it, tasks_by_name.end()) << event.task;
+      EXPECT_EQ(it->second->criticality, mc::Criticality::kLow)
+          << "set " << s << " task " << event.task;
+      EXPECT_TRUE(event.hi_mode)
+          << "server slices exist only in HI mode (set " << s << ")";
+      EXPECT_GT(event.value, 0.0);
+      const double start = event.time;
+      const double end = start + event.value;
+      const auto interval = static_cast<std::uint64_t>(
+          (start + kEps) / config.server_period);
+      // The slice must end at or before the interval's replenishment.
+      EXPECT_LE(end, static_cast<double>(interval + 1) *
+                             config.server_period +
+                         kEps)
+          << "set " << s << " slice at " << start << " spans a boundary";
+      served[interval] += event.value;
+      const double offset =
+          start - static_cast<double>(interval) * config.server_period;
+      if (interval > 0 && offset <= kEps) ++boundary_wakes;
+    }
+    for (const auto& [interval, total] : served) {
+      EXPECT_LE(total, config.server_capacity + kEps)
+          << "set " << s << " interval " << interval
+          << " served more than the capacity";
+    }
+  }
+  EXPECT_GT(slices, 0U);
+  EXPECT_GT(boundary_wakes, 0U)
+      << "no blocked LC job was observed waking at a replenishment";
+}
+
 TEST(SimOracle, TracingOffRecordsNoDispatchEvents) {
   // Regression: the oracle hooks must be invisible unless opted into —
   // both with trace_dispatch unset (default) and with tracing disabled.
@@ -166,10 +300,14 @@ TEST(SimOracle, TracingOffRecordsNoDispatchEvents) {
   config.horizon = 5000.0;
   config.seed = 7;
   config.trace_capacity = 100000;  // tracing on, dispatch opt-out
+  config.lc_policy = LcPolicy::kServer;  // exercise the server slices too
+  config.server_capacity = 2.0;
+  config.server_period = 40.0;
   const SimResult r = simulate(tasks, config);
   for (const TraceEvent& event : r.trace.events()) {
     EXPECT_NE(event.kind, TraceEventKind::kDispatch);
     EXPECT_NE(event.kind, TraceEventKind::kBudgetRestore);
+    EXPECT_NE(event.kind, TraceEventKind::kServerSlice);
   }
 }
 

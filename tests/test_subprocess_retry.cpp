@@ -1,0 +1,144 @@
+// Tests for common/retry.hpp (backoff arithmetic, injectable-sleep retry
+// loop) and common/subprocess.hpp (exit-code and signal capture, deadline
+// kills, stdout redirection) — the process layer under tools/mcs_launch.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+
+#include "common/retry.hpp"
+#include "common/subprocess.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(RetryPolicy, DelaysGrowExponentiallyAndCap) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 100.0;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 450.0;
+  EXPECT_DOUBLE_EQ(policy.delay_ms(0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1), 100.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(2), 200.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(3), 400.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(4), 450.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.delay_ms(50), 450.0); // no overflow blow-up
+}
+
+TEST(RetryPolicy, RetryWithStopsOnFirstSuccess) {
+  RetryPolicy policy;
+  policy.attempts = 5;
+  int calls = 0;
+  std::vector<double> slept;
+  const RetryResult r = retry_with(
+      policy, [&] { return ++calls == 3; },
+      [&](double ms) { slept.push_back(ms); });
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.attempts_used, 3U);
+  EXPECT_EQ(calls, 3);
+  // Slept exactly between failed attempts, per the schedule.
+  ASSERT_EQ(slept.size(), 2U);
+  EXPECT_DOUBLE_EQ(slept[0], policy.delay_ms(1));
+  EXPECT_DOUBLE_EQ(slept[1], policy.delay_ms(2));
+}
+
+TEST(RetryPolicy, RetryWithExhaustsAttempts) {
+  RetryPolicy policy;
+  policy.attempts = 3;
+  int calls = 0;
+  std::vector<double> slept;
+  const RetryResult r = retry_with(
+      policy, [&] { ++calls; return false; },
+      [&](double ms) { slept.push_back(ms); });
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.attempts_used, 3U);
+  EXPECT_EQ(calls, 3);
+  // No sleep after the final failure.
+  EXPECT_EQ(slept.size(), 2U);
+}
+
+TEST(RetryPolicy, ZeroAttemptsStillTriesOnce) {
+  RetryPolicy policy;
+  policy.attempts = 0;
+  int calls = 0;
+  const RetryResult r =
+      retry_with(policy, [&] { ++calls; return false; }, [](double) {});
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(r.attempts_used, 1U);
+}
+
+TEST(Subprocess, CapturesExitCode) {
+  const ExitStatus status = run_process({"sh", "-c", "exit 3"});
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 3);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_FALSE(status.timed_out);
+  EXPECT_FALSE(status.success());
+  EXPECT_EQ(status.describe(), "exit 3");
+}
+
+TEST(Subprocess, CleanExitIsSuccess) {
+  const ExitStatus status = run_process({"true"});
+  EXPECT_TRUE(status.success());
+}
+
+TEST(Subprocess, MissingCommandIs127) {
+  const ExitStatus status =
+      run_process({"/nonexistent/definitely-not-a-binary"});
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 127);
+}
+
+TEST(Subprocess, CapturesTerminatingSignal) {
+  const ExitStatus status = run_process({"sh", "-c", "kill -KILL $$"});
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, SIGKILL);
+  EXPECT_FALSE(status.success());
+  EXPECT_EQ(status.describe(), "signal 9");
+}
+
+TEST(Subprocess, DeadlineKillsHungChild) {
+  const ExitStatus status =
+      run_process({"sh", "-c", "sleep 30"}, {}, /*deadline_ms=*/200.0);
+  EXPECT_TRUE(status.timed_out);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, SIGKILL);
+  EXPECT_FALSE(status.success());
+  EXPECT_EQ(status.describe(), "signal 9 (timeout)");
+}
+
+TEST(Subprocess, RedirectsStdoutToFile) {
+  const std::string path = "subprocess_stdout_test.txt";
+  SpawnOptions options;
+  options.stdout_path = path;
+  const ExitStatus status =
+      run_process({"sh", "-c", "printf hello"}, options);
+  EXPECT_TRUE(status.success());
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  (void)std::remove(path.c_str());
+}
+
+TEST(Subprocess, PollReportsRunningThenFinished) {
+  Subprocess child = Subprocess::spawn({"sh", "-c", "sleep 0.2"});
+  EXPECT_FALSE(child.finished());
+  const ExitStatus status = child.wait_deadline(-1.0);
+  EXPECT_TRUE(child.finished());
+  EXPECT_TRUE(status.success());
+  EXPECT_TRUE(child.poll());  // idempotent once finished
+}
+
+TEST(Subprocess, EmptyHandleIsFinished) {
+  Subprocess child;
+  EXPECT_TRUE(child.poll());
+  EXPECT_FALSE(child.status().success());
+}
+
+}  // namespace
+}  // namespace mcs::common

@@ -16,6 +16,7 @@
 #include "apps/measurement.hpp"
 #include "apps/registry.hpp"
 #include "common/cli.hpp"
+#include "common/csv_merge.hpp"
 #include "common/executor.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "core/optimizer.hpp"
@@ -135,6 +136,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   std::uint64_t tasksets = 300;
   std::uint64_t seed = 11;
   bool csv_only = false;
+  std::string out_path;
   common::Shard shard;
   common::Cli cli(
       "mcs-cli sweep: acceptance ratio of all four approaches across a\n"
@@ -149,13 +151,14 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_flag("csv", &csv_only,
                "emit only the CSV block (implied by --shard)");
   cli.add_shard(&shard);
+  cli.add_output(&out_path);
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
   if (points == 0 || u_max < u_min) {
     std::fputs("sweep: need points >= 1 and u-max >= u-min\n", stderr);
     return 1;
   }
-  if (shard.active()) csv_only = true;
+  if (shard.active() || !out_path.empty()) csv_only = true;
 
   std::vector<double> u_values;
   u_values.reserve(points);
@@ -167,10 +170,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   const auto sweep_points =
       exp::run_fig6(u_values, tasksets, seed, common::Executor(shard));
   const common::Table table = exp::render_fig6(sweep_points);
-  if (csv_only) {
-    std::fputs(table.render_csv().c_str(), stdout);
-    return 0;
-  }
+  if (csv_only) return common::emit_csv(out_path, table.render_csv());
   std::fputs(table.render().c_str(), stdout);
   std::puts("\nCSV:");
   std::fputs(table.render_csv().c_str(), stdout);

@@ -1,0 +1,469 @@
+// mcs_launch — fault-tolerant supervisor for sharded experiment runs.
+//
+// Turns the manual fan-out recipe
+//     for i in 0..N-1: <driver> --shard i/N --csv > part_i.csv
+//     mcs_merge part_*.csv > merged.csv
+// into one command:
+//     mcs_launch --shards=N [options] -- <driver> [args...]
+//
+// The supervisor spawns one child per shard (appending `--shard i/N` to
+// the driver command), captures each shard's stdout into a partial CSV,
+// enforces a per-attempt timeout, retries failed attempts with
+// exponential backoff (common/retry.hpp), and — once every shard
+// succeeded — merges the partials with the shared mcs_merge logic
+// (common/csv_merge.hpp) and verifies the result against the sharding
+// contract. Because the drivers' index spaces are deterministic, the
+// merged CSV is byte-identical to the unsharded `--csv` run no matter
+// how many attempts each shard needed.
+//
+// Failure handling is graceful: a shard that exhausts its attempts stops
+// new launches, lets in-flight attempts finish, preserves every partial
+// CSV in the work directory, writes a machine-readable JSON report of
+// all attempts, and exits non-zero without touching the output file.
+//
+// Remote execution plugs in through `--wrap`: the template runs via
+// `sh -c` with {cmd} replaced by the shell-quoted shard command and
+// {i}/{n} by the shard coordinates, e.g.
+//     mcs_launch --shards=4 --wrap='ssh host{i} {cmd}' -- ...
+// Shard stdout still flows back through the wrapper into the partial.
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/stat.h>
+
+#include "common/csv_merge.hpp"
+#include "common/retry.hpp"
+#include "common/subprocess.hpp"
+
+namespace {
+
+using mcs::common::CsvFile;
+using mcs::common::ExitStatus;
+using mcs::common::RetryPolicy;
+using mcs::common::Subprocess;
+
+struct LaunchConfig {
+  std::size_t shards = 0;
+  std::size_t parallel = 0;   ///< 0 = all shards at once
+  double timeout_ms = 0.0;    ///< per attempt; 0 = none
+  RetryPolicy retry;          ///< attempts = retries + 1
+  std::uint64_t paste_keys = 0;
+  std::string output;         ///< merged CSV ("" = stdout)
+  std::string workdir = "mcs_launch_work";
+  std::string report;         ///< report JSON ("" = workdir/report.json)
+  std::string wrap;           ///< command template ("" = local exec)
+  std::vector<std::string> command;
+};
+
+/// One attempt's outcome, kept for the report.
+struct AttemptRecord {
+  std::size_t number = 0;
+  double duration_ms = 0.0;
+  std::string outcome;  ///< "ok", "exit 3", "signal 9 (timeout)", ...
+};
+
+enum class ShardState { kWaiting, kRunning, kDone, kFailed };
+
+struct ShardRun {
+  std::size_t index = 0;
+  ShardState state = ShardState::kWaiting;
+  std::size_t attempts_used = 0;
+  std::chrono::steady_clock::time_point eligible_at;  ///< backoff gate
+  std::chrono::steady_clock::time_point started_at;
+  Subprocess child;
+  std::vector<AttemptRecord> attempts;
+  std::string partial_path;  ///< final (validated) partial CSV
+  std::string part_path;     ///< in-flight capture file
+  std::string stderr_path;
+};
+
+std::string shell_quote(const std::string& arg) {
+  std::string quoted = "'";
+  for (const char c : arg) {
+    if (c == '\'') quoted += "'\\''";
+    else quoted += c;
+  }
+  quoted += "'";
+  return quoted;
+}
+
+std::string substitute(std::string text, const std::string& key,
+                       const std::string& value) {
+  for (std::size_t pos = text.find(key); pos != std::string::npos;
+       pos = text.find(key, pos + value.size()))
+    text.replace(pos, key.size(), value);
+  return text;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') { out += '\\'; out += c; }
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// The exact argv one shard attempt runs.
+std::vector<std::string> shard_command(const LaunchConfig& config,
+                                       std::size_t index) {
+  std::vector<std::string> argv = config.command;
+  argv.push_back("--shard");
+  argv.push_back(std::to_string(index) + "/" +
+                 std::to_string(config.shards));
+  if (config.wrap.empty()) return argv;
+  std::string joined;
+  for (const std::string& arg : argv) {
+    if (!joined.empty()) joined += ' ';
+    joined += shell_quote(arg);
+  }
+  std::string cmd = substitute(config.wrap, "{cmd}", joined);
+  cmd = substitute(cmd, "{i}", std::to_string(index));
+  cmd = substitute(cmd, "{n}", std::to_string(config.shards));
+  return {"sh", "-c", cmd};
+}
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Validates a finished attempt's captured stdout: it must parse as a
+/// CSV with a header. Returns "" on success, else the reason.
+std::string validate_partial(const std::string& path) {
+  try {
+    (void)mcs::common::read_csv_file(path);
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+  return "";
+}
+
+void write_report(const LaunchConfig& config,
+                  const std::vector<ShardRun>& runs, bool success) {
+  const std::string path =
+      config.report.empty() ? config.workdir + "/report.json" : config.report;
+  std::ostringstream out;
+  out << "{\n  \"success\": " << (success ? "true" : "false")
+      << ",\n  \"shards\": " << config.shards << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ShardRun& run = runs[i];
+    out << "    {\"shard\": " << run.index << ", \"state\": \""
+        << (run.state == ShardState::kDone     ? "done"
+            : run.state == ShardState::kFailed ? "failed"
+                                               : "incomplete")
+        << "\", \"partial\": \"" << json_escape(run.partial_path)
+        << "\", \"attempts\": [";
+    for (std::size_t a = 0; a < run.attempts.size(); ++a) {
+      const AttemptRecord& attempt = run.attempts[a];
+      out << (a == 0 ? "" : ", ") << "{\"attempt\": " << attempt.number
+          << ", \"duration_ms\": " << attempt.duration_ms
+          << ", \"outcome\": \"" << json_escape(attempt.outcome) << "\"}";
+    }
+    out << "]}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  try {
+    mcs::common::write_file_atomic(path, out.str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mcs_launch: cannot write report: %s\n",
+                 error.what());
+  }
+}
+
+/// Merges the validated partials and checks the sharding contract:
+/// headers agree (enforced by the merge), and in row mode the merged
+/// row count equals the sum over shards / in paste mode every shard
+/// carries the same row count (enforced by the merge). Returns the
+/// merged CSV text.
+std::string merge_partials(const LaunchConfig& config,
+                           const std::vector<ShardRun>& runs) {
+  std::vector<CsvFile> files;
+  files.reserve(runs.size());
+  std::size_t total_rows = 0;
+  for (const ShardRun& run : runs) {
+    files.push_back(mcs::common::read_csv_file(run.partial_path));
+    total_rows += files.back().rows.size();
+  }
+  std::ostringstream merged;
+  if (config.paste_keys > 0)
+    mcs::common::merge_csv_columns(files, config.paste_keys, merged);
+  else
+    mcs::common::merge_csv_rows(files, merged);
+  // Contract check on the merged text itself: parse it back and compare
+  // against what the shards promised.
+  const std::string text = merged.str();
+  const std::string tmp = config.workdir + "/merged.verify";
+  mcs::common::write_file_atomic(tmp, text);
+  const CsvFile check = mcs::common::read_csv_file(tmp);
+  (void)std::remove(tmp.c_str());
+  if (config.paste_keys == 0) {
+    if (check.rows.size() != total_rows)
+      throw std::runtime_error(
+          "merged row count " + std::to_string(check.rows.size()) +
+          " does not match the shards' total " + std::to_string(total_rows));
+    if (check.header != files.front().header)
+      throw std::runtime_error("merged header differs from shard 0");
+  } else {
+    if (check.rows.size() != files.front().rows.size())
+      throw std::runtime_error("pasted row count differs from shard 0");
+  }
+  return text;
+}
+
+int usage(int rc) {
+  std::fputs(
+      "mcs_launch — fault-tolerant shard fan-out + merge\n\n"
+      "usage: mcs_launch --shards=N [options] -- <driver> [args...]\n\n"
+      "Runs `<driver> [args...] --shard i/N` for every shard i, capturing\n"
+      "each shard's stdout as a partial CSV, then merges the partials into\n"
+      "the byte-identical unsharded output (see tools/mcs_merge).\n\n"
+      "options:\n"
+      "  --shards=N         number of shards (required, >= 1)\n"
+      "  --output=FILE      write the merged CSV to FILE (atomic; default\n"
+      "                     stdout)\n"
+      "  --paste=K          column-paste merge with K key columns\n"
+      "                     (Table II layout; default row concatenation)\n"
+      "  --workdir=DIR      partial CSVs, stderr logs and the report go\n"
+      "                     here (default mcs_launch_work; created)\n"
+      "  --timeout-ms=T     kill an attempt after T ms (default 0 = none)\n"
+      "  --retries=R        retries per shard after the first attempt\n"
+      "                     (default 2)\n"
+      "  --base-delay-ms=B  first backoff delay (default 250)\n"
+      "  --max-delay-ms=M   backoff cap (default 5000)\n"
+      "  --parallel=P       max concurrent shard attempts (default N)\n"
+      "  --wrap=TEMPLATE    run each attempt via `sh -c TEMPLATE` with\n"
+      "                     {cmd} = quoted shard command, {i} = shard,\n"
+      "                     {n} = shard count (ssh/slurm plug-in point)\n"
+      "  --report=FILE      attempt report JSON (default\n"
+      "                     WORKDIR/report.json)\n"
+      "  --help             show this message\n\n"
+      "Exit status: 0 on success, 2 when a shard failed permanently\n"
+      "(partials are preserved and the report records every attempt).\n",
+      rc == 0 ? stdout : stderr);
+  return rc;
+}
+
+bool parse_args(int argc, char** argv, LaunchConfig& config, int& rc) {
+  std::uint64_t retries = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--") {
+      for (int j = i + 1; j < argc; ++j) config.command.push_back(argv[j]);
+      break;
+    }
+    if (arg == "--help" || arg == "-h") {
+      rc = usage(0);
+      return false;
+    }
+    const auto eq = arg.find('=');
+    const std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    try {
+      if (name == "--shards") config.shards = std::stoull(value);
+      else if (name == "--parallel") config.parallel = std::stoull(value);
+      else if (name == "--timeout-ms") config.timeout_ms = std::stod(value);
+      else if (name == "--retries") retries = std::stoull(value);
+      else if (name == "--base-delay-ms")
+        config.retry.base_delay_ms = std::stod(value);
+      else if (name == "--max-delay-ms")
+        config.retry.max_delay_ms = std::stod(value);
+      else if (name == "--paste") config.paste_keys = std::stoull(value);
+      else if (name == "--output") config.output = value;
+      else if (name == "--workdir") config.workdir = value;
+      else if (name == "--report") config.report = value;
+      else if (name == "--wrap") config.wrap = value;
+      else {
+        std::fprintf(stderr, "mcs_launch: unknown option %s\n", name.c_str());
+        rc = usage(1);
+        return false;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "mcs_launch: invalid value in '%s'\n",
+                   arg.c_str());
+      rc = 1;
+      return false;
+    }
+  }
+  if (config.shards == 0 || config.command.empty()) {
+    std::fprintf(stderr,
+                 "mcs_launch: --shards=N and a command after -- are "
+                 "required\n");
+    rc = usage(1);
+    return false;
+  }
+  config.retry.attempts = static_cast<std::size_t>(retries) + 1;
+  if (config.parallel == 0) config.parallel = config.shards;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LaunchConfig config;
+  int rc = 0;
+  if (!parse_args(argc, argv, config, rc)) return rc;
+
+  if (::mkdir(config.workdir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "mcs_launch: cannot create workdir %s\n",
+                 config.workdir.c_str());
+    return 1;
+  }
+
+  std::vector<ShardRun> runs(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    runs[i].index = i;
+    runs[i].eligible_at = std::chrono::steady_clock::now();
+    const std::string base =
+        config.workdir + "/shard_" + std::to_string(i);
+    runs[i].partial_path = base + ".csv";
+    runs[i].part_path = base + ".csv.part";
+    runs[i].stderr_path = base + ".stderr";
+  }
+
+  bool aborted = false;
+  std::size_t running = 0;
+  std::size_t done = 0;
+
+  auto finish_attempt = [&](ShardRun& run) {
+    const ExitStatus& status = run.child.status();
+    AttemptRecord record;
+    record.number = run.attempts_used;
+    record.duration_ms =
+        ms_between(run.started_at, std::chrono::steady_clock::now());
+    std::string failure;
+    if (!status.success()) {
+      failure = status.describe();
+    } else {
+      // The attempt claims success: its captured stdout must be a sane
+      // partial CSV before we accept it (a truncated or corrupt partial
+      // counts as a failed attempt and is retried).
+      failure = validate_partial(run.part_path);
+      if (!failure.empty()) failure = "corrupt partial: " + failure;
+    }
+    if (failure.empty()) {
+      if (std::rename(run.part_path.c_str(), run.partial_path.c_str()) !=
+          0) {
+        failure = "cannot publish partial CSV";
+      }
+    }
+    if (failure.empty()) {
+      record.outcome = "ok";
+      run.state = ShardState::kDone;
+      ++done;
+    } else {
+      record.outcome = failure;
+      if (run.attempts_used >= config.retry.attempts || aborted) {
+        run.state = ShardState::kFailed;
+        if (!aborted) {
+          std::fprintf(stderr,
+                       "mcs_launch: shard %zu failed permanently after "
+                       "%zu attempts (last: %s); aborting\n",
+                       run.index, run.attempts_used, failure.c_str());
+          aborted = true;
+        }
+      } else {
+        run.state = ShardState::kWaiting;
+        const double delay = config.retry.delay_ms(run.attempts_used);
+        run.eligible_at = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(
+                              static_cast<std::int64_t>(delay * 1000.0));
+        std::fprintf(stderr,
+                     "mcs_launch: shard %zu attempt %zu failed (%s); "
+                     "retrying in %.0f ms\n",
+                     run.index, run.attempts_used, failure.c_str(), delay);
+      }
+    }
+    run.attempts.push_back(record);
+    --running;
+  };
+
+  while (done < config.shards) {
+    // Reap finished attempts.
+    for (ShardRun& run : runs)
+      if (run.state == ShardState::kRunning && run.child.poll())
+        finish_attempt(run);
+
+    // Kill attempts that blew their deadline.
+    if (config.timeout_ms > 0.0) {
+      const auto now = std::chrono::steady_clock::now();
+      for (ShardRun& run : runs) {
+        if (run.state != ShardState::kRunning) continue;
+        if (ms_between(run.started_at, now) < config.timeout_ms) continue;
+        run.child.kill(SIGKILL);
+        (void)run.child.wait_deadline(-1.0);
+        run.child.mark_timed_out();
+        finish_attempt(run);
+      }
+    }
+
+    // Launch eligible attempts (none once a shard failed permanently:
+    // graceful abort lets in-flight work finish but starts nothing new).
+    if (!aborted) {
+      const auto now = std::chrono::steady_clock::now();
+      for (ShardRun& run : runs) {
+        if (running >= config.parallel) break;
+        if (run.state != ShardState::kWaiting || run.eligible_at > now)
+          continue;
+        ++run.attempts_used;
+        run.started_at = now;
+        mcs::common::SpawnOptions options;
+        options.stdout_path = run.part_path;
+        options.stderr_path = run.stderr_path;
+        try {
+          run.child =
+              Subprocess::spawn(shard_command(config, run.index), options);
+        } catch (const std::exception& error) {
+          std::fprintf(stderr, "mcs_launch: spawn failed: %s\n",
+                       error.what());
+          run.state = ShardState::kFailed;
+          aborted = true;
+          continue;
+        }
+        run.state = ShardState::kRunning;
+        ++running;
+      }
+    }
+
+    if (aborted && running == 0) break;
+    if (done < config.shards)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const bool success = done == config.shards;
+  write_report(config, runs, success);
+  if (!success) {
+    std::fprintf(stderr,
+                 "mcs_launch: aborted; partial CSVs preserved in %s, "
+                 "report in %s\n",
+                 config.workdir.c_str(),
+                 (config.report.empty() ? config.workdir + "/report.json"
+                                        : config.report)
+                     .c_str());
+    return 2;
+  }
+
+  try {
+    const std::string merged = merge_partials(config, runs);
+    if (config.output.empty())
+      std::fwrite(merged.data(), 1, merged.size(), stdout);
+    else
+      mcs::common::write_file_atomic(config.output, merged);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mcs_launch: merge failed: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

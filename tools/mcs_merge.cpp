@@ -17,136 +17,19 @@
 //    file's remaining columns in argument order.
 //      mcs_merge --paste=2 t2_0.csv t2_1.csv > table2.csv
 //
-// Output goes to stdout (or `--output=FILE`). Any inconsistency between
-// shards — mismatched headers in row mode, mismatched key columns or row
-// counts in paste mode — is a hard error: silent misalignment would
-// corrupt the merged experiment.
-#include <algorithm>
+// Output goes to stdout (or `--output=FILE`, written atomically). The
+// merge logic itself lives in common/csv_merge.hpp, shared with the
+// supervised fan-out path (tools/mcs_launch); any inconsistency between
+// shards is a hard error there, reported here with exit 1.
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
+#include <exception>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/csv.hpp"
-
-namespace {
-
-struct CsvFile {
-  std::string path;
-  std::vector<std::string> header;
-  std::vector<std::vector<std::string>> rows;
-};
-
-/// Reads one CSV file (header + rows). Exits with a message on failure.
-CsvFile read_csv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "mcs_merge: cannot open %s\n", path.c_str());
-    std::exit(1);
-  }
-  CsvFile file;
-  file.path = path;
-  std::string line;
-  bool first = true;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    auto fields = mcs::common::csv_parse_line(line);
-    if (first) {
-      file.header = std::move(fields);
-      first = false;
-    } else {
-      file.rows.push_back(std::move(fields));
-    }
-  }
-  if (first) {
-    std::fprintf(stderr, "mcs_merge: %s has no header row\n", path.c_str());
-    std::exit(1);
-  }
-  return file;
-}
-
-/// Row concatenation: identical headers required; rows in argument order.
-void merge_rows(const std::vector<CsvFile>& files, std::ostream& out) {
-  for (const CsvFile& file : files) {
-    if (file.header != files.front().header) {
-      std::fprintf(stderr,
-                   "mcs_merge: header of %s differs from %s — these are "
-                   "not shards of the same run\n",
-                   file.path.c_str(), files.front().path.c_str());
-      std::exit(1);
-    }
-  }
-  mcs::common::CsvWriter writer(out);
-  writer.write_row(files.front().header);
-  for (const CsvFile& file : files)
-    for (const auto& row : file.rows) writer.write_row(row);
-}
-
-/// Column paste: the first `keys` columns must agree across shards
-/// row-by-row; the remaining columns are appended in argument order.
-void merge_columns(const std::vector<CsvFile>& files, std::size_t keys,
-                   std::ostream& out) {
-  const CsvFile& first = files.front();
-  if (first.header.size() < keys) {
-    std::fprintf(stderr, "mcs_merge: %s has fewer than %zu key columns\n",
-                 first.path.c_str(), keys);
-    std::exit(1);
-  }
-  for (const CsvFile& file : files) {
-    if (file.rows.size() != first.rows.size()) {
-      std::fprintf(stderr,
-                   "mcs_merge: %s has %zu rows but %s has %zu — shards of "
-                   "the same run must agree\n",
-                   file.path.c_str(), file.rows.size(), first.path.c_str(),
-                   first.rows.size());
-      std::exit(1);
-    }
-    for (std::size_t c = 0; c < keys; ++c) {
-      if (file.header.size() < keys || file.header[c] != first.header[c]) {
-        std::fprintf(stderr, "mcs_merge: key columns of %s differ from %s\n",
-                     file.path.c_str(), first.path.c_str());
-        std::exit(1);
-      }
-      for (std::size_t r = 0; r < file.rows.size(); ++r) {
-        if (file.rows[r].size() <= c || file.rows[r][c] != first.rows[r][c]) {
-          std::fprintf(stderr,
-                       "mcs_merge: key column %zu of %s row %zu differs "
-                       "from %s\n",
-                       c, file.path.c_str(), r, first.path.c_str());
-          std::exit(1);
-        }
-      }
-    }
-  }
-  std::vector<std::string> header(first.header.begin(),
-                                  first.header.begin() +
-                                      static_cast<std::ptrdiff_t>(keys));
-  for (const CsvFile& file : files)
-    header.insert(header.end(),
-                  file.header.begin() + static_cast<std::ptrdiff_t>(keys),
-                  file.header.end());
-  mcs::common::CsvWriter writer(out);
-  writer.write_row(header);
-  for (std::size_t r = 0; r < first.rows.size(); ++r) {
-    std::vector<std::string> row(
-        first.rows[r].begin(),
-        first.rows[r].begin() + static_cast<std::ptrdiff_t>(
-                                    std::min(keys, first.rows[r].size())));
-    for (const CsvFile& file : files)
-      if (file.rows[r].size() > keys)
-        row.insert(row.end(),
-                   file.rows[r].begin() + static_cast<std::ptrdiff_t>(keys),
-                   file.rows[r].end());
-    writer.write_row(row);
-  }
-}
-
-}  // namespace
+#include "common/csv_merge.hpp"
 
 int main(int argc, char** argv) {
   std::uint64_t paste_keys = 0;
@@ -167,7 +50,7 @@ int main(int argc, char** argv) {
           "                  columns of the first shard and append every\n"
           "                  shard's remaining columns (Table II layout);\n"
           "                  default is row concatenation\n"
-          "  --output=FILE   write to FILE instead of stdout\n"
+          "  --output=FILE   write to FILE (atomically) instead of stdout\n"
           "  --help          show this message\n\n"
           "Pass the shard files in shard order (0/N, 1/N, ...). The merged\n"
           "output is byte-identical to the unsharded --csv run.\n",
@@ -200,25 +83,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<CsvFile> files;
-  files.reserve(inputs.size());
-  for (const std::string& path : inputs) files.push_back(read_csv(path));
+  try {
+    std::vector<mcs::common::CsvFile> files;
+    files.reserve(inputs.size());
+    for (const std::string& path : inputs)
+      files.push_back(mcs::common::read_csv_file(path));
 
-  std::ostringstream merged;
-  if (paste_keys > 0)
-    merge_columns(files, paste_keys, merged);
-  else
-    merge_rows(files, merged);
+    std::ostringstream merged;
+    if (paste_keys > 0)
+      mcs::common::merge_csv_columns(files, paste_keys, merged);
+    else
+      mcs::common::merge_csv_rows(files, merged);
 
-  if (output.empty()) {
-    std::cout << merged.str();
-  } else {
-    std::ofstream out(output);
-    if (!out) {
-      std::fprintf(stderr, "mcs_merge: cannot write %s\n", output.c_str());
-      return 1;
-    }
-    out << merged.str();
+    if (output.empty())
+      std::cout << merged.str();
+    else
+      mcs::common::write_file_atomic(output, merged.str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mcs_merge: %s\n", error.what());
+    return 1;
   }
   return 0;
 }
