@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -46,11 +47,13 @@ class ReservoirSampler {
   [[nodiscard]] const std::vector<double>& sample() const { return sample_; }
 
   /// Nearest-rank quantile of the reservoir (approximates the stream
-  /// quantile). Requires q in [0, 1]; returns 0 when empty.
+  /// quantile). Requires q in [0, 1]; returns NaN when empty — an empty
+  /// stream has no quantile, and 0.0 would be indistinguishable from a
+  /// genuine zero observation (report renderers emit an empty cell).
   [[nodiscard]] double quantile(double q) const {
     if (q < 0.0 || q > 1.0)
       throw std::invalid_argument("ReservoirSampler: q must be in [0,1]");
-    if (sample_.empty()) return 0.0;
+    if (sample_.empty()) return std::numeric_limits<double>::quiet_NaN();
     std::vector<double> sorted = sample_;
     std::sort(sorted.begin(), sorted.end());
     const auto rank = static_cast<std::size_t>(

@@ -1,0 +1,112 @@
+#include "exp/campaign.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/chebyshev_wcet.hpp"
+#include "mc/taskset.hpp"
+#include "sched/edf_vd.hpp"
+#include "taskgen/generator.hpp"
+
+namespace mcs::exp {
+
+namespace {
+
+/// Block-local partial reduction, merged in block-index order.
+struct BlockResult {
+  std::uint64_t generated = 0;
+  std::uint64_t admitted = 0;
+  sim::SimMetricsAccumulator agg;
+};
+
+/// NaN renders as an empty cell (a task-set statistic that does not
+/// exist, e.g. a one-sample stddev, must not masquerade as 0).
+std::string cell(double value, int digits) {
+  if (std::isnan(value)) return "";
+  return common::format_double(value, digits);
+}
+
+}  // namespace
+
+std::vector<SimCampaignCell> run_sim_campaign(const SimCampaignConfig& cfg,
+                                              const common::Executor& exec) {
+  const std::size_t sets = cfg.sets_per_point;
+  const std::size_t block = cfg.block == 0 ? 1 : cfg.block;
+  // Outer fan-out over the utilization axis (the shardable index space);
+  // inner fan-out over set blocks. Nested parallel regions run inline on
+  // a busy worker, so a wide axis parallelizes across points and a
+  // single-point campaign still parallelizes across its blocks — with
+  // identical bits either way, because set s of point p derives its
+  // randomness from the global index p * sets + s alone and block
+  // accumulators merge in block order.
+  return exec.map(cfg.u_values.size(), [&](std::size_t p) {
+    const double u = cfg.u_values[p];
+    const std::size_t blocks = (sets + block - 1) / block;
+    const std::vector<BlockResult> partials = common::parallel_map_chunked(
+        blocks, 1, [&, p](std::size_t b) {
+          BlockResult out;
+          const std::size_t lo = b * block;
+          const std::size_t hi = std::min(sets, lo + block);
+          for (std::size_t s = lo; s < hi; ++s) {
+            const std::uint64_t global =
+                static_cast<std::uint64_t>(p) * sets + s;
+            common::Rng rng(common::index_seed(cfg.seed, global));
+            taskgen::GeneratorConfig gen;
+            mc::TaskSet tasks = taskgen::generate_mixed(gen, u, rng);
+            if (tasks.size() == 0) continue;
+            const std::vector<double> genes(
+                tasks.count(mc::Criticality::kHigh), cfg.n);
+            (void)core::apply_chebyshev_assignment(tasks, genes);
+            sim::SimConfig config = cfg.sim;
+            config.x = 1.0;
+            const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
+            if (vd.schedulable && vd.x > 0.0) {
+              config.x = vd.x;
+              ++out.admitted;
+            }
+            config.seed = common::index_seed(cfg.seed + 1, global);
+            ++out.generated;
+            out.agg.add(sim::simulate(tasks, config).metrics);
+          }
+          return out;
+        });
+    SimCampaignCell point;
+    point.u_bound = u;
+    for (const BlockResult& partial : partials) {
+      point.generated += partial.generated;
+      point.admitted += partial.admitted;
+      point.agg.merge(partial.agg);
+    }
+    return point;
+  });
+}
+
+common::Table render_sim_campaign(const std::vector<SimCampaignCell>& cells) {
+  common::Table table({"U_bound", "sets", "admitted", "HC released",
+                       "HC misses", "HC overrun rate", "LC released",
+                       "LC drop rate", "mode switches", "util mean",
+                       "util stddev", "HI-mode mean"});
+  table.set_title("Simulation campaign: streamed SimMetrics aggregates per "
+                  "utilization point");
+  for (const SimCampaignCell& c : cells) {
+    table.add_row({common::format_double(c.u_bound, 3),
+                   std::to_string(c.generated), std::to_string(c.admitted),
+                   std::to_string(c.agg.hc_jobs_released),
+                   std::to_string(c.agg.hc_deadline_misses),
+                   cell(c.agg.hc_overrun_rate.mean(), 6),
+                   std::to_string(c.agg.lc_jobs_released),
+                   cell(c.agg.lc_drop_rate.mean(), 6),
+                   std::to_string(c.agg.mode_switches),
+                   cell(c.agg.observed_utilization.mean(), 6),
+                   cell(c.agg.sets >= 2
+                            ? c.agg.observed_utilization.stddev()
+                            : std::nan(""),
+                        6),
+                   cell(c.agg.hi_mode_fraction.mean(), 6)});
+  }
+  return table;
+}
+
+}  // namespace mcs::exp

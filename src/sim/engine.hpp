@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/rng.hpp"
 #include "mc/taskset.hpp"
@@ -50,7 +51,15 @@ struct SimConfig {
   LcPolicy lc_policy = LcPolicy::kDropAll;
   BackSwitchPolicy back_switch = BackSwitchPolicy::kNoReadyHc;
   std::uint64_t seed = 1;
-  std::size_t trace_capacity = 0;      ///< 0 = tracing off
+  /// In-memory trace bound; 0 = tracing off. With tracing fully off (no
+  /// binary path either) the engine skips event bookkeeping entirely, so
+  /// Trace::total_recorded() is 0 rather than the would-be event count.
+  std::size_t trace_capacity = 0;
+  /// When non-empty, stream every trace event (independent of
+  /// trace_capacity) to this file in the compact binary format decoded by
+  /// tools/mcs_trace, via an asynchronous writer thread (trace_sink.hpp).
+  /// simulate_partitioned() appends ".core<i>" per core.
+  std::string trace_binary_path;
   /// Also record kDispatch (every scheduler pick, with the deadline the
   /// EDF comparison actually used) and kBudgetRestore (every degraded LC
   /// budget restored at the HI->LO back-switch) events. Off by default —
@@ -98,8 +107,10 @@ struct SimResult {
 /// Result of a partitioned multicore simulation.
 struct MulticoreSimResult {
   std::vector<SimResult> cores;  ///< one run per core
-  /// Aggregate counters over all cores (per_task left empty — index
-  /// spaces differ per core; use the per-core results).
+  /// Aggregate counters over all cores. `combined.per_task` concatenates
+  /// the per-core task stats in core order (skipping empty cores), so
+  /// response/max-response data survives aggregation; its indices follow
+  /// that concatenated order, not any original pre-partition numbering.
   SimMetrics combined;
 };
 

@@ -31,6 +31,9 @@ class EventQueue {
   /// Time of the earliest event. Requires !empty().
   [[nodiscard]] common::Millis next_time() const { return heap_.top().time; }
 
+  /// Payload of the earliest event without removing it. Requires !empty().
+  [[nodiscard]] const Payload& peek() const { return heap_.top().payload; }
+
   /// Removes and returns the earliest event's payload. Requires !empty().
   Payload pop() {
     Payload payload = std::move(const_cast<Entry&>(heap_.top()).payload);

@@ -13,6 +13,16 @@ namespace mcs::sim {
 /// Job accounting invariant (checked by the simulation oracle tests):
 /// every released job is eventually counted exactly once, so
 ///   released == completed + dropped + pending_at_horizon.
+///
+/// Deadline-miss accounting semantics (pinned by the sim oracle tests):
+/// an LC job rejected *at release* while the system is in HI mode under
+/// LcPolicy::kDropAll never entered the ready queue, so it counts as a
+/// drop only — not a deadline miss. A job that entered the queue and then
+/// expired past its deadline counts both a miss and a drop. Deadline-miss
+/// counts therefore measure failures of *admitted* work (what the
+/// scheduler accepted and then could not finish in time), while drop
+/// counts measure all lost work, including load the HI-mode policy shed
+/// by design.
 struct TaskSimStats {
   std::uint64_t released = 0;
   std::uint64_t completed = 0;
@@ -28,7 +38,8 @@ struct TaskSimStats {
   common::Millis max_response = 0.0;    ///< worst observed response time
   common::Millis total_response = 0.0;  ///< sum over completed jobs
   /// Approximate response-time percentiles (0 unless the simulation ran
-  /// with SimConfig::response_reservoir > 0).
+  /// with SimConfig::response_reservoir > 0; NaN when the reservoir was
+  /// on but the task completed no job — renderers emit an empty cell).
   common::Millis p95_response = 0.0;
   common::Millis p99_response = 0.0;
 

@@ -22,26 +22,35 @@ const char* to_string(TraceEventKind kind) {
   return "?";
 }
 
+std::string render_trace_text(const std::vector<std::string>& task_names,
+                              const std::vector<TraceEvent>& events,
+                              std::size_t total) {
+  std::ostringstream out;
+  for (const TraceEvent& e : events) {
+    out << "[" << e.time << " ms] " << to_string(e.kind);
+    if (e.task != kNoTraceTask) {
+      if (e.task < task_names.size()) out << " " << task_names[e.task];
+      else out << " task#" << e.task;
+    }
+    out << "\n";
+  }
+  if (total > events.size())
+    out << "... (" << total - events.size() << " more events not stored)\n";
+  return out.str();
+}
+
 void Trace::record(common::Millis time, TraceEventKind kind,
-                   const std::string& task) {
+                   std::uint32_t task) {
   record(TraceEvent{time, kind, task});
 }
 
 void Trace::record(TraceEvent event) {
   ++total_;
-  if (events_.size() < capacity_) events_.push_back(std::move(event));
+  if (events_.size() < capacity_) events_.push_back(event);
 }
 
 std::string Trace::render() const {
-  std::ostringstream out;
-  for (const TraceEvent& e : events_) {
-    out << "[" << e.time << " ms] " << to_string(e.kind);
-    if (!e.task.empty()) out << " " << e.task;
-    out << "\n";
-  }
-  if (total_ > events_.size())
-    out << "... (" << total_ - events_.size() << " more events not stored)\n";
-  return out.str();
+  return render_trace_text(task_names_, events_, total_);
 }
 
 }  // namespace mcs::sim

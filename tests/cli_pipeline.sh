@@ -54,6 +54,20 @@ if [ -n "$MERGE" ]; then
     --output="$WORKDIR/sweep_merged.csv"
   cmp "$WORKDIR/sweep_full.csv" "$WORKDIR/sweep_merged.csv"
 
+  # mcs-cli campaign (streamed simulation aggregates, row-wise shards).
+  CAMP_ARGS="--points=4 --u-min=0.6 --u-max=1.2 --sets=25 --horizon=3000"
+  "$CLI" campaign $CAMP_ARGS --csv > "$WORKDIR/camp_full.csv"
+  for i in 0 1 2 3; do
+    "$CLI" campaign $CAMP_ARGS --shard=$i/4 > "$WORKDIR/camp_$i.csv"
+  done
+  "$MERGE" "$WORKDIR/camp_0.csv" "$WORKDIR/camp_1.csv" \
+    "$WORKDIR/camp_2.csv" "$WORKDIR/camp_3.csv" \
+    > "$WORKDIR/camp_merged.csv"
+  cmp "$WORKDIR/camp_full.csv" "$WORKDIR/camp_merged.csv"
+  # ... and the per-point reduction is --jobs-invariant.
+  "$CLI" campaign $CAMP_ARGS --csv --jobs=1 > "$WORKDIR/camp_j1.csv"
+  cmp "$WORKDIR/camp_full.csv" "$WORKDIR/camp_j1.csv"
+
   # fig6 acceptance-ratio driver (row-wise shards).
   FIG6_ARGS="--tasksets=15 --seed=11"
   "$FIG6" $FIG6_ARGS --csv > "$WORKDIR/fig6_full.csv"

@@ -1,0 +1,109 @@
+// Tests for sim/campaign.hpp: the streaming SimMetrics reduction used by
+// large simulation campaigns.
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "mc/taskset.hpp"
+#include "sim/engine.hpp"
+#include "taskgen/generator.hpp"
+
+namespace mcs::sim {
+namespace {
+
+/// A few genuinely different SimMetrics from real simulations.
+std::vector<SimMetrics> sample_runs() {
+  std::vector<SimMetrics> runs;
+  for (std::uint64_t s = 0; s < 12; ++s) {
+    taskgen::GeneratorConfig gen;
+    common::Rng rng(common::index_seed(17, s));
+    const mc::TaskSet tasks = taskgen::generate_mixed(gen, 0.8, rng);
+    if (tasks.size() == 0) continue;
+    SimConfig config;
+    config.horizon = 2000.0;
+    config.seed = 100 + s;
+    runs.push_back(simulate(tasks, config).metrics);
+  }
+  return runs;
+}
+
+TEST(Campaign, AddAccumulatesCountersAndRates) {
+  const std::vector<SimMetrics> runs = sample_runs();
+  ASSERT_GE(runs.size(), 4U);
+  SimMetricsAccumulator acc;
+  std::uint64_t hc_released = 0;
+  double busy = 0.0;
+  for (const SimMetrics& m : runs) {
+    acc.add(m);
+    hc_released += m.hc_jobs_released;
+    busy += m.busy_time;
+  }
+  EXPECT_EQ(acc.sets, runs.size());
+  EXPECT_EQ(acc.hc_jobs_released, hc_released);
+  EXPECT_DOUBLE_EQ(acc.busy_time, busy);
+  EXPECT_EQ(acc.observed_utilization.count(), runs.size());
+  EXPECT_GT(acc.observed_utilization.mean(), 0.0);
+  EXPECT_LE(acc.observed_utilization.max(), 1.0 + 1e-9);
+}
+
+TEST(Campaign, MergeEqualsSequentialAdd) {
+  // Splitting a run sequence into blocks and merging the block
+  // accumulators must reproduce the sequential reduction: counters
+  // exactly, Welford moments to floating-point accuracy.
+  const std::vector<SimMetrics> runs = sample_runs();
+  ASSERT_GE(runs.size(), 4U);
+  SimMetricsAccumulator sequential;
+  for (const SimMetrics& m : runs) sequential.add(m);
+
+  SimMetricsAccumulator merged;
+  const std::size_t half = runs.size() / 2;
+  SimMetricsAccumulator first;
+  SimMetricsAccumulator second;
+  for (std::size_t i = 0; i < half; ++i) first.add(runs[i]);
+  for (std::size_t i = half; i < runs.size(); ++i) second.add(runs[i]);
+  merged.merge(first);
+  merged.merge(second);
+
+  EXPECT_EQ(merged.sets, sequential.sets);
+  EXPECT_EQ(merged.hc_jobs_released, sequential.hc_jobs_released);
+  EXPECT_EQ(merged.lc_jobs_released, sequential.lc_jobs_released);
+  EXPECT_EQ(merged.lc_jobs_dropped, sequential.lc_jobs_dropped);
+  EXPECT_EQ(merged.mode_switches, sequential.mode_switches);
+  EXPECT_EQ(merged.context_switches, sequential.context_switches);
+  EXPECT_DOUBLE_EQ(merged.busy_time, sequential.busy_time);
+  EXPECT_DOUBLE_EQ(merged.horizon, sequential.horizon);
+  EXPECT_EQ(merged.hc_overrun_rate.count(),
+            sequential.hc_overrun_rate.count());
+  EXPECT_NEAR(merged.hc_overrun_rate.mean(),
+              sequential.hc_overrun_rate.mean(), 1e-12);
+  EXPECT_NEAR(merged.observed_utilization.variance(),
+              sequential.observed_utilization.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.observed_utilization.min(),
+                   sequential.observed_utilization.min());
+  EXPECT_DOUBLE_EQ(merged.observed_utilization.max(),
+                   sequential.observed_utilization.max());
+}
+
+TEST(Campaign, DeterministicGivenSameFoldOrder) {
+  // The bit-identity contract: identical add order produces identical
+  // accumulator state, bit for bit.
+  const std::vector<SimMetrics> runs = sample_runs();
+  SimMetricsAccumulator a;
+  SimMetricsAccumulator b;
+  for (const SimMetrics& m : runs) a.add(m);
+  for (const SimMetrics& m : runs) b.add(m);
+  EXPECT_EQ(a.sets, b.sets);
+  EXPECT_DOUBLE_EQ(a.busy_time, b.busy_time);
+  EXPECT_DOUBLE_EQ(a.observed_utilization.mean(),
+                   b.observed_utilization.mean());
+  EXPECT_DOUBLE_EQ(a.observed_utilization.variance(),
+                   b.observed_utilization.variance());
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -43,6 +43,26 @@ TEST(EventQueue, InterleavedPushPop) {
   EXPECT_EQ(q.pop(), 4);
 }
 
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue<int> q;
+  q.push(3.0, 30);
+  q.push(1.0, 10);
+  EXPECT_EQ(q.peek(), 10);
+  EXPECT_EQ(q.size(), 2U);  // peek leaves the queue untouched
+  EXPECT_EQ(q.pop(), 10);
+  EXPECT_EQ(q.peek(), 30);
+  EXPECT_EQ(q.pop(), 30);
+}
+
+TEST(EventQueue, PeekRespectsFifoTies) {
+  EventQueue<std::string> q;
+  q.push(2.0, "first");
+  q.push(2.0, "second");
+  EXPECT_EQ(q.peek(), "first");
+  (void)q.pop();
+  EXPECT_EQ(q.peek(), "second");
+}
+
 TEST(EventQueue, MovesPayloads) {
   EventQueue<std::unique_ptr<int>> q;
   q.push(1.0, std::make_unique<int>(42));

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -75,9 +76,23 @@ TEST(Reservoir, QuantileApproximatesStream) {
   EXPECT_LE(r.quantile(1.0), 999.0 + 1e-9);
 }
 
+TEST(Reservoir, QuantileOfEmptyStreamIsNaN) {
+  // Regression: an empty stream used to report quantile 0.0, which is
+  // indistinguishable from a genuine zero-valued sample. "No data" must
+  // be NaN so downstream renderers can emit an empty cell instead of a
+  // fabricated measurement.
+  ReservoirSampler r(4);
+  EXPECT_TRUE(std::isnan(r.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(r.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(r.quantile(1.0)));
+  // Out-of-range probabilities still throw, even when empty.
+  EXPECT_THROW((void)r.quantile(-0.1), std::invalid_argument);
+  r.add(3.0);
+  EXPECT_FALSE(std::isnan(r.quantile(0.5)));
+}
+
 TEST(Reservoir, QuantileEdgeCases) {
   ReservoirSampler r(4);
-  EXPECT_DOUBLE_EQ(r.quantile(0.5), 0.0);  // empty
   r.add(3.0);
   EXPECT_DOUBLE_EQ(r.quantile(0.0), 3.0);
   EXPECT_DOUBLE_EQ(r.quantile(1.0), 3.0);

@@ -9,15 +9,20 @@
 //  (b) virtual deadlines are used exactly for HC jobs in LO mode, with
 //      the value release + x * period, and never in HI mode;
 //  (c) every LC budget degraded in HI mode is restored to the full
-//      C^LO at the HI -> LO back-switch.
+//      C^LO at the HI -> LO back-switch;
+//  (f) constrained deadlines (D < T) flow through dispatch keys and the
+//      processor-demand admission test end to end.
 //
 // The oracle does not trust the engine's flags alone: dispatch events
 // carry the absolute deadline the EDF comparison actually used, which is
-// recomputed here from the task parameters.
+// recomputed here from the task parameters. Trace events identify tasks
+// by index into the simulated set, so the oracle indexes directly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
-#include <string>
+#include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -25,8 +30,10 @@
 #include "common/thread_pool.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "mc/taskset.hpp"
+#include "sched/dbf.hpp"
 #include "sched/edf_vd.hpp"
 #include "sim/engine.hpp"
+#include "stats/distributions.hpp"
 #include "taskgen/generator.hpp"
 
 namespace mcs::sim {
@@ -45,11 +52,45 @@ mc::TaskSet make_assigned_set(std::uint64_t seed, double u_bound, double n) {
   return tasks;
 }
 
-std::unordered_map<std::string, const mc::McTask*> by_name(
-    const mc::TaskSet& tasks) {
-  std::unordered_map<std::string, const mc::McTask*> map;
-  for (const mc::McTask& task : tasks) map.emplace(task.name, &task);
-  return map;
+/// A Chebyshev-assigned set with constrained deadlines: every task's
+/// deadline is shrunk to a random fraction of its period (never below
+/// C^HI, so the task stays valid).
+mc::TaskSet make_constrained_set(std::uint64_t seed, double u_bound,
+                                 double n) {
+  mc::TaskSet tasks = make_assigned_set(seed, u_bound, n);
+  common::Rng rng(common::index_seed(992, seed));
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const double frac = rng.uniform(0.6, 1.0);
+    const double d = std::max(tasks[i].wcet_hi, frac * tasks[i].period);
+    tasks[i] = tasks[i].with_deadline(d);
+  }
+  return tasks;
+}
+
+/// HC task whose demand distribution is a point mass at `exec` ms.
+mc::McTask deterministic_hc(const std::string& name, double wcet_lo,
+                            double wcet_hi, double period, double exec) {
+  mc::McTask t = mc::McTask::high(name, wcet_lo, wcet_hi, period);
+  mc::ExecutionStats stats;
+  stats.acet = exec;
+  stats.sigma = 0.0;
+  stats.distribution =
+      std::make_shared<stats::UniformDistribution>(exec, exec);
+  t.stats = stats;
+  return t;
+}
+
+/// LC task whose demand distribution is a point mass at `exec` ms.
+mc::McTask deterministic_lc(const std::string& name, double wcet,
+                            double period, double exec) {
+  mc::McTask t = mc::McTask::low(name, wcet, period);
+  mc::ExecutionStats stats;
+  stats.acet = exec;
+  stats.sigma = 0.0;
+  stats.distribution =
+      std::make_shared<stats::UniformDistribution>(exec, exec);
+  t.stats = stats;
+  return t;
 }
 
 TEST(SimOracle, AdmittedSetsNeverMissHcDeadlines) {
@@ -95,25 +136,23 @@ TEST(SimOracle, DispatchDeadlinesMatchTheModel) {
     config.trace_capacity = 100000;
     config.trace_dispatch = true;
     const SimResult r = simulate(tasks, config);
-    const auto tasks_by_name = by_name(tasks);
     for (const TraceEvent& event : r.trace.events()) {
       if (event.kind != TraceEventKind::kDispatch) continue;
-      const auto it = tasks_by_name.find(event.task);
-      ASSERT_NE(it, tasks_by_name.end()) << event.task;
-      const mc::McTask& task = *it->second;
+      ASSERT_LT(event.task, tasks.size()) << "set " << s;
+      const mc::McTask& task = tasks[event.task];
       const bool hc = task.criticality == mc::Criticality::kHigh;
       if (event.hi_mode) ++hi_dispatches;
       // Virtual deadlines are used iff the job is HC and the mode is LO.
       EXPECT_EQ(event.virtual_deadline, hc && !event.hi_mode)
-          << "set " << s << " task " << event.task << " t " << event.time;
+          << "set " << s << " task " << task.name << " t " << event.time;
       if (event.virtual_deadline) {
         ++virtual_dispatches;
         EXPECT_NEAR(event.value, event.release + config.x * task.period,
                     kEps)
-            << "set " << s << " task " << event.task;
+            << "set " << s << " task " << task.name;
       } else {
         EXPECT_NEAR(event.value, event.release + task.deadline(), kEps)
-            << "set " << s << " task " << event.task;
+            << "set " << s << " task " << task.name;
       }
     }
   }
@@ -141,18 +180,16 @@ TEST(SimOracle, BackSwitchRestoresFullLcBudgets) {
     config.trace_capacity = 100000;
     config.trace_dispatch = true;
     const SimResult r = simulate(tasks, config);
-    const auto tasks_by_name = by_name(tasks);
     for (const TraceEvent& event : r.trace.events()) {
       if (event.kind != TraceEventKind::kBudgetRestore) continue;
       ++restores;
-      const auto it = tasks_by_name.find(event.task);
-      ASSERT_NE(it, tasks_by_name.end()) << event.task;
-      const mc::McTask& task = *it->second;
+      ASSERT_LT(event.task, tasks.size()) << "set " << s;
+      const mc::McTask& task = tasks[event.task];
       EXPECT_EQ(task.criticality, mc::Criticality::kLow)
-          << "set " << s << " task " << event.task;
+          << "set " << s << " task " << task.name;
       EXPECT_FALSE(event.hi_mode) << "restore happens at the LO switch";
       EXPECT_NEAR(event.value, task.wcet_lo, kEps)
-          << "set " << s << " task " << event.task;
+          << "set " << s << " task " << task.name;
     }
   }
   EXPECT_GT(restores, 0U);
@@ -221,6 +258,138 @@ TEST(SimOracle, PerTaskAccountingIdentityHolds) {
   }
 }
 
+TEST(SimOracle, ReleaseRejectionsCountAsDropsNotMisses) {
+  // Pins the drop-at-release accounting semantics documented in
+  // sim/metrics.hpp: an LC job rejected at release while the system is in
+  // HI mode under kDropAll never entered the ready queue, so it counts as
+  // a drop only — never as a deadline miss. Misses are reserved for
+  // admitted work that expired in the queue.
+  //
+  // Deterministic timeline per 100 ms period: h overruns C^LO = 10 at
+  // t ~ 12.5 (l steals ~1 of every 5 ms before that) and holds HI mode
+  // for its remaining 15 ms of demand. l releases every 5 ms, so 2-3
+  // releases per period land inside the HI window and are rejected; every
+  // admitted l job preempts h (deadline 5 vs. virtual deadline 100) and
+  // completes in 1 ms, far ahead of its deadline.
+  mc::TaskSet tasks;
+  tasks.add(deterministic_hc("h", 10.0, 30.0, 100.0, 25.0));
+  tasks.add(deterministic_lc("l", 2.0, 5.0, 1.0));
+  SimConfig config;
+  config.horizon = 20000.0;
+  config.lc_policy = LcPolicy::kDropAll;
+  const SimResult r = simulate(tasks, config);
+  const SimMetrics& m = r.metrics;
+  ASSERT_GT(m.mode_switches, 0U);
+  EXPECT_EQ(m.mode_switches, m.hc_jobs_released);
+  EXPECT_EQ(m.hc_deadline_misses, 0U);
+  // HI-mode rejections happened (at least two per HI window)...
+  EXPECT_GE(m.lc_jobs_dropped, 2 * m.mode_switches);
+  // ...and none of them surfaced as a deadline miss.
+  EXPECT_EQ(m.lc_deadline_misses, 0U);
+  ASSERT_EQ(m.per_task.size(), 2U);
+  const TaskSimStats& l = m.per_task[1];
+  EXPECT_EQ(l.deadline_misses, 0U);
+  EXPECT_EQ(l.dropped, m.lc_jobs_dropped);
+  EXPECT_EQ(l.released, l.completed + l.dropped + l.pending_at_horizon);
+}
+
+TEST(SimOracle, ConstrainedDeadlineAdmittedSetsRunMissFree) {
+  // Oracle (f), admission side: for constrained-deadline sets (D < T)
+  // with C^LO pinned to C^HI (no overruns, so the system never leaves LO
+  // mode and plain EDF on the LO-mode keys is what runs), the
+  // processor-demand test on exactly those keys — x*T for HC virtual
+  // deadlines, the real constrained D for LC — is a sufficient oracle:
+  // admitted sets must simulate with zero misses and zero drops.
+  std::size_t admitted = 0;
+  for (std::uint64_t s = 0; s < 90; ++s) {
+    const double u_bound = 0.3 + 0.1 * static_cast<double>(s % 3);
+    mc::TaskSet tasks = make_constrained_set(s, u_bound, 3.0);
+    if (tasks.count(mc::Criticality::kHigh) == 0) continue;
+    // Pin C^LO = C^HI: demand is clamped to C^HI, so no job can overrun.
+    double x = 1.0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (tasks[i].criticality != mc::Criticality::kHigh) continue;
+      tasks[i].wcet_lo = tasks[i].wcet_hi;
+      x = std::min(x, tasks[i].deadline() / tasks[i].period);
+    }
+    // The EDF keys the simulator will use: HC jobs get release + x*T in
+    // LO mode, LC jobs their real (constrained) deadline.
+    mc::TaskSet keys = tasks;
+    bool representable = true;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i].criticality != mc::Criticality::kHigh) continue;
+      const double vd = x * keys[i].period;
+      if (vd < keys[i].wcet_hi) {
+        representable = false;  // would violate C <= D validity
+        break;
+      }
+      keys[i].deadline_override = vd;
+    }
+    if (!representable) continue;
+    const sched::DbfResult dbf = sched::edf_dbf_test(keys, mc::Mode::kLow);
+    if (!dbf.schedulable || dbf.inconclusive) continue;
+    ++admitted;
+    SimConfig config;
+    config.horizon = 20000.0;
+    config.x = x;
+    config.seed = 6000 + s;
+    const SimResult r = simulate(tasks, config);
+    EXPECT_EQ(r.metrics.mode_switches, 0U) << "set " << s;
+    EXPECT_EQ(r.metrics.hc_deadline_misses, 0U)
+        << "set " << s << " u_bound " << u_bound << " x " << x;
+    EXPECT_EQ(r.metrics.lc_deadline_misses, 0U) << "set " << s;
+    EXPECT_EQ(r.metrics.lc_jobs_dropped, 0U) << "set " << s;
+    EXPECT_GT(r.metrics.hc_jobs_released, 0U);
+  }
+  EXPECT_GE(admitted, 25U);
+}
+
+TEST(SimOracle, ConstrainedDeadlineDispatchKeysUseTheOverride) {
+  // Oracle (f), dispatch side: with D < T, non-virtual dispatch keys
+  // (HI-mode HC jobs and all LC jobs) must be release + D — the shrunk
+  // deadline, not the period — while LO-mode HC keys stay release + x*T.
+  std::size_t constrained_dispatches = 0;
+  std::size_t hi_dispatches = 0;
+  for (std::uint64_t s = 0; s < 60; ++s) {
+    const double u_bound = 0.4 + 0.2 * static_cast<double>(s % 3);
+    // n = 1 keeps C^LO close to the mean so overruns (HI dispatches
+    // against real constrained deadlines) are frequent.
+    const mc::TaskSet tasks = make_constrained_set(s, u_bound, 1.0);
+    double x = 1.0;
+    for (const mc::McTask& task : tasks)
+      if (task.criticality == mc::Criticality::kHigh)
+        x = std::min(x, task.deadline() / task.period);
+    SimConfig config;
+    config.horizon = 5000.0;
+    config.x = x;
+    config.seed = 7000 + s;
+    config.trace_capacity = 100000;
+    config.trace_dispatch = true;
+    const SimResult r = simulate(tasks, config);
+    for (const TraceEvent& event : r.trace.events()) {
+      if (event.kind != TraceEventKind::kDispatch) continue;
+      ASSERT_LT(event.task, tasks.size()) << "set " << s;
+      const mc::McTask& task = tasks[event.task];
+      const bool hc = task.criticality == mc::Criticality::kHigh;
+      EXPECT_EQ(event.virtual_deadline, hc && !event.hi_mode)
+          << "set " << s << " task " << task.name << " t " << event.time;
+      if (event.hi_mode) ++hi_dispatches;
+      if (event.virtual_deadline) {
+        EXPECT_NEAR(event.value, event.release + x * task.period, kEps)
+            << "set " << s << " task " << task.name;
+      } else {
+        EXPECT_NEAR(event.value, event.release + task.deadline(), kEps)
+            << "set " << s << " task " << task.name;
+        if (task.deadline() < task.period - kEps) ++constrained_dispatches;
+      }
+    }
+  }
+  // Genuinely constrained (D < T) real-deadline keys must have been
+  // exercised, including in HI mode.
+  EXPECT_GT(constrained_dispatches, 0U);
+  EXPECT_GT(hi_dispatches, 0U);
+}
+
 TEST(SimOracle, ServerSlicesRespectBudgetAndReplenishment) {
   // Oracle (e), LcPolicy::kServer: re-derive the budget server's state
   // from the recorded server slices alone and check the model's three
@@ -254,16 +423,14 @@ TEST(SimOracle, ServerSlicesRespectBudgetAndReplenishment) {
     config.trace_capacity = 200000;
     config.trace_dispatch = true;
     const SimResult r = simulate(tasks, config);
-    const auto tasks_by_name = by_name(tasks);
     // Served time per replenishment interval, keyed by floor(t / P).
     std::unordered_map<std::uint64_t, double> served;
     for (const TraceEvent& event : r.trace.events()) {
       if (event.kind != TraceEventKind::kServerSlice) continue;
       ++slices;
-      const auto it = tasks_by_name.find(event.task);
-      ASSERT_NE(it, tasks_by_name.end()) << event.task;
-      EXPECT_EQ(it->second->criticality, mc::Criticality::kLow)
-          << "set " << s << " task " << event.task;
+      ASSERT_LT(event.task, tasks.size()) << "set " << s;
+      EXPECT_EQ(tasks[event.task].criticality, mc::Criticality::kLow)
+          << "set " << s << " task " << tasks[event.task].name;
       EXPECT_TRUE(event.hi_mode)
           << "server slices exist only in HI mode (set " << s << ")";
       EXPECT_GT(event.value, 0.0);

@@ -8,6 +8,7 @@
 // Task sets travel in the portable text format of mc/io.hpp, so the whole
 // design flow (generate -> optimize -> analyze -> simulate) can be
 // scripted through pipes and files.
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,6 +23,7 @@
 #include "core/optimizer.hpp"
 #include "core/lint.hpp"
 #include "core/report.hpp"
+#include "exp/campaign.hpp"
 #include "exp/fig6.hpp"
 #include "mc/io.hpp"
 #include "sched/edf_vd.hpp"
@@ -46,6 +48,9 @@ int usage() {
       "  simulate <file>     run the EDF-VD discrete-event simulator\n"
       "  partition <file>    bin-pack the task set onto m cores\n"
       "  sweep               acceptance-ratio sweep across U_bound\n"
+      "                      (shardable: --shard i/N + mcs_merge)\n"
+      "  campaign            simulation campaign across U_bound with\n"
+      "                      streamed per-point metric aggregation\n"
       "                      (shardable: --shard i/N + mcs_merge)\n"
       "  wcet <kernel>       measure + statically analyze a benchmark\n"
       "                      kernel (qsort-100, corner, edge, smooth,\n"
@@ -177,6 +182,73 @@ int cmd_sweep(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_campaign(int argc, const char* const* argv) {
+  double u_min = 0.5;
+  double u_max = 1.4;
+  std::uint64_t points = 10;
+  std::uint64_t sets = 1000;
+  std::uint64_t seed = 991;
+  double n = 3.0;
+  double horizon = 50000.0;
+  double jitter = 0.0;
+  std::string policy = "drop";
+  bool csv_only = false;
+  std::string out_path;
+  common::Shard shard;
+  common::Cli cli(
+      "mcs-cli campaign: simulate many random Chebyshev-assigned task sets\n"
+      "per U_bound point and stream every run into one per-point metrics\n"
+      "accumulator, so the output is O(points) however many sets are\n"
+      "simulated. With --shard i/N only the shard's slice of the points is\n"
+      "evaluated and a partial CSV is emitted; recombine with mcs_merge.");
+  cli.add_double("u-min", &u_min, "first utilization bound");
+  cli.add_double("u-max", &u_max, "last utilization bound");
+  cli.add_u64("points", &points, "number of U_bound points");
+  cli.add_u64("sets", &sets, "task sets simulated per point");
+  cli.add_u64("seed", &seed, "PRNG stream key");
+  cli.add_double("n", &n, "uniform Chebyshev multiplier for C^LO");
+  cli.add_double("horizon", &horizon, "simulated time per set (ms)");
+  cli.add_double("jitter", &jitter,
+                 "sporadic release jitter as a fraction of the period");
+  cli.add_string("policy", &policy, "LC policy in HI mode: drop | degrade");
+  cli.add_flag("csv", &csv_only,
+               "emit only the CSV block (implied by --shard)");
+  cli.add_shard(&shard);
+  cli.add_output(&out_path);
+  cli.add_jobs();
+  if (!cli.parse(argc, argv)) return 1;
+  if (points == 0 || u_max < u_min) {
+    std::fputs("campaign: need points >= 1 and u-max >= u-min\n", stderr);
+    return 1;
+  }
+  if (shard.active() || !out_path.empty()) csv_only = true;
+
+  exp::SimCampaignConfig cfg;
+  cfg.u_values.reserve(points);
+  for (std::uint64_t p = 0; p < points; ++p)
+    cfg.u_values.push_back(
+        points == 1 ? u_min
+                    : u_min + (u_max - u_min) * static_cast<double>(p) /
+                                  static_cast<double>(points - 1));
+  cfg.sets_per_point = sets;
+  cfg.seed = seed;
+  cfg.n = n;
+  cfg.sim.horizon = horizon;
+  cfg.sim.release_jitter = jitter;
+  if (policy == "degrade") cfg.sim.lc_policy = sim::LcPolicy::kDegradeHalf;
+  else if (policy != "drop") {
+    std::fprintf(stderr, "unknown --policy '%s'\n", policy.c_str());
+    return 1;
+  }
+  const auto cells = exp::run_sim_campaign(cfg, common::Executor(shard));
+  const common::Table table = exp::render_sim_campaign(cells);
+  if (csv_only) return common::emit_csv(out_path, table.render_csv());
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nCSV:");
+  std::fputs(table.render_csv().c_str(), stdout);
+  return 0;
+}
+
 int cmd_analyze(const std::string& path, int argc, const char* const* argv) {
   common::Cli cli("mcs-cli analyze: lint the task set and print the design "
                   "report");
@@ -236,11 +308,23 @@ int cmd_simulate(const std::string& path, int argc,
   double horizon = 100000.0;
   std::uint64_t seed = 1;
   std::string policy = "drop";
+  std::string trace_bin;
+  std::string trace_txt;
+  std::uint64_t trace_capacity = 0;
   common::Cli cli("mcs-cli simulate: run the task set in the EDF-VD "
                   "discrete-event simulator");
   cli.add_double("horizon", &horizon, "simulated time (ms)");
   cli.add_u64("seed", &seed, "simulation seed");
   cli.add_string("policy", &policy, "LC policy in HI mode: drop | degrade");
+  cli.add_string("trace-bin", &trace_bin,
+                 "stream the full event log to this file in the compact "
+                 "binary format (decode with mcs-trace)");
+  cli.add_string("trace-txt", &trace_txt,
+                 "write the in-memory trace rendering to this file "
+                 "(bounded by --trace-capacity)");
+  cli.add_u64("trace-capacity", &trace_capacity,
+              "in-memory trace bound in events (0 = off; implied "
+              "by --trace-txt)");
   if (!cli.parse(argc, argv)) return 1;
 
   const mc::TaskSet tasks = load_file(path);
@@ -258,7 +342,19 @@ int cmd_simulate(const std::string& path, int argc,
     return 1;
   }
   config.response_reservoir = 512;
+  config.trace_binary_path = trace_bin;
+  config.trace_capacity = trace_capacity;
+  if (!trace_txt.empty() && config.trace_capacity == 0)
+    config.trace_capacity = std::size_t{1} << 20;
   const sim::SimResult result = sim::simulate(tasks, config);
+  if (!trace_txt.empty()) {
+    std::ofstream out(trace_txt);
+    out << result.trace.render();
+    if (!out) {
+      std::fprintf(stderr, "simulate: cannot write %s\n", trace_txt.c_str());
+      return 1;
+    }
+  }
   const sim::SimMetrics& m = result.metrics;
   std::printf("horizon            : %.0f ms (x = %.3f, policy = %s)\n",
               horizon, config.x, policy.c_str());
@@ -280,11 +376,20 @@ int cmd_simulate(const std::string& path, int argc,
   std::printf("utilization        : %.2f%%\n",
               100.0 * m.observed_utilization());
   std::puts("per-task response times (mean / p95 / p99 / max, ms):");
+  // A task that never completed a job has no response distribution; its
+  // quantiles are NaN (reservoir.hpp) and render as "-", not 0.000.
+  const auto fmt = [](double v) {
+    char buf[16];
+    if (std::isnan(v)) std::snprintf(buf, sizeof buf, "%8s", "-");
+    else std::snprintf(buf, sizeof buf, "%8.3f", v);
+    return std::string(buf);
+  };
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    std::printf("  %-16s %8.3f / %8.3f / %8.3f / %8.3f\n",
-                tasks[i].name.c_str(), m.per_task[i].mean_response(),
-                m.per_task[i].p95_response, m.per_task[i].p99_response,
-                m.per_task[i].max_response);
+    std::printf("  %-16s %s / %s / %s / %s\n", tasks[i].name.c_str(),
+                fmt(m.per_task[i].mean_response()).c_str(),
+                fmt(m.per_task[i].p95_response).c_str(),
+                fmt(m.per_task[i].p99_response).c_str(),
+                fmt(m.per_task[i].max_response).c_str());
   }
   return m.hc_deadline_misses == 0 ? 0 : 1;
 }
@@ -342,6 +447,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (command == "campaign") return cmd_campaign(argc - 1, argv + 1);
     if (command == "wcet") {
       if (argc < 3) {
         std::fprintf(stderr, "wcet requires a kernel name\n");
