@@ -1,0 +1,259 @@
+// Incremental admission control for an open MC system.
+//
+// Closed-world experiments generate a task set, test it once, and discard
+// it; a long-running system instead sees a continuous stream of arrivals
+// and departures and must answer "can this task join?" quickly and
+// always-safely. AdmissionController keeps the resident set together with
+// cached per-task analysis terms — the Eq. 7 utilization addends of the
+// EDF-VD test (sched/edf_vd.hpp) and the per-task demand terms plus the
+// scanned deadline-instant trace of the processor-demand test
+// (sched/dbf.hpp) — so one arrival re-validates the whole set in
+// O(changed instants) instead of re-running Eq. 8 + the DBF scan from
+// scratch.
+//
+// The incremental verdict is *bit-identical* to the from-scratch
+// admission_check() below, not merely approximately equal:
+//  - utilization aggregates are re-folded left-to-right over cached
+//    addends in admission order, the exact fold TaskSet::utilization
+//    performs;
+//  - an arrival appends its terms at the end of that order, so every
+//    partial sum of the old fold is a prefix of the new one;
+//  - the demand scan replays the cached instant trace and merges the
+//    candidate's deadline sequence into it, folding cached per-instant
+//    totals with the candidate's dbf_task_demand — the same additions
+//    dbf_scan would perform on the extended term span;
+//  - departures either re-scan (the float fold cannot be "un-folded"
+//    exactly) or, when the old verdict was conclusively schedulable and
+//    the shrunken set provably stays within the point budget, use the
+//    monotonicity of dbf to skip the scan entirely.
+// tests/test_admission_oracle.cpp drives randomized churn against the
+// from-scratch oracle to hold this contract.
+//
+// ServeSession wraps the controller in the line protocol behind
+// `mcs-cli serve` and closes the measurement loop: per-job execution
+// times feed OnlineMonitor (core/online.hpp), and drifted tasks get their
+// C^LO re-derived from the *observed* moments via Chebyshev (Eq. 6) and
+// re-admitted through the same incremental test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online.hpp"
+#include "mc/taskset.hpp"
+#include "sched/dbf.hpp"
+#include "sched/edf_vd.hpp"
+
+namespace mcs::core {
+
+/// Combined admission verdict: the Eq. 8 EDF-VD test plus the LO-mode
+/// processor-demand test over the same set.
+struct AdmissionVerdict {
+  /// vd.schedulable && dbf_schedulable: only conclusively verified sets
+  /// are admitted (an inconclusive DBF scan rejects).
+  bool admitted = true;
+  sched::EdfVdResult vd{.schedulable = true, .x = 1.0, .plain_edf = true};
+  bool dbf_schedulable = true;
+  bool dbf_inconclusive = false;
+};
+
+/// Field-wise equality with bitwise comparison of `x` (the oracle tests
+/// compare incremental verdicts against from-scratch recomputes).
+[[nodiscard]] bool verdict_equal(const AdmissionVerdict& a,
+                                 const AdmissionVerdict& b);
+
+/// From-scratch reference: evaluates the full set with edf_vd_test and
+/// edf_dbf_test (LO mode). The incremental controller must match this
+/// bit for bit after every mutation.
+[[nodiscard]] AdmissionVerdict admission_check(const mc::TaskSet& tasks);
+
+/// Long-lived admission test over a mutable resident set.
+class AdmissionController {
+ public:
+  struct Config {
+    /// Rebuild the demand cache eagerly when a departure invalidates it
+    /// (keeps every subsequent arrival on the O(instants) append path) or
+    /// lazily at the next decision that needs it (O(tasks) departures,
+    /// one full scan amortized onto the next arrival).
+    bool eager_departure_rebuild = true;
+  };
+
+  struct Stats {
+    std::uint64_t arrivals = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t departures = 0;
+    /// Departures resolved by the dbf-monotonicity shortcut (no scan).
+    std::uint64_t shortcut_departures = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t updates_rejected = 0;
+    /// Full demand scans (from-scratch cost) vs. cached append scans.
+    std::uint64_t full_scans = 0;
+    std::uint64_t append_scans = 0;
+  };
+
+  struct Decision {
+    bool admitted = false;
+    /// Resident id of the admitted task (0 when rejected).
+    std::uint64_t id = 0;
+    /// Verdict of resident-set ∪ {candidate}.
+    AdmissionVerdict verdict;
+  };
+
+  struct UpdateResult {
+    bool applied = false;
+    /// Verdict of the set with the modified task (== current() only when
+    /// applied).
+    AdmissionVerdict verdict;
+  };
+
+  AdmissionController();
+  explicit AdmissionController(Config config);
+
+  /// Tests resident ∪ {task}; admits (and assigns an id) iff the combined
+  /// verdict is conclusively schedulable. Rejections leave all state
+  /// untouched. Throws std::invalid_argument on an invalid task.
+  Decision try_admit(const mc::McTask& task);
+
+  /// Removes a resident task. Returns false for an unknown id. The
+  /// remaining set is always truly schedulable (demand only shrinks), but
+  /// the recorded verdict may become dbf-inconclusive when re-verification
+  /// would exceed the point budget.
+  bool remove(std::uint64_t id);
+
+  /// Re-tests the resident task with a new C^LO (for LC tasks C^HI moves
+  /// with it); applies the change iff the modified set stays admitted,
+  /// else keeps the old task. Throws std::invalid_argument for an unknown
+  /// id or a budget that violates McTask::valid().
+  UpdateResult try_update(std::uint64_t id, double wcet_lo);
+
+  /// Verdict of the current resident set (bit-identical to
+  /// admission_check(resident_set())).
+  [[nodiscard]] const AdmissionVerdict& current() const { return current_; }
+
+  [[nodiscard]] std::size_t resident_count() const {
+    return residents_.size();
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Aggregate Eq. 7 utilizations of the resident set (refolded from the
+  /// cached addends).
+  [[nodiscard]] sched::McUtilization utilization() const;
+
+  /// Copy of the resident set in admission order — the canonical order
+  /// every fold and scan runs in.
+  [[nodiscard]] mc::TaskSet resident_set() const;
+
+  /// Resident task by id (nullptr when unknown).
+  [[nodiscard]] const mc::McTask* find(std::uint64_t id) const;
+
+ private:
+  struct Resident {
+    std::uint64_t id = 0;
+    mc::McTask task;
+    sched::DbfTaskTerms terms;  ///< LO-mode demand terms
+    double u_lo = 0.0;          ///< utilization(kLow) addend
+    double u_hi = 0.0;          ///< utilization(kHigh) addend
+  };
+
+  /// Outcome of one demand evaluation, in DbfResult terms plus the trace
+  /// to commit when the mutation is accepted.
+  struct DemandOutcome {
+    bool schedulable = false;
+    bool inconclusive = false;
+    sched::DbfScanTrace trace;
+  };
+
+  [[nodiscard]] sched::McUtilization fold_utilization(
+      const Resident* extra) const;
+  [[nodiscard]] std::vector<sched::DbfTaskTerms> term_span(
+      const Resident* extra) const;
+  /// Full dbf_scan over residents (+ optional extra), counting stats.
+  DemandOutcome full_scan(const Resident* extra);
+  /// Merge-replay of the cached trace with one appended task; falls back
+  /// to full_scan when the cache cannot be extended soundly.
+  DemandOutcome append_scan(const Resident& extra);
+  /// Re-validates cache_ for the current residents (full scan if dirty).
+  void ensure_cache();
+
+  Config config_;
+  std::vector<Resident> residents_;  ///< admission order
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  AdmissionVerdict current_;
+  sched::DbfScanTrace cache_;  ///< instant trace of the resident set
+  bool cache_valid_ = true;    ///< empty-set trace is trivially valid
+  Stats stats_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// One request-per-line service over an AdmissionController, used by
+/// `mcs-cli serve` and exercised directly in tests. Requests:
+///
+///   admit name=N crit=HC|LC wcet_lo=X period=P [wcet_hi=Y] [deadline=D]
+///         [acet=A] [sigma=S]
+///   remove name=N | id=I
+///   record name=N | id=I time=T         (per-job execution time)
+///   tick                                (drift check + re-optimization)
+///   stats
+///   quit
+///
+/// Blank lines and '#' comments yield no output. Every response is a
+/// deterministic single line (tick may emit one `reopt` line per drifted
+/// task before its summary), so replayed scripts are byte-comparable.
+class ServeSession {
+ public:
+  struct Config {
+    AdmissionController::Config admission;
+    /// OnlineMonitor envelope (see core/online.hpp).
+    double moment_tolerance = 0.15;
+    std::size_t min_jobs = 100;
+  };
+
+  ServeSession();
+  explicit ServeSession(Config config);
+
+  /// Handles one request line; returns the response text without a
+  /// trailing newline ("" for silent lines).
+  std::string handle_line(const std::string& line);
+
+  /// True once a `quit` request was processed.
+  [[nodiscard]] bool closed() const { return closed_; }
+
+  [[nodiscard]] const AdmissionController& controller() const {
+    return controller_;
+  }
+
+ private:
+  /// Resident bookkeeping beyond the controller: name binding and the
+  /// per-task drift monitor for HC tasks with a measurement profile.
+  struct Entry {
+    std::string name;
+    /// Single-task monitor (OnlineMonitor is fixed-size; one per task
+    /// keeps arrivals/departures independent).
+    std::optional<OnlineMonitor> monitor;
+    double n_design = 0.0;  ///< multiplier implied by the admitted C^LO
+  };
+
+  std::string handle_admit(const std::vector<std::string>& tokens);
+  std::string handle_remove(const std::vector<std::string>& tokens);
+  std::string handle_record(const std::vector<std::string>& tokens);
+  std::string handle_tick();
+  [[nodiscard]] std::string handle_stats() const;
+  /// Resolves a `name=` or `id=` argument to a resident id; returns 0 and
+  /// sets *error on failure.
+  [[nodiscard]] std::uint64_t resolve_id(
+      const std::vector<std::string>& tokens, std::string* error) const;
+
+  Config config_;
+  AdmissionController controller_;
+  std::map<std::uint64_t, Entry> entries_;  ///< id order == admission order
+  std::unordered_map<std::string, std::uint64_t> by_name_;
+  bool closed_ = false;
+};
+
+}  // namespace mcs::core

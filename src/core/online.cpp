@@ -1,6 +1,7 @@
 #include "core/online.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "stats/chebyshev.hpp"
@@ -36,19 +37,27 @@ DriftReport OnlineMonitor::report(std::size_t index) const {
   const State& state = state_.at(index);
   DriftReport report;
   report.jobs = state.acc.count();
-  report.observed_acet = state.acc.mean();
-  report.observed_sigma = state.acc.stddev();
   report.design_bound = stats::chebyshev_exceedance_bound(task.n);
-  report.observed_overrun_rate =
-      report.jobs == 0 ? 0.0
-                       : static_cast<double>(state.overruns) /
-                             static_cast<double>(report.jobs);
+  // ReservoirSampler convention: no evidence yields NaN, not a fake 0.0
+  // (a reported sigma of exactly 0.0 would read as "perfectly stable").
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  if (report.jobs == 0) {
+    report.observed_acet = nan;
+    report.observed_sigma = nan;
+    report.observed_overrun_rate = nan;
+    return report;
+  }
+  report.observed_acet = state.acc.mean();
+  // One job pins the mean but says nothing about spread.
+  report.observed_sigma = report.jobs < 2 ? nan : state.acc.stddev();
+  report.observed_overrun_rate = static_cast<double>(state.overruns) /
+                                 static_cast<double>(report.jobs);
   if (report.jobs < min_jobs_) return report;  // not enough evidence yet
 
   const double acet_error =
       std::abs(report.observed_acet - task.acet) / task.acet;
   const double sigma_error =
-      task.sigma > 0.0
+      task.sigma > 0.0 && !std::isnan(report.observed_sigma)
           ? std::abs(report.observed_sigma - task.sigma) / task.sigma
           : 0.0;
   report.moments_drifted =
@@ -61,6 +70,14 @@ DriftReport OnlineMonitor::report(std::size_t index) const {
                       static_cast<double>(report.jobs));
   report.bound_violated = report.observed_overrun_rate > p + noise;
   return report;
+}
+
+void OnlineMonitor::rebaseline(std::size_t index, const MonitoredTask& task) {
+  if (task.acet <= 0.0 || task.sigma < 0.0 || task.wcet_lo <= 0.0 ||
+      task.n < 0.0)
+    throw std::invalid_argument("OnlineMonitor: invalid task reference");
+  tasks_.at(index) = task;
+  state_.at(index) = State{};
 }
 
 bool OnlineMonitor::any_reassignment_recommended() const {

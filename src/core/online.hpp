@@ -26,6 +26,12 @@ struct MonitoredTask {
 };
 
 /// Drift verdict for one task.
+///
+/// Observed moments follow the ReservoirSampler convention: statistics
+/// that have no evidence yet are NaN, never a fake 0.0 — `observed_acet`
+/// and `observed_overrun_rate` are NaN until the first job, and
+/// `observed_sigma` is NaN until a second job makes a spread estimate
+/// meaningful.
 struct DriftReport {
   double observed_acet = 0.0;
   double observed_sigma = 0.0;
@@ -56,6 +62,11 @@ class OnlineMonitor {
 
   /// Current verdict for task `index`.
   [[nodiscard]] DriftReport report(std::size_t index) const;
+
+  /// Replaces task `index`'s design reference and discards its observed
+  /// history — used after a re-optimization deploys a new C^LO so drift
+  /// is judged against the new envelope, not the stale one.
+  void rebaseline(std::size_t index, const MonitoredTask& task);
 
   /// True when any task recommends reassignment.
   [[nodiscard]] bool any_reassignment_recommended() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
@@ -12,31 +13,16 @@ namespace mcs::sched {
 
 namespace {
 
-constexpr double kEps = 1e-9;
-
-/// Hard cap on checked deadline instants: when the analysis horizon (the
-/// hyperperiod for U ≈ 1 sets) needs more points than this, the test
-/// reports "inconclusive" rather than spending unbounded time — it never
-/// claims schedulability it has not verified.
-constexpr std::size_t kMaxPointsChecked = 200'000;
-
-double task_dbf(const mc::McTask& task, double t, mc::Mode mode) {
-  const double d = task.deadline();
-  if (t + kEps < d) return 0.0;
-  const double jobs = std::floor((t - d) / task.period + kEps) + 1.0;
-  return jobs * task.wcet(mode);
-}
-
-/// Hyperperiod (lcm) of the task periods, in the original time unit.
+/// Hyperperiod (lcm) of the term periods, in the original time unit.
 /// Periods are integralized by the smallest power-of-ten scale that makes
 /// every period a near-integer; returns 0 when no scale works or the lcm
 /// overflows `cap` — callers must then treat the horizon as unbounded.
-double hyperperiod(const mc::TaskSet& tasks, double cap) {
+double hyperperiod(std::span<const DbfTaskTerms> terms, double cap) {
   for (const double scale : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
     std::uint64_t lcm = 1;
     bool ok = true;
-    for (const mc::McTask& task : tasks) {
-      const double scaled = task.period * scale;
+    for (const DbfTaskTerms& term : terms) {
+      const double scaled = term.period * scale;
       const double rounded = std::round(scaled);
       if (rounded < 1.0 ||
           std::abs(scaled - rounded) > 1e-6 * std::max(1.0, scaled)) {
@@ -59,33 +45,44 @@ double hyperperiod(const mc::TaskSet& tasks, double cap) {
 
 }  // namespace
 
+DbfTaskTerms dbf_terms(const mc::McTask& task, mc::Mode mode) {
+  DbfTaskTerms term;
+  term.wcet = task.wcet(mode);
+  term.deadline = task.deadline();
+  term.period = task.period;
+  term.util = term.wcet / term.period;
+  term.laxity_util = (term.period - term.deadline) * term.util;
+  return term;
+}
+
+double dbf_task_demand(const DbfTaskTerms& t, double time) {
+  if (time + kDbfEps < t.deadline) return 0.0;
+  const double jobs = std::floor((time - t.deadline) / t.period + kDbfEps) + 1.0;
+  return jobs * t.wcet;
+}
+
 double demand_bound(const mc::TaskSet& tasks, double t, mc::Mode mode) {
   if (t < 0.0)
     throw std::invalid_argument("demand_bound: t must be >= 0");
   double demand = 0.0;
-  for (const mc::McTask& task : tasks) demand += task_dbf(task, t, mode);
+  for (const mc::McTask& task : tasks)
+    demand += dbf_task_demand(dbf_terms(task, mode), t);
   return demand;
 }
 
-DbfResult edf_dbf_test(const mc::TaskSet& tasks, mc::Mode mode) {
-  if (!tasks.valid())
-    throw std::invalid_argument("edf_dbf_test: invalid task set");
-  DbfResult result;
-  if (tasks.empty()) {
-    result.schedulable = true;
-    return result;
-  }
-
-  double total_util = 0.0;
+DbfScanPlan dbf_scan_plan(std::span<const DbfTaskTerms> terms) {
+  DbfScanPlan plan;
+  if (terms.empty()) return plan;
   double weighted_laxity = 0.0;  // sum (T_i - D_i) * U_i, for the La bound
-  double max_deadline = 0.0;
-  for (const mc::McTask& task : tasks) {
-    const double u = task.wcet(mode) / task.period;
-    total_util += u;
-    weighted_laxity += (task.period - task.deadline()) * u;
-    max_deadline = std::max(max_deadline, task.deadline());
+  for (const DbfTaskTerms& term : terms) {
+    plan.total_util += term.util;
+    weighted_laxity += term.laxity_util;
+    plan.max_deadline = std::max(plan.max_deadline, term.deadline);
   }
-  if (total_util > 1.0 + kEps) return result;  // necessary condition
+  if (plan.total_util > 1.0 + kDbfEps) {
+    plan.overloaded = true;  // necessary condition fails, nothing to scan
+    return plan;
+  }
 
   // Analysis horizon: for U < 1 the classic bound
   //   La = max(max D_i, weighted_laxity / (1 - U))
@@ -99,26 +96,45 @@ DbfResult edf_dbf_test(const mc::TaskSet& tasks, mc::Mode mode) {
   // cannot be bounded (non-integralizable periods or an lcm past the
   // point budget), the scan runs to the point budget and reports
   // "inconclusive" instead of claiming schedulability.
-  double horizon = max_deadline;
-  bool horizon_exact = true;
-  if (total_util < 1.0 - kEps) {
-    horizon = std::max(horizon, weighted_laxity / (1.0 - total_util));
+  plan.horizon = plan.max_deadline;
+  if (plan.total_util < 1.0 - kDbfEps) {
+    plan.horizon =
+        std::max(plan.horizon, weighted_laxity / (1.0 - plan.total_util));
   } else {
-    double min_period = tasks[0].period;
-    for (const mc::McTask& task : tasks)
-      min_period = std::min(min_period, task.period);
+    double min_period = terms[0].period;
+    for (const DbfTaskTerms& term : terms)
+      min_period = std::min(min_period, term.period);
     // Any horizon needing more than the point budget is uncheckable
     // anyway, so it also serves as the lcm overflow cap.
-    const double cap =
-        min_period * static_cast<double>(kMaxPointsChecked);
-    const double hp = hyperperiod(tasks, cap);
+    const double cap = min_period * static_cast<double>(kDbfPointBudget);
+    const double hp = hyperperiod(terms, cap);
     if (hp > 0.0) {
-      horizon = max_deadline + hp;
+      plan.horizon = plan.max_deadline + hp;
     } else {
-      horizon = max_deadline + cap;
-      horizon_exact = false;
+      plan.horizon = plan.max_deadline + cap;
+      plan.horizon_exact = false;
     }
   }
+  return plan;
+}
+
+DbfResult dbf_scan(std::span<const DbfTaskTerms> terms, DbfScanTrace* trace) {
+  DbfResult result;
+  if (trace) {
+    trace->times.clear();
+    trace->demand.clear();
+    trace->horizon = 0.0;
+    trace->complete = false;
+  }
+  if (terms.empty()) {
+    result.schedulable = true;
+    if (trace) trace->complete = true;
+    return result;
+  }
+
+  const DbfScanPlan plan = dbf_scan_plan(terms);
+  if (trace) trace->horizon = plan.horizon;
+  if (plan.overloaded) return result;
 
   // Merge the per-task deadline sequences (D_i, D_i + T_i, ...) up to the
   // horizon with a priority queue, checking dbf at each instant.
@@ -128,36 +144,65 @@ DbfResult edf_dbf_test(const mc::TaskSet& tasks, mc::Mode mode) {
     bool operator>(const Next& other) const { return time > other.time; }
   };
   std::priority_queue<Next, std::vector<Next>, std::greater<>> queue;
-  for (std::size_t i = 0; i < tasks.size(); ++i)
-    queue.push({tasks[i].deadline(), i});
+  for (std::size_t i = 0; i < terms.size(); ++i)
+    queue.push({terms[i].deadline, i});
 
+  const double nan = std::numeric_limits<double>::quiet_NaN();
   double last_checked = -1.0;
   while (!queue.empty()) {
     const Next next = queue.top();
     queue.pop();
-    if (next.time > horizon + kEps) break;
-    queue.push({next.time + tasks[next.task].period, next.task});
-    if (std::abs(next.time - last_checked) < kEps) continue;  // merged instant
+    if (next.time > plan.horizon + kDbfEps) break;
+    queue.push({next.time + terms[next.task].period, next.task});
+    if (std::abs(next.time - last_checked) < kDbfEps) {  // merged instant
+      // Near-duplicates are skipped here, but the skip decision depends
+      // on the running anchor, which can shift when an appended re-scan
+      // interleaves new instants — record them (exact duplicates of the
+      // last recorded instant always re-skip, so they are dropped).
+      if (trace &&
+          (trace->times.empty() || next.time != trace->times.back())) {
+        trace->times.push_back(next.time);
+        trace->demand.push_back(nan);
+      }
+      continue;
+    }
     last_checked = next.time;
-    if (result.points_checked >= kMaxPointsChecked) {
+    if (result.points_checked >= kDbfPointBudget) {
       result.inconclusive = true;
       return result;
     }
     ++result.points_checked;
-    const double demand = demand_bound(tasks, next.time, mode);
-    if (demand > next.time + kEps) {
+    double demand = 0.0;
+    for (const DbfTaskTerms& term : terms)
+      demand += dbf_task_demand(term, next.time);
+    if (trace) {
+      trace->times.push_back(next.time);
+      trace->demand.push_back(demand);
+    }
+    if (demand > next.time + kDbfEps) {
       result.violation_time = next.time;
       result.violation_demand = demand;
       return result;
     }
   }
-  // A capped horizon that ran dry proves nothing beyond the cap.
-  if (!horizon_exact) {
+  // The scan reached the horizon, so the trace covers every generated
+  // instant — even when the capped horizon below proves nothing.
+  if (trace) trace->complete = true;
+  if (!plan.horizon_exact) {
     result.inconclusive = true;
     return result;
   }
   result.schedulable = true;
   return result;
+}
+
+DbfResult edf_dbf_test(const mc::TaskSet& tasks, mc::Mode mode) {
+  if (!tasks.valid())
+    throw std::invalid_argument("edf_dbf_test: invalid task set");
+  std::vector<DbfTaskTerms> terms;
+  terms.reserve(tasks.size());
+  for (const mc::McTask& task : tasks) terms.push_back(dbf_terms(task, mode));
+  return dbf_scan(terms);
 }
 
 }  // namespace mcs::sched

@@ -10,11 +10,30 @@
 // cap. This extends the library beyond the paper's implicit-deadline
 // model (a natural "library completeness" feature the EDF-VD analysis can
 // build on later).
+//
+// The scan itself is exposed in a reusable form (per-task terms, horizon
+// plan, and an optional per-instant trace) so the incremental admission
+// controller (core/admission) can cache demand terms and replay exactly
+// the same deadline-instant sequence — its verdicts are bit-identical to
+// edf_dbf_test by construction, not by accident.
 #pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
 
 #include "mc/taskset.hpp"
 
 namespace mcs::sched {
+
+/// Comparison tolerance of the demand scan (absolute, ms).
+inline constexpr double kDbfEps = 1e-9;
+
+/// Hard cap on checked deadline instants: when the analysis horizon (the
+/// hyperperiod for U ≈ 1 sets) needs more points than this, the test
+/// reports "inconclusive" rather than spending unbounded time — it never
+/// claims schedulability it has not verified.
+inline constexpr std::size_t kDbfPointBudget = 200'000;
 
 /// dbf(t) in the given mode: total execution demand of jobs with both
 /// release and deadline inside any window of length t. Requires t >= 0.
@@ -36,6 +55,58 @@ struct DbfResult {
   /// Number of deadline instants checked.
   std::size_t points_checked = 0;
 };
+
+/// Per-task terms of the demand scan, precomputed once so the scan (and
+/// the admission cache) runs on flat PODs instead of McTask objects.
+struct DbfTaskTerms {
+  double wcet = 0.0;
+  double deadline = 0.0;
+  double period = 0.0;
+  double util = 0.0;         ///< wcet / period
+  double laxity_util = 0.0;  ///< (period - deadline) * util, for La
+};
+
+/// Extracts the scan terms of one task in the given mode.
+[[nodiscard]] DbfTaskTerms dbf_terms(const mc::McTask& task, mc::Mode mode);
+
+/// One task's contribution to dbf(t): the exact expression the scan
+/// folds, exported so cached-term paths reproduce it bit for bit.
+[[nodiscard]] double dbf_task_demand(const DbfTaskTerms& t, double time);
+
+/// Horizon decision of the scan (the folds run in span order, so two
+/// calls over the same term sequence agree bitwise).
+struct DbfScanPlan {
+  double total_util = 0.0;   ///< folded utilization (span order)
+  double max_deadline = 0.0;
+  double horizon = 0.0;
+  bool horizon_exact = true;  ///< false: capped scan, cannot conclude
+  bool overloaded = false;    ///< total_util > 1 + eps: reject, no scan
+};
+
+/// Computes the analysis horizon for a term sequence (La bound for U < 1,
+/// hyperperiod cap for U ≈ 1).
+[[nodiscard]] DbfScanPlan dbf_scan_plan(std::span<const DbfTaskTerms> terms);
+
+/// Optional per-instant record of one scan, consumed by the incremental
+/// admission cache. `times` holds every generated deadline instant up to
+/// the scan end in merged order, except exact duplicates of the
+/// preceding checked instant (their re-scan outcome is always "skipped",
+/// so they carry no information). `demand[i]` is the folded dbf at
+/// `times[i]` for checked instants and NaN for instants the scan skipped
+/// as near-duplicates (within kDbfEps of the last checked instant).
+struct DbfScanTrace {
+  std::vector<double> times;
+  std::vector<double> demand;  ///< aligned with times; NaN = not checked
+  double horizon = 0.0;        ///< plan horizon the scan ran against
+  /// True when the scan covered every instant up to the horizon (i.e. it
+  /// did not stop early at a violation or at the point budget).
+  bool complete = false;
+};
+
+/// The processor-demand scan over precomputed terms: exactly the loop of
+/// edf_dbf_test. With `trace`, records the instant sequence for reuse.
+[[nodiscard]] DbfResult dbf_scan(std::span<const DbfTaskTerms> terms,
+                                 DbfScanTrace* trace = nullptr);
 
 /// Exact EDF feasibility for periodic constrained-deadline tasks in the
 /// given mode. Tasks with utilization sum > 1 are rejected immediately;

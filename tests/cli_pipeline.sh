@@ -40,6 +40,51 @@ cmp "$WORKDIR/wcet_j1.txt" "$WORKDIR/wcet_j4.txt"
 # The simulator exits non-zero on HC deadline misses; reaching this line
 # means the optimized set ran clean.
 
+# Open-system admission service: replaying the same churn script must
+# yield byte-identical output at every --jobs value, in both
+# departure-rebuild modes.
+cat > "$WORKDIR/churn.txt" <<'EOF'
+# open-system churn script (see EXPERIMENTS.md)
+admit name=video crit=HC wcet_lo=2.0 wcet_hi=6.0 period=20 acet=1.6 sigma=0.2
+admit name=radar crit=HC wcet_lo=3.0 wcet_hi=9.0 period=30 acet=2.4 sigma=0.3
+admit name=telemetry crit=LC wcet_lo=1.0 period=10
+admit name=logger crit=LC wcet_lo=2.0 period=25
+stats
+admit name=hog crit=LC wcet_lo=9.0 period=10
+remove name=logger
+record name=video time=2.5
+record name=video time=2.7
+record name=video time=2.4
+record name=video time=2.6
+record name=video time=2.8
+record name=video time=2.3
+record name=video time=2.55
+record name=video time=2.65
+tick
+stats
+quit
+EOF
+"$CLI" serve --script="$WORKDIR/churn.txt" --min-jobs=8 --jobs=1 \
+  > "$WORKDIR/serve_j1.txt"
+"$CLI" serve --script="$WORKDIR/churn.txt" --min-jobs=8 --jobs=2 \
+  > "$WORKDIR/serve_j2.txt"
+"$CLI" serve --script="$WORKDIR/churn.txt" --min-jobs=8 --jobs=8 \
+  > "$WORKDIR/serve_j8.txt"
+cmp "$WORKDIR/serve_j1.txt" "$WORKDIR/serve_j2.txt"
+cmp "$WORKDIR/serve_j1.txt" "$WORKDIR/serve_j8.txt"
+grep -q "ok admit video" "$WORKDIR/serve_j1.txt"
+grep -q "reject admit hog" "$WORKDIR/serve_j1.txt"
+grep -q "reopt video" "$WORKDIR/serve_j1.txt"
+grep -q "ok tick monitored=2 drifted=1 reoptimized=1" "$WORKDIR/serve_j1.txt"
+grep -q "stats resident=3 state=ok" "$WORKDIR/serve_j1.txt"
+# The lazy departure mode answers the same requests identically; only the
+# scan accounting in the stats line may differ.
+"$CLI" serve --script="$WORKDIR/churn.txt" --min-jobs=8 --lazy-departures \
+  > "$WORKDIR/serve_lazy.txt"
+grep -v "^stats" "$WORKDIR/serve_j1.txt" > "$WORKDIR/serve_j1_nostats.txt"
+grep -v "^stats" "$WORKDIR/serve_lazy.txt" > "$WORKDIR/serve_lazy_nostats.txt"
+cmp "$WORKDIR/serve_j1_nostats.txt" "$WORKDIR/serve_lazy_nostats.txt"
+
 # Shard fan-out: running a driver as 4 independent shards and merging the
 # partial CSVs must reproduce the unsharded CSV byte for byte.
 if [ -n "$MERGE" ]; then

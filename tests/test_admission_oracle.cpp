@@ -1,0 +1,388 @@
+// Churn oracle for the incremental admission controller.
+//
+// The contract of core/admission.hpp is strong: after ANY sequence of
+// arrivals, departures, and budget updates, AdmissionController::current()
+// is *bit-identical* to admission_check() run from scratch over the
+// resident set — same booleans, same x down to the last ulp. These tests
+// drive randomized churn sequences (mixed criticalities, constrained
+// deadlines, near-saturation sets, eps-tied deadline instants, exact-U=1
+// hyperperiod sets) through both departure-rebuild modes and check the
+// contract after every single step, along with the safety invariant that
+// the resident set is never in a known-infeasible state.
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sched/dbf.hpp"
+#include "sched/edf_vd.hpp"
+
+namespace mcs::core {
+namespace {
+
+void expect_verdict_eq(const AdmissionVerdict& incremental,
+                       const AdmissionVerdict& scratch,
+                       const std::string& context) {
+  EXPECT_EQ(incremental.admitted, scratch.admitted) << context;
+  EXPECT_EQ(incremental.vd.schedulable, scratch.vd.schedulable) << context;
+  EXPECT_EQ(incremental.vd.plain_edf, scratch.vd.plain_edf) << context;
+  // Bitwise, not EXPECT_DOUBLE_EQ: the incremental fold must reproduce
+  // the exact double, not a neighbour.
+  EXPECT_EQ(std::memcmp(&incremental.vd.x, &scratch.vd.x, sizeof(double)), 0)
+      << context << "  x_inc=" << incremental.vd.x
+      << " x_scratch=" << scratch.vd.x;
+  EXPECT_EQ(incremental.dbf_schedulable, scratch.dbf_schedulable) << context;
+  EXPECT_EQ(incremental.dbf_inconclusive, scratch.dbf_inconclusive)
+      << context;
+}
+
+/// The resident set must never be known-infeasible: EDF-VD holds and the
+/// demand test either verified or (after a departure) is inconclusive.
+void expect_never_infeasible(const AdmissionVerdict& v,
+                             const std::string& context) {
+  EXPECT_TRUE(v.vd.schedulable) << context;
+  EXPECT_TRUE(v.dbf_schedulable || v.dbf_inconclusive) << context;
+}
+
+struct ChurnProfile {
+  double u_lo = 0.01;   ///< per-task LO utilization range
+  double u_hi = 0.12;
+  double constrained_p = 0.0;  ///< probability of a constrained deadline
+  bool integral_periods = false;
+};
+
+mc::McTask random_task(common::Rng& rng, int serial,
+                       const ChurnProfile& profile) {
+  const bool hc = rng.bernoulli(0.4);
+  double period;
+  if (profile.integral_periods) {
+    // Harmonic-ish integral periods keep hyperperiods computable for the
+    // U ≈ 1 branch.
+    const double choices[] = {8.0, 10.0, 16.0, 20.0, 40.0};
+    period = choices[rng.uniform_u64(0, 4)];
+  } else {
+    period = std::pow(10.0, rng.uniform(1.0, 3.0));
+  }
+  const double u = rng.uniform(profile.u_lo, profile.u_hi);
+  const double wcet_lo = std::max(1e-6, u * period);
+  const std::string name = "t" + std::to_string(serial);
+  mc::McTask task;
+  if (hc) {
+    const double wcet_hi =
+        std::min(period, wcet_lo * rng.uniform(1.3, 3.0));
+    task = mc::McTask::high(name, wcet_lo, wcet_hi, period);
+  } else {
+    task = mc::McTask::low(name, wcet_lo, period);
+  }
+  if (profile.constrained_p > 0.0 && rng.bernoulli(profile.constrained_p)) {
+    const double floor_d = task.wcet_hi;
+    task.deadline_override = rng.uniform(
+        std::min(period, std::max(floor_d, 0.4 * period)), period);
+    if (!task.valid()) task.deadline_override = 0.0;  // keep implicit
+  }
+  return task;
+}
+
+/// One randomized churn sequence: ~30 steps of arrive/depart/update, the
+/// oracle checked after every step.
+void run_churn_sequence(std::uint64_t seed, const ChurnProfile& profile,
+                        bool eager) {
+  common::Rng rng(seed);
+  AdmissionController::Config config;
+  config.eager_departure_rebuild = eager;
+  AdmissionController ctl(config);
+  std::vector<std::uint64_t> ids;
+  int serial = 0;
+  for (int step = 0; step < 30; ++step) {
+    const std::string context = "seed=" + std::to_string(seed) +
+                                " step=" + std::to_string(step) +
+                                (eager ? " eager" : " lazy");
+    const double r = rng.uniform01();
+    if (r < 0.55 || ids.empty()) {
+      const mc::McTask task = random_task(rng, serial++, profile);
+      // Build the candidate set BEFORE mutating, then compare verdicts.
+      mc::TaskSet candidate = ctl.resident_set();
+      candidate.add(task);
+      const AdmissionVerdict scratch = admission_check(candidate);
+      const AdmissionController::Decision d = ctl.try_admit(task);
+      expect_verdict_eq(d.verdict, scratch, context + " (arrival)");
+      if (d.admitted) ids.push_back(d.id);
+      EXPECT_EQ(d.admitted, scratch.admitted) << context;
+    } else if (r < 0.85) {
+      const std::size_t pick = rng.uniform_u64(0, ids.size() - 1);
+      ASSERT_TRUE(ctl.remove(ids[pick])) << context;
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const std::size_t pick = rng.uniform_u64(0, ids.size() - 1);
+      const mc::McTask* task = ctl.find(ids[pick]);
+      ASSERT_NE(task, nullptr) << context;
+      const double scale = rng.uniform(0.7, 1.3);
+      double new_wcet = task->wcet_lo * scale;
+      if (task->criticality == mc::Criticality::kHigh)
+        new_wcet = std::min(new_wcet, task->wcet_hi);
+      new_wcet = std::max(new_wcet, 1e-9);
+      if (task->criticality == mc::Criticality::kLow &&
+          new_wcet > task->deadline())
+        new_wcet = task->deadline();
+      const AdmissionController::UpdateResult res =
+          ctl.try_update(ids[pick], new_wcet);
+      // Verify the reported verdict against a from-scratch build of the
+      // modified set (whether applied or not).
+      mc::TaskSet modified = ctl.resident_set();
+      if (!res.applied) {
+        // Re-apply the attempted change by name.
+        for (std::size_t i = 0; i < modified.size(); ++i) {
+          if (modified[i].name != task->name) continue;
+          modified[i].wcet_lo = new_wcet;
+          if (modified[i].criticality == mc::Criticality::kLow)
+            modified[i].wcet_hi = new_wcet;
+        }
+      }
+      expect_verdict_eq(res.verdict, admission_check(modified),
+                        context + " (update)");
+    }
+    // The standing contract: current() is bit-identical to a from-scratch
+    // recompute of the resident set, and that set is never infeasible.
+    expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
+                      context + " (resident)");
+    expect_never_infeasible(ctl.current(), context);
+    EXPECT_EQ(ctl.resident_count(), ids.size()) << context;
+  }
+}
+
+// ~200 randomized sequences over both departure modes and three churn
+// profiles (the ISSUE's oracle requirement). Light per-sequence cost
+// keeps the suite in test-suite time budget.
+TEST(AdmissionOracle, RandomChurnImplicitDeadlines) {
+  ChurnProfile profile;
+  for (std::uint64_t seq = 0; seq < 60; ++seq)
+    run_churn_sequence(common::index_seed(9001, seq), profile,
+                       /*eager=*/(seq % 2) == 0);
+}
+
+TEST(AdmissionOracle, RandomChurnConstrainedDeadlines) {
+  ChurnProfile profile;
+  profile.constrained_p = 0.35;
+  for (std::uint64_t seq = 0; seq < 60; ++seq)
+    run_churn_sequence(common::index_seed(9002, seq), profile,
+                       /*eager=*/(seq % 2) == 1);
+}
+
+TEST(AdmissionOracle, RandomChurnNearSaturation) {
+  // Fat tasks saturate the processor quickly: plenty of rejections, x
+  // factors near the feasibility edge, and integral periods that push
+  // sets into the U ≈ 1 hyperperiod branch.
+  ChurnProfile profile;
+  profile.u_lo = 0.10;
+  profile.u_hi = 0.35;
+  profile.constrained_p = 0.25;
+  profile.integral_periods = true;
+  for (std::uint64_t seq = 0; seq < 80; ++seq)
+    run_churn_sequence(common::index_seed(9003, seq), profile,
+                       /*eager=*/(seq % 2) == 0);
+}
+
+TEST(AdmissionOracle, EmptyControllerMatchesScratch) {
+  AdmissionController ctl;
+  expect_verdict_eq(ctl.current(), admission_check(mc::TaskSet{}), "empty");
+  EXPECT_TRUE(ctl.current().admitted);
+  EXPECT_EQ(ctl.resident_count(), 0u);
+}
+
+TEST(AdmissionOracle, RejectionLeavesStateUntouched) {
+  AdmissionController ctl;
+  ASSERT_TRUE(ctl.try_admit(mc::McTask::low("a", 4.0, 10.0)).admitted);
+  const AdmissionVerdict before = ctl.current();
+  // 0.4 + 0.9 > 1: EDF-VD and the demand test both fail.
+  const AdmissionController::Decision d =
+      ctl.try_admit(mc::McTask::low("hog", 9.0, 10.0));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.id, 0u);
+  EXPECT_FALSE(d.verdict.vd.schedulable);
+  EXPECT_TRUE(verdict_equal(ctl.current(), before));
+  EXPECT_EQ(ctl.resident_count(), 1u);
+  expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
+                    "after reject");
+}
+
+TEST(AdmissionOracle, RemoveUnknownIdIsFalse) {
+  AdmissionController ctl;
+  EXPECT_FALSE(ctl.remove(42));
+  ASSERT_TRUE(ctl.try_admit(mc::McTask::low("a", 1.0, 10.0)).admitted);
+  EXPECT_FALSE(ctl.remove(999));
+  EXPECT_EQ(ctl.resident_count(), 1u);
+}
+
+TEST(AdmissionOracle, ResidentSetPreservesAdmissionOrder) {
+  AdmissionController ctl;
+  ASSERT_TRUE(ctl.try_admit(mc::McTask::low("first", 1.0, 10.0)).admitted);
+  ASSERT_TRUE(
+      ctl.try_admit(mc::McTask::high("second", 1.0, 2.0, 20.0)).admitted);
+  ASSERT_TRUE(ctl.try_admit(mc::McTask::low("third", 1.0, 40.0)).admitted);
+  const auto d2 = ctl.resident_set();
+  ASSERT_EQ(d2.size(), 3u);
+  EXPECT_EQ(d2[0].name, "first");
+  EXPECT_EQ(d2[1].name, "second");
+  EXPECT_EQ(d2[2].name, "third");
+  // Removing the middle task keeps relative order.
+  std::uint64_t second_id = 0;
+  for (std::uint64_t id = 1; id <= 3; ++id)
+    if (ctl.find(id) && ctl.find(id)->name == "second") second_id = id;
+  ASSERT_TRUE(ctl.remove(second_id));
+  const auto d3 = ctl.resident_set();
+  ASSERT_EQ(d3.size(), 2u);
+  EXPECT_EQ(d3[0].name, "first");
+  EXPECT_EQ(d3[1].name, "third");
+  expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
+                    "after middle removal");
+}
+
+TEST(AdmissionOracle, EpsTiedDeadlinesMatchScratch) {
+  // Deadline instants within kDbfEps of each other exercise the dedup
+  // anchor bookkeeping in the cached trace: t2's first deadline lands
+  // 0.4 eps after t1's, and t3's lands between them on arrival.
+  AdmissionController ctl;
+  mc::McTask t1 = mc::McTask::low("t1", 1.0, 10.0);
+  mc::McTask t2 = mc::McTask::low("t2", 1.0, 10.0 + 0.4e-9);
+  mc::McTask t3 = mc::McTask::low("t3", 1.0, 10.0 + 0.2e-9);
+  for (const mc::McTask& t : {t1, t2, t3}) {
+    mc::TaskSet candidate = ctl.resident_set();
+    candidate.add(t);
+    const AdmissionVerdict scratch = admission_check(candidate);
+    const auto d = ctl.try_admit(t);
+    expect_verdict_eq(d.verdict, scratch, "eps-tie arrival " + t.name);
+    expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
+                      "eps-tie resident " + t.name);
+  }
+}
+
+TEST(AdmissionOracle, ExactFullUtilizationHyperperiodBranch) {
+  // U == 1 exactly: the from-scratch scan uses the hyperperiod horizon;
+  // the append path must reproduce the same horizon fold — including the
+  // arrival that *enters* the U ≈ 1 branch (horizon can shrink).
+  AdmissionController ctl;
+  const mc::McTask a = mc::McTask::low("a", 4.0, 8.0);     // u = 0.5
+  const mc::McTask b = mc::McTask::low("b", 4.0, 16.0);    // u = 0.25
+  const mc::McTask c = mc::McTask::low("c", 10.0, 40.0);   // u = 0.25
+  for (const mc::McTask& t : {a, b, c}) {
+    mc::TaskSet candidate = ctl.resident_set();
+    candidate.add(t);
+    const AdmissionVerdict scratch = admission_check(candidate);
+    const auto d = ctl.try_admit(t);
+    expect_verdict_eq(d.verdict, scratch, "U=1 arrival " + t.name);
+  }
+  expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
+                    "U=1 resident");
+  // Departure from the exact-U=1 set (lazy mode covered by churn tests).
+  ASSERT_TRUE(ctl.remove(1));
+  expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
+                    "U=1 after departure");
+}
+
+TEST(AdmissionOracle, LazyAndEagerModesAgreeOnVerdicts) {
+  common::Rng rng(77);
+  AdmissionController::Config lazy_cfg;
+  lazy_cfg.eager_departure_rebuild = false;
+  AdmissionController eager;  // default config is eager
+  AdmissionController lazy(lazy_cfg);
+  std::vector<std::uint64_t> eager_ids;
+  std::vector<std::uint64_t> lazy_ids;
+  ChurnProfile profile;
+  profile.u_lo = 0.05;
+  profile.u_hi = 0.2;
+  int serial = 0;
+  for (int step = 0; step < 60; ++step) {
+    if (rng.uniform01() < 0.6 || eager_ids.empty()) {
+      const mc::McTask task = random_task(rng, serial++, profile);
+      const auto de = eager.try_admit(task);
+      const auto dl = lazy.try_admit(task);
+      EXPECT_TRUE(verdict_equal(de.verdict, dl.verdict)) << "step " << step;
+      if (de.admitted) eager_ids.push_back(de.id);
+      if (dl.admitted) lazy_ids.push_back(dl.id);
+      ASSERT_EQ(eager_ids.size(), lazy_ids.size());
+    } else {
+      const std::size_t pick = rng.uniform_u64(0, eager_ids.size() - 1);
+      ASSERT_TRUE(eager.remove(eager_ids[pick]));
+      ASSERT_TRUE(lazy.remove(lazy_ids[pick]));
+      eager_ids.erase(eager_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+      lazy_ids.erase(lazy_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    EXPECT_TRUE(verdict_equal(eager.current(), lazy.current()))
+        << "step " << step;
+  }
+  // The lazy mode must actually have taken shortcuts for this test to
+  // mean anything.
+  EXPECT_GT(lazy.stats().shortcut_departures, 0u);
+  EXPECT_EQ(eager.stats().shortcut_departures, 0u);
+}
+
+TEST(AdmissionOracle, AppendPathIsActuallyUsed) {
+  // The incrementality claim: under arrival-only churn, every decision
+  // after the first rides the cached append path; full scans stay O(1)
+  // in the number of arrivals.
+  AdmissionController ctl;
+  common::Rng rng(31);
+  ChurnProfile profile;
+  int serial = 0;
+  for (int i = 0; i < 40; ++i)
+    (void)ctl.try_admit(random_task(rng, serial++, profile));
+  EXPECT_EQ(ctl.stats().arrivals, 40u);
+  EXPECT_EQ(ctl.stats().append_scans, 40u);
+  EXPECT_EQ(ctl.stats().full_scans, 0u);
+  // Eager departures rebuild immediately; arrivals stay on the append
+  // path afterwards.
+  const auto ids = [&] {
+    std::vector<std::uint64_t> v;
+    for (std::uint64_t id = 1; id <= 40; ++id)
+      if (ctl.find(id)) v.push_back(id);
+    return v;
+  }();
+  ASSERT_FALSE(ids.empty());
+  ASSERT_TRUE(ctl.remove(ids[ids.size() / 2]));
+  EXPECT_EQ(ctl.stats().full_scans, 1u);
+  (void)ctl.try_admit(random_task(rng, serial++, profile));
+  EXPECT_EQ(ctl.stats().append_scans, 41u);
+  EXPECT_EQ(ctl.stats().full_scans, 1u);
+}
+
+TEST(AdmissionOracle, UpdateRejectionKeepsOldBudget) {
+  AdmissionController ctl;
+  ASSERT_TRUE(ctl.try_admit(mc::McTask::low("a", 4.0, 10.0)).admitted);
+  const auto d = ctl.try_admit(mc::McTask::low("b", 4.0, 10.0));
+  ASSERT_TRUE(d.admitted);
+  // Inflating b to u = 0.7 overloads the processor: rejected, old budget
+  // and verdict stand.
+  const auto res = ctl.try_update(d.id, 7.0);
+  EXPECT_FALSE(res.applied);
+  EXPECT_FALSE(res.verdict.admitted);
+  EXPECT_EQ(ctl.find(d.id)->wcet_lo, 4.0);
+  EXPECT_TRUE(ctl.current().admitted);
+  expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
+                    "after rejected update");
+  EXPECT_EQ(ctl.stats().updates_rejected, 1u);
+  // A feasible shrink applies.
+  const auto ok = ctl.try_update(d.id, 3.0);
+  EXPECT_TRUE(ok.applied);
+  EXPECT_EQ(ctl.find(d.id)->wcet_lo, 3.0);
+  expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
+                    "after applied update");
+}
+
+TEST(AdmissionOracle, InvalidInputsThrow) {
+  AdmissionController ctl;
+  mc::McTask bad = mc::McTask::low("bad", 0.0, 10.0);  // wcet_lo = 0
+  EXPECT_THROW((void)ctl.try_admit(bad), std::invalid_argument);
+  EXPECT_THROW((void)ctl.try_update(7, 1.0), std::invalid_argument);
+  ASSERT_TRUE(ctl.try_admit(mc::McTask::low("a", 1.0, 10.0)).admitted);
+  EXPECT_THROW((void)ctl.try_update(1, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::core

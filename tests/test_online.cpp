@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -86,6 +87,96 @@ TEST(OnlineMonitor, Validation) {
   MonitoredTask bad = reference();
   bad.acet = 0.0;
   EXPECT_THROW(OnlineMonitor({bad}), std::invalid_argument);
+}
+
+TEST(OnlineMonitor, NoEvidenceReportsNaNNotZero) {
+  // Regression: a fresh monitor used to report observed_sigma == 0.0,
+  // which reads as "perfectly stable workload". The ReservoirSampler
+  // convention applies: no evidence is NaN.
+  OnlineMonitor monitor({reference()});
+  const DriftReport r = monitor.report(0);
+  EXPECT_EQ(r.jobs, 0u);
+  EXPECT_TRUE(std::isnan(r.observed_acet));
+  EXPECT_TRUE(std::isnan(r.observed_sigma));
+  EXPECT_TRUE(std::isnan(r.observed_overrun_rate));
+  // ... and NaN stats never trigger a verdict.
+  EXPECT_FALSE(r.moments_drifted);
+  EXPECT_FALSE(r.bound_violated);
+  EXPECT_FALSE(r.reassignment_recommended());
+  // The design bound is known without evidence.
+  EXPECT_DOUBLE_EQ(r.design_bound, 0.1);
+}
+
+TEST(OnlineMonitor, SingleJobPinsMeanButNotSigma) {
+  OnlineMonitor monitor({reference()});
+  monitor.record(0, 11.5);
+  const DriftReport r = monitor.report(0);
+  EXPECT_EQ(r.jobs, 1u);
+  EXPECT_DOUBLE_EQ(r.observed_acet, 11.5);
+  // One observation says nothing about spread: NaN, not a fake 0.0.
+  EXPECT_TRUE(std::isnan(r.observed_sigma));
+  EXPECT_DOUBLE_EQ(r.observed_overrun_rate, 0.0);
+}
+
+TEST(OnlineMonitor, SingleJobSigmaNaNDoesNotFakeMomentDrift) {
+  // With min_jobs = 1, verdicts are live from the first job; the NaN
+  // sigma must not poison the drift comparison (NaN > tol is false), so
+  // only the mean term can trigger.
+  OnlineMonitor healthy({reference()}, 0.15, 1);
+  healthy.record(0, 10.0);  // exactly the design mean
+  EXPECT_FALSE(healthy.report(0).moments_drifted);
+
+  OnlineMonitor drifted({reference()}, 0.15, 1);
+  drifted.record(0, 13.0);  // +30% mean drift
+  EXPECT_TRUE(drifted.report(0).moments_drifted);
+}
+
+TEST(OnlineMonitor, VerdictsGatedBelowMinJobsEvenWhenBoundViolated) {
+  OnlineMonitor monitor({reference()}, 0.15, 50);
+  // Every job overruns C^LO = 16 — flagrant, but below min_jobs the
+  // verdict must stay quiet while the raw statistics stay visible.
+  for (int i = 0; i < 49; ++i) monitor.record(0, 17.0);
+  const DriftReport r = monitor.report(0);
+  EXPECT_EQ(r.jobs, 49u);
+  EXPECT_DOUBLE_EQ(r.observed_overrun_rate, 1.0);
+  EXPECT_FALSE(r.bound_violated);
+  EXPECT_FALSE(r.moments_drifted);
+  monitor.record(0, 17.0);
+  EXPECT_TRUE(monitor.report(0).bound_violated);
+}
+
+TEST(OnlineMonitor, RecoveryClearsDriftFlag) {
+  // The monitor judges cumulative moments: a transient drift episode is
+  // washed out once enough in-envelope jobs accumulate, and the flag
+  // must clear without any reset.
+  OnlineMonitor monitor({reference()}, 0.15, 100);
+  common::Rng rng(6);
+  for (int i = 0; i < 200; ++i) monitor.record(0, rng.normal(14.0, 2.0));
+  EXPECT_TRUE(monitor.report(0).moments_drifted);
+  // ~10x more healthy jobs pull the cumulative mean back under +15%.
+  for (int i = 0; i < 4000; ++i) monitor.record(0, rng.normal(10.0, 2.0));
+  const DriftReport r = monitor.report(0);
+  EXPECT_FALSE(r.moments_drifted);
+  EXPECT_FALSE(r.reassignment_recommended());
+}
+
+TEST(OnlineMonitor, RebaselineResetsEvidenceAndEnvelope) {
+  OnlineMonitor monitor({reference()}, 0.15, 10);
+  for (int i = 0; i < 100; ++i) monitor.record(0, 14.0);
+  EXPECT_TRUE(monitor.report(0).moments_drifted);
+  // Re-optimization deploys a new envelope around the observed moments;
+  // the monitor restarts from zero evidence against it.
+  monitor.rebaseline(0, MonitoredTask{14.0, 2.0, 20.0, 3.0});
+  const DriftReport fresh = monitor.report(0);
+  EXPECT_EQ(fresh.jobs, 0u);
+  EXPECT_TRUE(std::isnan(fresh.observed_acet));
+  EXPECT_FALSE(fresh.reassignment_recommended());
+  common::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) monitor.record(0, rng.normal(14.0, 2.0));
+  EXPECT_FALSE(monitor.report(0).moments_drifted);
+  // Invalid references are rejected just like at construction.
+  EXPECT_THROW(monitor.rebaseline(0, MonitoredTask{0.0, 1.0, 1.0, 1.0}),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "common/cli.hpp"
 #include "common/csv_merge.hpp"
 #include "common/executor.hpp"
+#include "core/admission.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "core/optimizer.hpp"
 #include "core/lint.hpp"
@@ -52,6 +53,9 @@ int usage() {
       "  campaign            simulation campaign across U_bound with\n"
       "                      streamed per-point metric aggregation\n"
       "                      (shardable: --shard i/N + mcs_merge)\n"
+      "  serve               open-system admission-control service with\n"
+      "                      incremental EDF-VD/DBF admission (line\n"
+      "                      protocol on stdin or --script=FILE)\n"
       "  wcet <kernel>       measure + statically analyze a benchmark\n"
       "                      kernel (qsort-100, corner, edge, smooth,\n"
       "                      epic, fft-256, matmul-24, ...)\n"
@@ -394,6 +398,59 @@ int cmd_simulate(const std::string& path, int argc,
   return m.hc_deadline_misses == 0 ? 0 : 1;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  std::string script;
+  std::uint64_t min_jobs = 100;
+  double tolerance = 0.15;
+  bool lazy = false;
+  common::Cli cli(
+      "mcs-cli serve: long-running admission-control service over a\n"
+      "mutable task set. Reads one request per line (admit/remove/record/\n"
+      "tick/stats/quit, key=value arguments; '#' starts a comment) from\n"
+      "stdin or --script and answers each on stdout — every response is\n"
+      "deterministic, so replayed scripts are byte-comparable. Arrivals\n"
+      "are validated by the incremental EDF-VD + demand-bound test;\n"
+      "record/tick close the measurement loop by re-optimizing drifted\n"
+      "C^LO budgets from observed moments (Eq. 6).");
+  cli.add_string("script", &script,
+                 "read requests from this file instead of stdin (replay)");
+  cli.add_u64("min-jobs", &min_jobs,
+              "jobs before drift verdicts fire (default 100)");
+  cli.add_double("tolerance", &tolerance,
+                 "relative moment-drift tolerance (default 0.15)");
+  cli.add_flag("lazy-departures", &lazy,
+               "defer demand-cache rebuilds from departures to the next\n"
+               "arrival (O(tasks) departures)");
+  cli.add_jobs();
+  if (!cli.parse(argc, argv)) return 1;
+
+  core::ServeSession::Config config;
+  config.admission.eager_departure_rebuild = !lazy;
+  config.moment_tolerance = tolerance;
+  config.min_jobs = min_jobs;
+  core::ServeSession session(config);
+
+  std::ifstream file;
+  if (!script.empty()) {
+    file.open(script);
+    if (!file) {
+      std::fprintf(stderr, "serve: cannot open script '%s'\n",
+                   script.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = script.empty() ? std::cin : file;
+  std::string line;
+  while (!session.closed() && std::getline(in, line)) {
+    const std::string response = session.handle_line(line);
+    if (!response.empty()) {
+      std::fputs(response.c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+  }
+  return 0;
+}
+
 int cmd_partition(const std::string& path, int argc,
                   const char* const* argv) {
   std::uint64_t cores = 2;
@@ -448,6 +505,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "campaign") return cmd_campaign(argc - 1, argv + 1);
+    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     if (command == "wcet") {
       if (argc < 3) {
         std::fprintf(stderr, "wcet requires a kernel name\n");
