@@ -15,12 +15,20 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 23;
   bool csv_only = false;
   std::string out_path;
+  std::string policy_specs;
+  double target_p = 0.1;
   mcs::common::Shard shard;
   mcs::common::Cli cli(
       "Ablation A4: Chebyshev vs quantile vs EVT optimistic-WCET "
       "assignment on held-out data");
   cli.add_u64("samples", &samples, "executions per application");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_string("policy", &policy_specs,
+                 "comma-separated extra C^LO policies scored after the "
+                 "standard three (vp_n_sigma, gauss_n_sigma, "
+                 "cantelli_n_sigma, median_k_mad, iqr_whisker, ...)");
+  cli.add_double("target-p", &target_p,
+                 "exceedance target of the concentration-bound policies");
   cli.add_flag("csv", &csv_only,
                "emit only the CSV block (implied by --shard)");
   cli.add_shard(&shard);
@@ -29,8 +37,19 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
   if (shard.active() || !out_path.empty()) csv_only = true;
 
+  mcs::sched::PolicyFactoryOptions policy_options;
+  policy_options.target_p = target_p;
+  std::vector<mcs::sched::WcetOptPolicyPtr> extra_methods;
+  try {
+    extra_methods = mcs::sched::make_policy_list(policy_specs,
+                                                 policy_options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
   const auto comparisons = mcs::exp::run_assignment_methods(
-      samples, seed, mcs::common::Executor(shard));
+      samples, seed, mcs::common::Executor(shard), extra_methods);
   const mcs::common::Table table =
       mcs::exp::render_assignment_methods(comparisons);
   if (csv_only) return mcs::common::emit_csv(out_path, table.render_csv());

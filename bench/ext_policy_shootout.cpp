@@ -1,0 +1,94 @@
+// Extension: concentration-bound policy family shoot-out. Two tables:
+//  1. held-out exceedance of every C^LO policy on the nine-kernel zoo
+//     (achieved rate vs. the analytic bound at the implied multiplier),
+//  2. acceptance ratio of every policy across a utilization grid, under
+//     the Eq. 8 utilization backend or the demand-based
+//     deadline-tightening backend.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/csv_merge.hpp"
+#include "common/executor.hpp"
+#include "common/table.hpp"
+#include "exp/shootout.hpp"
+
+int main(int argc, char** argv) {
+  std::uint64_t samples = 4000;
+  std::uint64_t tasksets = 200;
+  std::uint64_t seed = 29;
+  bool csv_only = false;
+  std::string out_path;
+  std::string policy_specs;
+  std::string admission = "utilization";
+  double target_p = 0.1;
+  bool skip_kernels = false;
+  mcs::common::Shard shard;
+  mcs::common::Cli cli(
+      "Policy family shoot-out: held-out kernel exceedance and acceptance "
+      "ratio per C^LO policy (VP/Gauss/Cantelli bounds and dispersion "
+      "budgets)");
+  cli.add_u64("samples", &samples, "executions per kernel");
+  cli.add_u64("tasksets", &tasksets, "task sets per acceptance point");
+  cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_string("policy", &policy_specs,
+                 "comma-separated C^LO policy specs (default: the full "
+                 "shoot-out roster)");
+  cli.add_string("admission", &admission,
+                 "acceptance backend: utilization (Eq. 8) or demand "
+                 "(deadline-tightening search)");
+  cli.add_double("target-p", &target_p,
+                 "exceedance target of the concentration-bound policies");
+  cli.add_flag("skip-kernels", &skip_kernels,
+               "emit only the acceptance table (skips the measurement "
+               "campaigns)");
+  cli.add_flag("csv", &csv_only,
+               "emit only the acceptance CSV block (implied by --shard)");
+  cli.add_shard(&shard);
+  cli.add_output(&out_path);
+  cli.add_jobs();
+  if (!cli.parse(argc, argv)) return 1;
+  if (shard.active() || !out_path.empty()) csv_only = true;
+
+  mcs::sched::PolicyFactoryOptions policy_options;
+  policy_options.target_p = target_p;
+  std::vector<mcs::sched::WcetOptPolicyPtr> policies;
+  mcs::core::AdmissionBackend backend =
+      mcs::core::AdmissionBackend::kUtilization;
+  try {
+    policies = policy_specs.empty()
+                   ? mcs::exp::shootout_policies(policy_options)
+                   : mcs::sched::make_policy_list(policy_specs,
+                                                  policy_options);
+    backend = mcs::core::parse_admission_backend(admission);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const mcs::common::Executor exec{shard};
+  const std::vector<double> u_values = {0.5, 0.6, 0.7, 0.8, 0.9,
+                                        1.0, 1.1, 1.2, 1.3, 1.4};
+  const auto acceptance = mcs::exp::run_shootout_acceptance(
+      policies, backend, u_values, tasksets, seed, exec);
+  const mcs::common::Table acceptance_table =
+      mcs::exp::render_shootout_acceptance(acceptance);
+  if (csv_only)
+    return mcs::common::emit_csv(out_path, acceptance_table.render_csv());
+
+  if (!skip_kernels) {
+    const auto rows = mcs::exp::run_shootout_kernels(policies, samples, seed);
+    const mcs::common::Table kernel_table =
+        mcs::exp::render_shootout_kernels(rows);
+    std::fputs(kernel_table.render().c_str(), stdout);
+    std::puts("\nReading: the bound policies keep the held-out exceedance "
+              "at or below their analytic bound; VP and Gauss certify the "
+              "same target with a smaller multiplier than Cantelli when "
+              "the sample histogram is unimodal.");
+    std::puts("");
+  }
+
+  std::fputs(acceptance_table.render().c_str(), stdout);
+  std::puts("\nCSV:");
+  std::fputs(acceptance_table.render_csv().c_str(), stdout);
+  return 0;
+}

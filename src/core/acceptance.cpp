@@ -58,6 +58,49 @@ bool accepts(Approach approach, const mc::TaskSet& tasks, common::Rng& rng) {
                   : sched::edf_vd_test(u).schedulable;
 }
 
+bool policy_accepts(const sched::WcetOptPolicy& policy,
+                    const mc::TaskSet& tasks, common::Rng& rng,
+                    AdmissionBackend backend) {
+  mc::TaskSet assigned = tasks;
+  for (std::size_t i = 0; i < assigned.size(); ++i) {
+    mc::McTask& task = assigned[i];
+    if (task.criticality != mc::Criticality::kHigh) continue;
+    sched::HcTaskProfile profile{task.stats->acet, task.stats->sigma,
+                                 task.wcet_hi, task.period};
+    profile.distribution = task.stats->distribution.get();
+    task.wcet_lo =
+        std::clamp(policy.wcet_opt(profile, rng), 1e-9, task.wcet_hi);
+  }
+  if (backend == AdmissionBackend::kDemand)
+    return sched::edf_vd_demand_test(assigned).schedulable;
+  const sched::McUtilization u = sched::McUtilization::of(assigned);
+  return sched::edf_vd_test(u).schedulable;
+}
+
+double policy_acceptance_ratio(const sched::WcetOptPolicy& policy,
+                               AdmissionBackend backend, double u_bound,
+                               std::size_t num_tasksets, std::uint64_t seed,
+                               const taskgen::GeneratorConfig& config) {
+  struct SetItem {
+    mc::TaskSet tasks;
+    common::Rng rng;
+  };
+  common::Rng rng(seed);
+  const std::vector<std::size_t> verdicts = common::pipeline_map(
+      num_tasksets, 0,
+      [&](std::size_t) {
+        common::Rng set_rng = rng.split();
+        mc::TaskSet tasks = taskgen::generate_mixed(config, u_bound, set_rng);
+        return SetItem{std::move(tasks), set_rng};
+      },
+      [&](std::size_t, SetItem item) -> std::size_t {
+        return policy_accepts(policy, item.tasks, item.rng, backend) ? 1 : 0;
+      });
+  std::size_t accepted = 0;
+  for (const std::size_t verdict : verdicts) accepted += verdict;
+  return static_cast<double>(accepted) / static_cast<double>(num_tasksets);
+}
+
 double acceptance_ratio(Approach approach, double u_bound,
                         std::size_t num_tasksets, std::uint64_t seed,
                         const taskgen::GeneratorConfig& config) {

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.hpp"
 #include "mc/taskset.hpp"
+#include "sched/policies.hpp"
 #include "taskgen/generator.hpp"
 
 namespace mcs::core {
@@ -43,5 +45,25 @@ enum class Approach {
                                       std::uint64_t seed,
                                       const taskgen::GeneratorConfig& config =
                                           {});
+
+/// Policy-family variant (the shoot-out axis): assigns C^LO to every HC
+/// task with `policy` (profiles carry the generating distribution, so the
+/// sample-needing policies synthesize their deterministic surrogate) and
+/// decides schedulability with the selected backend — Eq. 8 under
+/// kUtilization, or edf_vd_demand_test (Eq. 8 shortcut + deadline-
+/// tightening grid search) under kDemand.
+[[nodiscard]] bool policy_accepts(
+    const sched::WcetOptPolicy& policy, const mc::TaskSet& tasks,
+    common::Rng& rng,
+    AdmissionBackend backend = AdmissionBackend::kUtilization);
+
+/// Fraction of `num_tasksets` random task sets at bound `u_bound`
+/// accepted under `policy` + `backend`. Same pipelined Monte Carlo as
+/// acceptance_ratio: per-set split() streams keep the ratio bit-identical
+/// at every --jobs value.
+[[nodiscard]] double policy_acceptance_ratio(
+    const sched::WcetOptPolicy& policy, AdmissionBackend backend,
+    double u_bound, std::size_t num_tasksets, std::uint64_t seed,
+    const taskgen::GeneratorConfig& config = {});
 
 }  // namespace mcs::core

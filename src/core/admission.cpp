@@ -31,20 +31,53 @@ bool bit_equal(double a, double b) {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
 }
 
+/// kDemand escalation shared by admission_check and the controller: a
+/// rejected base verdict gets one deterministic grid search over the
+/// concrete task set — identical inputs on the incremental and
+/// from-scratch paths, hence identical (bitwise) demand_x.
+void escalate_to_demand(AdmissionVerdict* verdict,
+                        const mc::TaskSet& tasks) {
+  if (verdict->admitted) return;
+  const sched::DemandVdResult search = sched::edf_vd_demand_search(tasks);
+  if (!search.schedulable) return;
+  verdict->admitted = true;
+  verdict->demand_admitted = true;
+  verdict->demand_x = search.x;
+}
+
 }  // namespace
+
+std::string to_string(AdmissionBackend backend) {
+  return backend == AdmissionBackend::kDemand ? "demand" : "utilization";
+}
+
+AdmissionBackend parse_admission_backend(std::string_view spec) {
+  if (spec == "utilization" || spec == "util" || spec == "eq8")
+    return AdmissionBackend::kUtilization;
+  if (spec == "demand") return AdmissionBackend::kDemand;
+  throw std::invalid_argument(
+      "unknown admission backend '" + std::string(spec) +
+      "' (valid: utilization, demand)");
+}
 
 bool verdict_equal(const AdmissionVerdict& a, const AdmissionVerdict& b) {
   return a.admitted == b.admitted &&
          a.vd.schedulable == b.vd.schedulable &&
          a.vd.plain_edf == b.vd.plain_edf && bit_equal(a.vd.x, b.vd.x) &&
          a.dbf_schedulable == b.dbf_schedulable &&
-         a.dbf_inconclusive == b.dbf_inconclusive;
+         a.dbf_inconclusive == b.dbf_inconclusive &&
+         a.demand_admitted == b.demand_admitted &&
+         bit_equal(a.demand_x, b.demand_x);
 }
 
-AdmissionVerdict admission_check(const mc::TaskSet& tasks) {
+AdmissionVerdict admission_check(const mc::TaskSet& tasks,
+                                 AdmissionBackend backend) {
   const sched::EdfVdResult vd = sched::edf_vd_test(tasks);
   const sched::DbfResult dbf = sched::edf_dbf_test(tasks, mc::Mode::kLow);
-  return combine(vd, dbf.schedulable, dbf.inconclusive);
+  AdmissionVerdict verdict = combine(vd, dbf.schedulable, dbf.inconclusive);
+  if (backend == AdmissionBackend::kDemand)
+    escalate_to_demand(&verdict, tasks);
+  return verdict;
 }
 
 AdmissionController::AdmissionController()
@@ -106,7 +139,19 @@ void AdmissionController::ensure_cache() {
   cache_valid_ = true;
   current_.dbf_schedulable = out.schedulable;
   current_.dbf_inconclusive = out.inconclusive;
-  current_.admitted = current_.vd.schedulable && out.schedulable;
+  // A demand certificate recorded when this verdict was formed stays
+  // valid (same resident set, deterministic search).
+  current_.admitted = (current_.vd.schedulable && out.schedulable) ||
+                      current_.demand_admitted;
+}
+
+void AdmissionController::apply_demand_backend(AdmissionVerdict* verdict,
+                                               const mc::TaskSet& tasks) {
+  if (config_.backend != AdmissionBackend::kDemand || verdict->admitted)
+    return;
+  ++stats_.demand_searches;
+  escalate_to_demand(verdict, tasks);
+  if (verdict->demand_admitted) ++stats_.demand_admissions;
 }
 
 AdmissionController::DemandOutcome AdmissionController::append_scan(
@@ -251,6 +296,12 @@ AdmissionController::Decision AdmissionController::try_admit(
   DemandOutcome dbf = append_scan(cand);
   Decision decision;
   decision.verdict = combine(vd, dbf.schedulable, dbf.inconclusive);
+  if (config_.backend == AdmissionBackend::kDemand &&
+      !decision.verdict.admitted) {
+    mc::TaskSet candidate_set = resident_set();
+    candidate_set.add(task);
+    apply_demand_backend(&decision.verdict, candidate_set);
+  }
   if (!decision.verdict.admitted) {
     ++stats_.rejected;
     return decision;  // all cached state untouched
@@ -318,6 +369,8 @@ bool AdmissionController::remove(std::uint64_t id) {
     dbf_inconclusive = out.inconclusive;
   }
   current_ = combine(vd, dbf_schedulable, dbf_inconclusive);
+  if (config_.backend == AdmissionBackend::kDemand && !current_.admitted)
+    apply_demand_backend(&current_, resident_set());
   return true;
 }
 
@@ -362,6 +415,13 @@ AdmissionController::UpdateResult AdmissionController::try_update(
 
   UpdateResult result;
   result.verdict = combine(vd, r.schedulable, r.inconclusive);
+  if (config_.backend == AdmissionBackend::kDemand &&
+      !result.verdict.admitted) {
+    mc::TaskSet modified_set;
+    for (std::size_t i = 0; i < residents_.size(); ++i)
+      modified_set.add(i == pos ? modified.task : residents_[i].task);
+    apply_demand_backend(&result.verdict, modified_set);
+  }
   if (!result.verdict.admitted) {
     ++stats_.updates_rejected;
     return result;  // keep the old task and cache
@@ -519,8 +579,12 @@ std::string ServeSession::handle_admit(
   }
   by_name_[*name] = decision.id;
   entries_[decision.id] = std::move(entry);
-  return "ok admit " + *name + " id=" + std::to_string(decision.id) +
-         " x=" + format_g(decision.verdict.vd.x) +
+  std::string response =
+      "ok admit " + *name + " id=" + std::to_string(decision.id) +
+      " x=" + format_g(decision.verdict.vd.x);
+  if (decision.verdict.demand_admitted)
+    response += " demand_x=" + format_g(decision.verdict.demand_x);
+  return response +
          " resident=" + std::to_string(controller_.resident_count());
 }
 
@@ -626,9 +690,11 @@ std::string ServeSession::handle_stats() const {
                           : (v.vd.schedulable && v.dbf_inconclusive
                                  ? "inconclusive"
                                  : "infeasible");
+  const std::string demand =
+      v.demand_admitted ? " demand_x=" + format_g(v.demand_x) : "";
   return std::string("stats resident=") +
          std::to_string(controller_.resident_count()) + " state=" + state +
-         " x=" + format_g(v.vd.x) + " u_lc_lo=" + format_g(u.lc_lo) +
+         " x=" + format_g(v.vd.x) + demand + " u_lc_lo=" + format_g(u.lc_lo) +
          " u_hc_lo=" + format_g(u.hc_lo) + " u_hc_hi=" + format_g(u.hc_hi) +
          " arrivals=" + std::to_string(s.arrivals) +
          " admitted=" + std::to_string(s.admitted) +

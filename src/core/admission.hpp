@@ -41,36 +41,70 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/online.hpp"
 #include "mc/taskset.hpp"
 #include "sched/dbf.hpp"
+#include "sched/demand_vd.hpp"
 #include "sched/edf_vd.hpp"
 
 namespace mcs::core {
 
+/// Which schedulability backend decides admission.
+enum class AdmissionBackend {
+  /// Eq. 8 EDF-VD utilization test + LO-mode demand scan (the default,
+  /// matching the paper's analysis).
+  kUtilization,
+  /// Demand-based deadline tightening (sched/demand_vd.hpp): when the
+  /// utilization verdict rejects, a grid search over the virtual-deadline
+  /// factor x runs both mode scans on the demand-bound criterion. Accepts
+  /// a superset of kUtilization by construction (the search only ever
+  /// flips rejections to admissions).
+  kDemand,
+};
+
+/// CLI spelling of a backend ("utilization" / "demand").
+[[nodiscard]] std::string to_string(AdmissionBackend backend);
+
+/// Parses a CLI spelling ("utilization", "util", "eq8" / "demand").
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] AdmissionBackend parse_admission_backend(std::string_view spec);
+
 /// Combined admission verdict: the Eq. 8 EDF-VD test plus the LO-mode
-/// processor-demand test over the same set.
+/// processor-demand test over the same set, optionally escalated to the
+/// demand-based deadline-tightening search.
 struct AdmissionVerdict {
-  /// vd.schedulable && dbf_schedulable: only conclusively verified sets
-  /// are admitted (an inconclusive DBF scan rejects).
+  /// (vd.schedulable && dbf_schedulable) || demand_admitted: only
+  /// conclusively verified sets are admitted (an inconclusive DBF scan
+  /// rejects unless the demand search certifies a factor).
   bool admitted = true;
   sched::EdfVdResult vd{.schedulable = true, .x = 1.0, .plain_edf = true};
   bool dbf_schedulable = true;
   bool dbf_inconclusive = false;
+  /// True when the base verdict rejected but the kDemand backend's grid
+  /// search found a certificate (always false under kUtilization).
+  bool demand_admitted = false;
+  /// The certified virtual-deadline factor (0 when demand_admitted is
+  /// false).
+  double demand_x = 0.0;
 };
 
-/// Field-wise equality with bitwise comparison of `x` (the oracle tests
-/// compare incremental verdicts against from-scratch recomputes).
+/// Field-wise equality with bitwise comparison of the factors (the
+/// oracle tests compare incremental verdicts against from-scratch
+/// recomputes).
 [[nodiscard]] bool verdict_equal(const AdmissionVerdict& a,
                                  const AdmissionVerdict& b);
 
 /// From-scratch reference: evaluates the full set with edf_vd_test and
-/// edf_dbf_test (LO mode). The incremental controller must match this
-/// bit for bit after every mutation.
-[[nodiscard]] AdmissionVerdict admission_check(const mc::TaskSet& tasks);
+/// edf_dbf_test (LO mode), escalating rejections to edf_vd_demand_search
+/// under kDemand. The incremental controller must match this bit for bit
+/// after every mutation.
+[[nodiscard]] AdmissionVerdict admission_check(
+    const mc::TaskSet& tasks,
+    AdmissionBackend backend = AdmissionBackend::kUtilization);
 
 /// Long-lived admission test over a mutable resident set.
 class AdmissionController {
@@ -81,6 +115,10 @@ class AdmissionController {
     /// lazily at the next decision that needs it (O(tasks) departures,
     /// one full scan amortized onto the next arrival).
     bool eager_departure_rebuild = true;
+    /// Schedulability backend. kDemand escalates base rejections to the
+    /// deadline-tightening grid search — a strictly more permissive (and
+    /// more expensive, but only on the rejection path) admission test.
+    AdmissionBackend backend = AdmissionBackend::kUtilization;
   };
 
   struct Stats {
@@ -95,6 +133,10 @@ class AdmissionController {
     /// Full demand scans (from-scratch cost) vs. cached append scans.
     std::uint64_t full_scans = 0;
     std::uint64_t append_scans = 0;
+    /// kDemand backend only: grid searches run on base rejections, and
+    /// how many of them flipped the verdict to admitted.
+    std::uint64_t demand_searches = 0;
+    std::uint64_t demand_admissions = 0;
   };
 
   struct Decision {
@@ -180,6 +222,11 @@ class AdmissionController {
   DemandOutcome append_scan(const Resident& extra);
   /// Re-validates cache_ for the current residents (full scan if dirty).
   void ensure_cache();
+  /// kDemand backend escalation: when `verdict` rejects, runs the grid
+  /// search over `tasks` and flips the verdict on a certificate. No-op
+  /// under kUtilization. Counts stats.
+  void apply_demand_backend(AdmissionVerdict* verdict,
+                            const mc::TaskSet& tasks);
 
   Config config_;
   std::vector<Resident> residents_;  ///< admission order

@@ -23,6 +23,7 @@ ObjectiveBreakdown apply_and_evaluate_policy(const mc::TaskSet& tasks,
     profile.sigma = task.stats->sigma;
     profile.wcet_pes = task.wcet_hi;
     profile.period = task.period;
+    profile.distribution = task.stats->distribution.get();
     const double wcet_opt = policy.wcet_opt(profile, rng);
     task.wcet_lo = std::clamp(wcet_opt, 1e-9, task.wcet_hi);
   }
@@ -40,15 +41,18 @@ std::vector<sched::WcetOptPolicyPtr> baseline_policies() {
   };
 }
 
-std::vector<PolicyScore> compare_policies(double u_hc_hi,
-                                          std::size_t num_tasksets,
-                                          std::uint64_t seed,
-                                          const OptimizerConfig& optimizer) {
+std::vector<PolicyScore> compare_policies(
+    double u_hc_hi, std::size_t num_tasksets, std::uint64_t seed,
+    const OptimizerConfig& optimizer,
+    const std::vector<sched::WcetOptPolicyPtr>& extra_policies) {
   const auto baselines = baseline_policies();
-  std::vector<PolicyScore> scores(baselines.size() + 1);
+  std::vector<PolicyScore> scores(baselines.size() + 1 +
+                                  extra_policies.size());
   for (std::size_t p = 0; p < baselines.size(); ++p)
     scores[p].policy = baselines[p]->name();
-  scores.back().policy = "proposed(GA)";
+  scores[baselines.size()].policy = "proposed(GA)";
+  for (std::size_t p = 0; p < extra_policies.size(); ++p)
+    scores[baselines.size() + 1 + p].policy = extra_policies[p]->name();
 
   // Pipelined Monte Carlo replications: the producer walks the legacy
   // split() chain in order, generating each task set while consumers
@@ -74,7 +78,7 @@ std::vector<PolicyScore> compare_policies(double u_hc_hi,
           [&](std::size_t, SetItem item) {
             common::Rng set_rng = item.rng;
             std::vector<ObjectiveBreakdown> breakdowns;
-            breakdowns.reserve(baselines.size() + 1);
+            breakdowns.reserve(baselines.size() + 1 + extra_policies.size());
             for (const sched::WcetOptPolicyPtr& baseline : baselines)
               breakdowns.push_back(
                   apply_and_evaluate_policy(item.tasks, *baseline, set_rng));
@@ -82,6 +86,13 @@ std::vector<PolicyScore> compare_policies(double u_hc_hi,
             opt.ga.seed = set_rng();
             breakdowns.push_back(
                 optimize_multipliers_ga(item.tasks, opt).breakdown);
+            // Extra (shoot-out) policies ride after the legacy roster:
+            // they draw nothing from set_rng (deterministic from the task
+            // profiles), so the rows above stay bit-identical to the
+            // extras-free run.
+            for (const sched::WcetOptPolicyPtr& extra : extra_policies)
+              breakdowns.push_back(
+                  apply_and_evaluate_policy(item.tasks, *extra, set_rng));
             return breakdowns;
           });
 

@@ -41,9 +41,14 @@ struct PolicyScore {
 
 /// Compares all baselines plus the GA scheme over `num_tasksets` HC-only
 /// task sets at HI utilization `u_hc_hi`, returning one averaged score per
-/// approach (the proposed scheme is the last entry, named "proposed(GA)").
+/// approach ("proposed(GA)" follows the baselines). `extra_policies`
+/// append further rows after the legacy roster; they must not draw from
+/// the shared RNG (the shoot-out policies are deterministic from the task
+/// profiles), which keeps the legacy rows bit-identical to an extras-free
+/// run.
 [[nodiscard]] std::vector<PolicyScore> compare_policies(
     double u_hc_hi, std::size_t num_tasksets, std::uint64_t seed,
-    const OptimizerConfig& optimizer = {});
+    const OptimizerConfig& optimizer = {},
+    const std::vector<sched::WcetOptPolicyPtr>& extra_policies = {});
 
 }  // namespace mcs::core

@@ -25,7 +25,8 @@ double overrun_rate(std::span<const double> samples, double threshold) {
 }  // namespace
 
 std::vector<AssignmentComparison> run_assignment_methods(
-    std::size_t samples, std::uint64_t seed, const common::Executor& exec) {
+    std::size_t samples, std::uint64_t seed, const common::Executor& exec,
+    const std::vector<sched::WcetOptPolicyPtr>& extra_methods) {
   const auto kernels = apps::table2_kernels();
 
   // Every kernel owns a counter-based policy stream Rng(index_seed(seed,
@@ -61,11 +62,14 @@ std::vector<AssignmentComparison> run_assignment_methods(
     cmp.representative =
         stats::ks_two_sample_test(train, holdout).same_distribution;
 
-    const std::vector<sched::WcetOptPolicyPtr> methods = {
+    std::vector<sched::WcetOptPolicyPtr> methods = {
         std::make_shared<sched::ChebyshevUniformPolicy>(3.0),  // bound 10%
         std::make_shared<sched::EmpiricalQuantilePolicy>(0.9),
         std::make_shared<sched::EvtPwcetPolicy>(0.9, 25),
     };
+    // Extra methods ride after the standard roster; none of them draws
+    // from policy_rng, so the three rows above keep their exact values.
+    methods.insert(methods.end(), extra_methods.begin(), extra_methods.end());
     for (const auto& method : methods) {
       MethodScore score;
       score.method = method->name();

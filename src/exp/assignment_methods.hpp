@@ -20,6 +20,7 @@
 
 #include "common/executor.hpp"
 #include "common/table.hpp"
+#include "sched/policies.hpp"
 
 namespace mcs::exp {
 
@@ -49,10 +50,13 @@ struct AssignmentComparison {
 /// (Chebyshev n=3). Every kernel owns a counter-based RNG stream
 /// (index_seed), so kernels evaluate in parallel — and a sharded `exec`
 /// evaluates only its slice of the kernel list — without changing any
-/// number.
+/// number. `extra_methods` (e.g. the shoot-out roster of
+/// exp/shootout.hpp) are scored after the standard three without
+/// disturbing their rows.
 [[nodiscard]] std::vector<AssignmentComparison> run_assignment_methods(
     std::size_t samples, std::uint64_t seed,
-    const common::Executor& exec = {});
+    const common::Executor& exec = {},
+    const std::vector<sched::WcetOptPolicyPtr>& extra_methods = {});
 
 /// Renders one row per (application, method).
 [[nodiscard]] common::Table render_assignment_methods(

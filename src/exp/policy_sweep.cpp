@@ -9,7 +9,8 @@ namespace mcs::exp {
 std::vector<PolicySweepPoint> run_policy_sweep(
     const std::vector<double>& u_values, std::size_t tasksets,
     std::uint64_t seed, const core::OptimizerConfig& optimizer,
-    const common::Executor& exec) {
+    const common::Executor& exec,
+    const std::vector<sched::WcetOptPolicyPtr>& extra_policies) {
   // Outer-axis fan-out: every utilization point derives its seed from its
   // own u value, so the Fig. 4/5 points are independent work items; the
   // per-taskset GA runs inside compare_policies execute inline on the
@@ -20,7 +21,8 @@ std::vector<PolicySweepPoint> run_policy_sweep(
     PolicySweepPoint point;
     point.u_hc_hi = u;
     point.scores = core::compare_policies(
-        u, tasksets, seed + static_cast<std::uint64_t>(u * 1000.0), optimizer);
+        u, tasksets, seed + static_cast<std::uint64_t>(u * 1000.0), optimizer,
+        extra_policies);
     return point;
   });
 }
@@ -30,10 +32,19 @@ PolicySweepHeadline summarize_policy_sweep(
   PolicySweepHeadline headline;
   for (const PolicySweepPoint& point : points) {
     if (point.scores.empty()) continue;
-    const core::PolicyScore& proposed = point.scores.back();
+    // The GA row by name (extra shoot-out rows may follow it); falls back
+    // to the last row for legacy score vectors.
+    std::size_t proposed_idx = point.scores.size() - 1;
+    for (std::size_t p = 0; p < point.scores.size(); ++p) {
+      if (point.scores[p].policy == "proposed(GA)") {
+        proposed_idx = p;
+        break;
+      }
+    }
+    const core::PolicyScore& proposed = point.scores[proposed_idx];
     headline.worst_case_p_ms =
         std::max(headline.worst_case_p_ms, proposed.p_ms);
-    for (std::size_t p = 0; p + 1 < point.scores.size(); ++p) {
+    for (std::size_t p = 0; p < proposed_idx; ++p) {
       const core::PolicyScore& base = point.scores[p];
       if (base.max_u_lc <= 1e-9) continue;
       const double gain = (proposed.max_u_lc - base.max_u_lc) / base.max_u_lc;

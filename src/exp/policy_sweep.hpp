@@ -31,10 +31,13 @@ struct PolicySweepHeadline {
 /// sharded `exec` evaluates only its slice of `u_values` and returns
 /// just those points (per-point seeds derive from the u value alone, so
 /// shard outputs concatenate to the unsharded result byte-for-byte).
+/// `extra_policies` append shoot-out rows after the legacy roster
+/// without disturbing it (see core::compare_policies).
 [[nodiscard]] std::vector<PolicySweepPoint> run_policy_sweep(
     const std::vector<double>& u_values, std::size_t tasksets,
     std::uint64_t seed, const core::OptimizerConfig& optimizer = {},
-    const common::Executor& exec = {});
+    const common::Executor& exec = {},
+    const std::vector<sched::WcetOptPolicyPtr>& extra_policies = {});
 
 /// Computes the headline comparison numbers. Only baselines that remain
 /// feasible are counted in the gain.

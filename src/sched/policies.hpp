@@ -12,13 +12,17 @@
 // from WCET^pes.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "stats/concentration.hpp"
+#include "stats/distribution.hpp"
 #include "stats/empirical.hpp"
 #include "stats/evt.hpp"
 
@@ -33,6 +37,10 @@ struct HcTaskProfile {
   /// Raw measurement samples, when available (required by the
   /// measurement-based policies below; may be null for analytic policies).
   const std::vector<double>* samples = nullptr;
+  /// Generating distribution, when known (synthetic task sets carry one);
+  /// sample-needing policies synthesize a deterministic surrogate sample
+  /// set from it when `samples` is null. May be null.
+  const stats::Distribution* distribution = nullptr;
 };
 
 /// Strategy interface for choosing C^LO of an HC task.
@@ -56,44 +64,48 @@ using WcetOptPolicyPtr = std::shared_ptr<const WcetOptPolicy>;
 /// the comparison sweeps call `wcet_opt` with the same profile over and
 /// over inside their hot loops. The cache keys on the samples pointer
 /// (profiles hand policies a stable vector) and revalidates with the
-/// vector's size and endpoints so a reused address with different data
-/// refits instead of returning a stale level. Thread-safe: policies are
-/// shared across the parallel sweep workers.
+/// vector's size plus a length-capped stride fingerprint (FNV-1a over at
+/// most 64 evenly spaced elements, endpoints always included), so a
+/// reused address with different data — including interior mutations
+/// that preserve size and endpoints — refits instead of returning a
+/// stale level. Thread-safe: policies are shared across the parallel
+/// sweep workers.
 class SampleFitCache {
  public:
   /// Returns the cached level for `samples`, or computes it via `fit`
   /// (called with *samples) and caches it.
   template <typename Fit>
   double level_for(const std::vector<double>* samples, Fit&& fit) const {
+    const std::uint64_t print = fingerprint(*samples);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       const auto it = entries_.find(samples);
-      if (it != entries_.end() && it->second.matches(*samples))
+      if (it != entries_.end() && it->second.size == samples->size() &&
+          it->second.fingerprint == print)
         return it->second.level;
     }
     // Fit outside the lock: refits of distinct sample vectors proceed in
     // parallel and only the map insert serializes.
     Entry entry;
     entry.size = samples->size();
-    entry.front = samples->front();
-    entry.back = samples->back();
+    entry.fingerprint = print;
     entry.level = fit(*samples);
     const std::lock_guard<std::mutex> lock(mutex_);
     entries_[samples] = entry;
     return entry.level;
   }
 
+  /// FNV-1a over the bit patterns of at most 64 stride-sampled elements
+  /// (stride ceil(size/64); the last element is always mixed in), seeded
+  /// with the size. Vectors up to 64 elements hash in full.
+  [[nodiscard]] static std::uint64_t fingerprint(
+      const std::vector<double>& samples);
+
  private:
   struct Entry {
     std::size_t size = 0;
-    double front = 0.0;
-    double back = 0.0;
+    std::uint64_t fingerprint = 0;
     double level = 0.0;
-
-    [[nodiscard]] bool matches(const std::vector<double>& samples) const {
-      return samples.size() == size && samples.front() == front &&
-             samples.back() == back;
-    }
   };
 
   mutable std::mutex mutex_;
@@ -194,5 +206,112 @@ class EvtPwcetPolicy final : public WcetOptPolicy {
   std::size_t block_size_;
   SampleFitCache cache_;
 };
+
+/// Deterministic surrogate sample set for a profile that carries a
+/// generating distribution but no measurements. The stream seed hashes
+/// the profile's own parameters (moment/WCET/period bit patterns plus the
+/// distribution name), never the caller's RNG state, so the synthesis is
+/// bit-identical across --jobs counts, roster positions, and repeated
+/// calls — and existing policies' draw streams are untouched. Requires
+/// profile.distribution != nullptr and count >= 1.
+[[nodiscard]] std::vector<double> synthesize_profile_samples(
+    const HcTaskProfile& profile, std::size_t count = 1024);
+
+/// C^LO = min(ACET + n*sigma, WCET^pes) with n derived from a
+/// concentration bound at a target exceedance probability (Eq. 6 with the
+/// generalized inequality family of stats/concentration.hpp). The
+/// unimodal bounds (VP, Gauss) only apply when their premise is
+/// certified: the policy runs stats::unimodality_check over the
+/// profile's samples (measured, or synthesized from the generating
+/// distribution) and falls back to the distribution-free Cantelli
+/// multiplier for the same target when the check rejects or no sample
+/// source exists — in that case the result is bit-identical to
+/// ChebyshevUniformPolicy at the Cantelli n. Verdicts and synthesized
+/// fits are cached, keyed on the sample vector (SampleFitCache) or the
+/// synthesis seed.
+class ConcentrationBoundPolicy final : public WcetOptPolicy {
+ public:
+  /// Requires target_p in (0, 1).
+  ConcentrationBoundPolicy(stats::BoundKind kind, double target_p);
+  [[nodiscard]] double wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] stats::BoundKind kind() const { return kind_; }
+  [[nodiscard]] double target_p() const { return target_p_; }
+  /// The multiplier used when the premise holds / the Cantelli fallback.
+  [[nodiscard]] double n_bound() const { return n_bound_; }
+  [[nodiscard]] double n_fallback() const { return n_fallback_; }
+
+ private:
+  [[nodiscard]] bool premise_holds(const HcTaskProfile& profile) const;
+
+  stats::BoundKind kind_;
+  double target_p_;
+  double n_bound_;     ///< inverse of the chosen bound at target_p
+  double n_fallback_;  ///< Cantelli inverse at target_p
+  SampleFitCache verdict_cache_;  ///< unimodality verdict per sample vector
+  mutable std::mutex synth_mutex_;
+  mutable std::unordered_map<std::uint64_t, double> synth_verdicts_;
+};
+
+/// Dispersion-parameter budget (Khelassi & Abdeddaim): C^LO = median +
+/// k * MAD (median absolute deviation), robust to the skew that inflates
+/// mean + n*sigma budgets. Requires samples or a generating distribution
+/// (synthesized surrogate). Clamped into (0, wcet_pes].
+class MedianMadPolicy final : public WcetOptPolicy {
+ public:
+  /// Requires k >= 0.
+  explicit MedianMadPolicy(double k);
+  [[nodiscard]] double wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double k_;
+  SampleFitCache cache_;
+  mutable std::mutex synth_mutex_;
+  mutable std::unordered_map<std::uint64_t, double> synth_levels_;
+};
+
+/// Dispersion-parameter budget: C^LO = Q3 + k * IQR (the Tukey whisker).
+/// Requires samples or a generating distribution. Clamped into
+/// (0, wcet_pes].
+class IqrWhiskerPolicy final : public WcetOptPolicy {
+ public:
+  /// Requires k >= 0.
+  explicit IqrWhiskerPolicy(double k);
+  [[nodiscard]] double wcet_opt(const HcTaskProfile& profile,
+                                common::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double k_;
+  SampleFitCache cache_;
+  mutable std::mutex synth_mutex_;
+  mutable std::unordered_map<std::uint64_t, double> synth_levels_;
+};
+
+/// Tunables for make_policy.
+struct PolicyFactoryOptions {
+  double target_p = 0.1;    ///< exceedance target for the bound policies
+  double mad_k = 3.0;       ///< median_k_mad multiplier
+  double whisker_k = 1.5;   ///< iqr_whisker multiplier
+  double chebyshev_n = 3.0; ///< chebyshev policy multiplier
+  double quantile_q = 0.9;  ///< quantile policy level
+  double evt_p = 0.01;      ///< evt per-block exceedance
+};
+
+/// Builds a policy from a CLI spec. Known specs: "vp_n_sigma",
+/// "gauss_n_sigma", "cantelli_n_sigma", "median_k_mad", "iqr_whisker",
+/// "chebyshev", "acet", "quantile", "evt". Throws std::invalid_argument
+/// on an unknown spec (the message lists the valid ones).
+[[nodiscard]] WcetOptPolicyPtr make_policy(
+    std::string_view spec, const PolicyFactoryOptions& options = {});
+
+/// Splits a comma-separated spec list ("vp_n_sigma,median_k_mad") and
+/// builds each entry with make_policy. Empty input yields an empty list;
+/// empty entries (",,") are rejected like unknown specs.
+[[nodiscard]] std::vector<WcetOptPolicyPtr> make_policy_list(
+    std::string_view specs, const PolicyFactoryOptions& options = {});
 
 }  // namespace mcs::sched

@@ -8,7 +8,11 @@
 // deadlines, near-saturation sets, eps-tied deadline instants, exact-U=1
 // hyperperiod sets) through both departure-rebuild modes and check the
 // contract after every single step, along with the safety invariant that
-// the resident set is never in a known-infeasible state.
+// the resident set is never in a known-infeasible state. The
+// DemandBackend suites extend the oracle to the kDemand escalation:
+// the deadline-tightening search admits a strict superset of the
+// utilization backend, and the incremental verdict (including the
+// demand_admitted/demand_x fields) stays bit-identical under churn.
 #include "core/admission.hpp"
 
 #include <gtest/gtest.h>
@@ -41,14 +45,22 @@ void expect_verdict_eq(const AdmissionVerdict& incremental,
   EXPECT_EQ(incremental.dbf_schedulable, scratch.dbf_schedulable) << context;
   EXPECT_EQ(incremental.dbf_inconclusive, scratch.dbf_inconclusive)
       << context;
+  EXPECT_EQ(incremental.demand_admitted, scratch.demand_admitted) << context;
+  EXPECT_EQ(std::memcmp(&incremental.demand_x, &scratch.demand_x,
+                        sizeof(double)),
+            0)
+      << context << "  demand_x_inc=" << incremental.demand_x
+      << " demand_x_scratch=" << scratch.demand_x;
 }
 
-/// The resident set must never be known-infeasible: EDF-VD holds and the
-/// demand test either verified or (after a departure) is inconclusive.
+/// The resident set must never be known-infeasible: either the base
+/// verdict holds (EDF-VD plus a verified-or-inconclusive demand scan) or,
+/// under kDemand, the deadline-tightening search holds a certificate.
 void expect_never_infeasible(const AdmissionVerdict& v,
                              const std::string& context) {
-  EXPECT_TRUE(v.vd.schedulable) << context;
-  EXPECT_TRUE(v.dbf_schedulable || v.dbf_inconclusive) << context;
+  const bool base_holds =
+      v.vd.schedulable && (v.dbf_schedulable || v.dbf_inconclusive);
+  EXPECT_TRUE(base_holds || v.demand_admitted) << context;
 }
 
 struct ChurnProfile {
@@ -91,12 +103,17 @@ mc::McTask random_task(common::Rng& rng, int serial,
 }
 
 /// One randomized churn sequence: ~30 steps of arrive/depart/update, the
-/// oracle checked after every step.
-void run_churn_sequence(std::uint64_t seed, const ChurnProfile& profile,
-                        bool eager) {
+/// oracle checked after every step. `stats_out`, when given, receives the
+/// final controller stats so callers can assert the exercised paths
+/// (gtest ASSERT_* forces a void return type here).
+void run_churn_sequence(
+    std::uint64_t seed, const ChurnProfile& profile, bool eager,
+    AdmissionBackend backend = AdmissionBackend::kUtilization,
+    AdmissionController::Stats* stats_out = nullptr) {
   common::Rng rng(seed);
   AdmissionController::Config config;
   config.eager_departure_rebuild = eager;
+  config.backend = backend;
   AdmissionController ctl(config);
   std::vector<std::uint64_t> ids;
   int serial = 0;
@@ -110,7 +127,7 @@ void run_churn_sequence(std::uint64_t seed, const ChurnProfile& profile,
       // Build the candidate set BEFORE mutating, then compare verdicts.
       mc::TaskSet candidate = ctl.resident_set();
       candidate.add(task);
-      const AdmissionVerdict scratch = admission_check(candidate);
+      const AdmissionVerdict scratch = admission_check(candidate, backend);
       const AdmissionController::Decision d = ctl.try_admit(task);
       expect_verdict_eq(d.verdict, scratch, context + " (arrival)");
       if (d.admitted) ids.push_back(d.id);
@@ -145,16 +162,18 @@ void run_churn_sequence(std::uint64_t seed, const ChurnProfile& profile,
             modified[i].wcet_hi = new_wcet;
         }
       }
-      expect_verdict_eq(res.verdict, admission_check(modified),
+      expect_verdict_eq(res.verdict, admission_check(modified, backend),
                         context + " (update)");
     }
     // The standing contract: current() is bit-identical to a from-scratch
     // recompute of the resident set, and that set is never infeasible.
-    expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
+    expect_verdict_eq(ctl.current(),
+                      admission_check(ctl.resident_set(), backend),
                       context + " (resident)");
     expect_never_infeasible(ctl.current(), context);
     EXPECT_EQ(ctl.resident_count(), ids.size()) << context;
   }
+  if (stats_out != nullptr) *stats_out = ctl.stats();
 }
 
 // ~200 randomized sequences over both departure modes and three churn
@@ -373,6 +392,175 @@ TEST(AdmissionOracle, UpdateRejectionKeepsOldBudget) {
   EXPECT_EQ(ctl.find(d.id)->wcet_lo, 3.0);
   expect_verdict_eq(ctl.current(), admission_check(ctl.resident_set()),
                     "after applied update");
+}
+
+// --- kDemand backend: deadline-tightening escalation -----------------
+
+// A concrete set where Eq. 8 rejects but the demand-based search holds a
+// certificate (found by randomized probing, pinned here): the LO-mode
+// demand test passes at the true deadlines, and x = 7/24 satisfies both
+// mode scans.
+mc::TaskSet demand_flip_set() {
+  mc::TaskSet set;
+  set.add(mc::McTask::low("lc_a", 9.5, 37.5));
+  set.add(mc::McTask::high("hc_b", 3.0, 8.25, 11.75));
+  set.add(mc::McTask::low("lc_c", 43.0, 90.5));
+  return set;
+}
+
+TEST(DemandBackend, FlipCertificateExample) {
+  const mc::TaskSet set = demand_flip_set();
+  const AdmissionVerdict base =
+      admission_check(set, AdmissionBackend::kUtilization);
+  EXPECT_FALSE(base.admitted);
+  EXPECT_FALSE(base.vd.schedulable);
+  EXPECT_TRUE(base.dbf_schedulable);
+  EXPECT_FALSE(base.demand_admitted);  // never set under kUtilization
+  EXPECT_EQ(base.demand_x, 0.0);
+
+  const AdmissionVerdict dem = admission_check(set, AdmissionBackend::kDemand);
+  EXPECT_TRUE(dem.admitted);
+  EXPECT_TRUE(dem.demand_admitted);
+  EXPECT_EQ(dem.demand_x, 7.0 / 24.0);
+  // The escalation only ever flips rejections: the base fields still
+  // record the rejected utilization verdict.
+  EXPECT_FALSE(dem.vd.schedulable);
+
+  // The search agrees when invoked directly.
+  const sched::DemandVdResult search = sched::edf_vd_demand_search(set);
+  EXPECT_TRUE(search.schedulable);
+  EXPECT_EQ(search.x, 7.0 / 24.0);
+}
+
+TEST(DemandBackend, ControllerAdmitsWhatUtilizationRejects) {
+  AdmissionController::Config config;
+  config.backend = AdmissionBackend::kDemand;
+  AdmissionController demand_ctl(config);
+  AdmissionController util_ctl;  // default backend
+  const mc::TaskSet set = demand_flip_set();
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const bool last = i + 1 == set.size();
+    EXPECT_TRUE(demand_ctl.try_admit(set[i]).admitted) << set[i].name;
+    EXPECT_EQ(util_ctl.try_admit(set[i]).admitted, !last) << set[i].name;
+  }
+  EXPECT_EQ(demand_ctl.resident_count(), 3u);
+  EXPECT_EQ(util_ctl.resident_count(), 2u);
+  EXPECT_TRUE(demand_ctl.current().demand_admitted);
+  EXPECT_GE(demand_ctl.stats().demand_searches, 1u);
+  EXPECT_EQ(demand_ctl.stats().demand_admissions, 1u);
+  EXPECT_EQ(util_ctl.stats().demand_searches, 0u);
+  // The incremental demand-backend verdict matches the from-scratch one,
+  // including after a departure from a demand-certified set.
+  expect_verdict_eq(demand_ctl.current(),
+                    admission_check(demand_ctl.resident_set(),
+                                    AdmissionBackend::kDemand),
+                    "demand resident");
+  ASSERT_TRUE(demand_ctl.remove(1));
+  expect_verdict_eq(demand_ctl.current(),
+                    admission_check(demand_ctl.resident_set(),
+                                    AdmissionBackend::kDemand),
+                    "demand after departure");
+  expect_never_infeasible(demand_ctl.current(), "demand after departure");
+}
+
+TEST(DemandBackend, AcceptsSupersetOfUtilization) {
+  // Over randomized mixed sets: every utilization-admitted set is
+  // demand-admitted (the escalation never flips an admission), and at
+  // least one rejection flips (the backend is not a no-op).
+  common::Rng rng(1);
+  int flips = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    mc::TaskSet set;
+    const int n = 2 + static_cast<int>(rng.uniform_u64(0, 3));
+    for (int i = 0; i < n; ++i) {
+      const bool hc = rng.bernoulli(0.5);
+      const double period = std::pow(10.0, rng.uniform(1.0, 2.0));
+      const double wcet_lo = std::max(1e-6, rng.uniform(0.1, 0.5) * period);
+      mc::McTask task;
+      if (hc) {
+        const double wcet_hi =
+            std::min(period, wcet_lo * rng.uniform(1.3, 3.0));
+        task = mc::McTask::high("h" + std::to_string(i), wcet_lo, wcet_hi,
+                                period);
+      } else {
+        task = mc::McTask::low("l" + std::to_string(i), wcet_lo, period);
+      }
+      if (rng.bernoulli(0.5)) {
+        task.deadline_override =
+            rng.uniform(std::max(task.wcet_hi, 0.4 * period), period);
+        if (!task.valid()) task.deadline_override = 0.0;
+      }
+      set.add(task);
+    }
+    if (!set.valid()) continue;
+    const AdmissionVerdict base =
+        admission_check(set, AdmissionBackend::kUtilization);
+    const AdmissionVerdict dem =
+        admission_check(set, AdmissionBackend::kDemand);
+    EXPECT_FALSE(base.admitted && !dem.admitted) << "trial " << trial;
+    if (!base.admitted && dem.admitted) {
+      ++flips;
+      EXPECT_TRUE(dem.demand_admitted) << "trial " << trial;
+      EXPECT_GT(dem.demand_x, 0.0) << "trial " << trial;
+      EXPECT_LT(dem.demand_x, 1.0) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(flips, 0);
+}
+
+TEST(DemandBackend, RandomChurnMatchesScratch) {
+  // The churn oracle under kDemand: the incremental verdict (including
+  // the demand_admitted/demand_x fields) stays bit-identical to a
+  // from-scratch admission_check at every step. The fat profile drives
+  // plenty of rejections, so the escalation path actually runs.
+  ChurnProfile profile;
+  profile.u_lo = 0.10;
+  profile.u_hi = 0.35;
+  profile.constrained_p = 0.25;
+  std::uint64_t searches = 0;
+  std::uint64_t admissions = 0;
+  for (std::uint64_t seq = 0; seq < 40; ++seq) {
+    AdmissionController::Stats stats;
+    run_churn_sequence(common::index_seed(9004, seq), profile,
+                       /*eager=*/(seq % 2) == 0, AdmissionBackend::kDemand,
+                       &stats);
+    searches += stats.demand_searches;
+    admissions += stats.demand_admissions;
+  }
+  EXPECT_GT(searches, 0u);
+  EXPECT_LE(admissions, searches);
+}
+
+TEST(DemandBackend, SearchValidationAndNoHcCase) {
+  EXPECT_THROW((void)sched::edf_vd_demand_search(demand_flip_set(), 1),
+               std::invalid_argument);
+  // No HC task: no mode switch exists, LO-mode EDF at the true deadlines
+  // decides and the factor is reported as 1.
+  mc::TaskSet lc_only;
+  lc_only.add(mc::McTask::low("a", 2.0, 10.0));
+  lc_only.add(mc::McTask::low("b", 3.0, 12.0));
+  const sched::DemandVdResult res = sched::edf_vd_demand_search(lc_only);
+  EXPECT_TRUE(res.schedulable);
+  EXPECT_EQ(res.x, 1.0);
+  // The combined test takes the Eq. 8 shortcut on easy implicit sets.
+  mc::TaskSet easy;
+  easy.add(mc::McTask::low("a", 1.0, 10.0));
+  easy.add(mc::McTask::high("b", 1.0, 2.0, 10.0));
+  const sched::DemandVdResult combined = sched::edf_vd_demand_test(easy);
+  EXPECT_TRUE(combined.schedulable);
+  EXPECT_TRUE(combined.via_eq8);
+}
+
+TEST(DemandBackend, BackendNamesRoundTrip) {
+  EXPECT_EQ(to_string(AdmissionBackend::kUtilization), "utilization");
+  EXPECT_EQ(to_string(AdmissionBackend::kDemand), "demand");
+  EXPECT_EQ(parse_admission_backend("utilization"),
+            AdmissionBackend::kUtilization);
+  EXPECT_EQ(parse_admission_backend("util"), AdmissionBackend::kUtilization);
+  EXPECT_EQ(parse_admission_backend("eq8"), AdmissionBackend::kUtilization);
+  EXPECT_EQ(parse_admission_backend("demand"), AdmissionBackend::kDemand);
+  EXPECT_THROW((void)parse_admission_backend("dbf"), std::invalid_argument);
+  EXPECT_THROW((void)parse_admission_backend(""), std::invalid_argument);
 }
 
 TEST(AdmissionOracle, InvalidInputsThrow) {

@@ -20,7 +20,9 @@
 #include "exp/fig3.hpp"
 #include "exp/fig6.hpp"
 #include "exp/policy_sweep.hpp"
+#include "exp/shootout.hpp"
 #include "exp/table2.hpp"
+#include "sched/policies.hpp"
 
 namespace mcs {
 namespace {
@@ -31,6 +33,19 @@ constexpr std::uint64_t kGoldenPolicy = 0x4ae91e877cf14297ULL;
 constexpr std::uint64_t kGoldenFig3 = 0x4dd9afefe08205c4ULL;
 constexpr std::uint64_t kGoldenTable2 = 0xcec2aceca1fa07e1ULL;
 constexpr std::uint64_t kGoldenFig2 = 0x2343d937c0e52313ULL;
+
+// Recorded from the extended-roster runs of this revision. The legacy
+// rows of the extended sweep are pinned separately against kGoldenPolicy
+// above: appending shoot-out policies must not perturb a single bit of
+// the pre-existing outputs.
+constexpr std::uint64_t kGoldenPolicyExtended = 0x4a237304b43227fdULL;
+constexpr std::uint64_t kGoldenShootoutKernels = 0x89e1455c3c72aef0ULL;
+// The two acceptance goldens coincide: over this workload every base
+// rejection is an LC overload the deadline-tightening search cannot fix,
+// so the demand ratios equal the utilization ratios bit-for-bit (the
+// backends diverging would show up as exactly one of these mismatching).
+constexpr std::uint64_t kGoldenShootoutUtil = 0xcb7ccaf614fc8302ULL;
+constexpr std::uint64_t kGoldenShootoutDemand = 0xcb7ccaf614fc8302ULL;
 
 /// FNV-1a over 64-bit words; doubles are mixed by bit pattern, so any
 /// non-identical bit anywhere flips the digest.
@@ -266,6 +281,134 @@ TEST(ExpGolden, Fig2ShardSlicesConcatenateToUnsharded) {
       ++k;
     }
   }
+}
+
+// --- Shoot-out policy axes -------------------------------------------
+
+/// The extra roster appended to the sweep in the extended-golden tests.
+std::vector<sched::WcetOptPolicyPtr> extended_roster() {
+  return sched::make_policy_list("vp_n_sigma,gauss_n_sigma,median_k_mad");
+}
+
+TEST(ExpGolden, ExtendedPolicySweepKeepsLegacyRowsByteIdentical) {
+  // The same workload as PolicySweepMatchesSerialAtEveryJobs, with three
+  // shoot-out policies appended. The appended rows hash to their own
+  // golden; stripping them must reproduce the PRE-extension golden
+  // exactly, because the extras draw nothing from the shared RNG streams.
+  core::OptimizerConfig opt;
+  opt.ga.population_size = 12;
+  opt.ga.generations = 8;
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    const auto points = exp::run_policy_sweep({0.5, 0.7}, 4, 2027, opt, {},
+                                              extended_roster());
+    EXPECT_EQ(policy_hash(points), kGoldenPolicyExtended) << "jobs=" << jobs;
+    auto stripped = points;
+    for (auto& p : stripped) {
+      ASSERT_GE(p.scores.size(), 3u);
+      p.scores.resize(p.scores.size() - 3);
+    }
+    EXPECT_EQ(policy_hash(stripped), kGoldenPolicy) << "jobs=" << jobs;
+  }
+}
+
+std::uint64_t kernel_rows_hash(
+    const std::vector<exp::ShootoutKernelRow>& rows) {
+  Fnv fnv;
+  for (const exp::ShootoutKernelRow& r : rows) {
+    fnv.mix(static_cast<std::uint64_t>(r.application.size()));
+    fnv.mix(static_cast<std::uint64_t>(r.policy.size()));
+    fnv.mix(r.wcet_opt);
+    fnv.mix(r.utilization_cost);
+    fnv.mix(r.implied_n);
+    fnv.mix(r.bound_p);
+    fnv.mix(r.target_p);
+    fnv.mix(r.train_exceedance);
+    fnv.mix(r.holdout_exceedance);
+    fnv.mix(static_cast<std::uint64_t>(r.unimodal ? 1 : 0));
+  }
+  return fnv.value();
+}
+
+TEST(ExpGolden, ShootoutKernelsMatchAtEveryJobs) {
+  const auto roster = exp::shootout_policies();
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    const auto rows = exp::run_shootout_kernels(roster, 200, 2027);
+    EXPECT_EQ(kernel_rows_hash(rows), kGoldenShootoutKernels)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ExpGolden, ShootoutKernelShardSlicesConcatenateToUnsharded) {
+  const JobsGuard guard(2);
+  const auto roster = exp::shootout_policies();
+  const auto full = exp::run_shootout_kernels(roster, 200, 2027);
+  std::vector<exp::ShootoutKernelRow> stitched;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const common::Executor exec(common::Shard{i, 2});
+    const auto part = exp::run_shootout_kernels(roster, 200, 2027, exec);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(kernel_rows_hash(stitched), kernel_rows_hash(full));
+  EXPECT_EQ(stitched.size(), full.size());
+}
+
+std::uint64_t shootout_hash(const exp::ShootoutAcceptance& data) {
+  Fnv fnv;
+  fnv.mix(static_cast<std::uint64_t>(data.policies.size()));
+  for (const std::string& name : data.policies)
+    fnv.mix(static_cast<std::uint64_t>(name.size()));
+  for (const exp::ShootoutAcceptancePoint& p : data.points) {
+    fnv.mix(p.u_bound);
+    for (const double r : p.ratios) fnv.mix(r);
+  }
+  return fnv.value();
+}
+
+TEST(ExpGolden, ShootoutAcceptanceMatchesAtEveryJobs) {
+  const auto roster = exp::shootout_policies();
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    // The grid straddles the acceptance knee (all-accept at 1.1, partial
+    // at 1.2/1.3), so the hash pins non-trivial ratios.
+    const auto util = exp::run_shootout_acceptance(
+        roster, core::AdmissionBackend::kUtilization, {1.1, 1.2, 1.3}, 40,
+        2027);
+    EXPECT_EQ(shootout_hash(util), kGoldenShootoutUtil) << "jobs=" << jobs;
+    const auto demand = exp::run_shootout_acceptance(
+        roster, core::AdmissionBackend::kDemand, {1.1, 1.2, 1.3}, 40, 2027);
+    EXPECT_EQ(shootout_hash(demand), kGoldenShootoutDemand)
+        << "jobs=" << jobs;
+    // The demand backend only ever flips rejections to admissions, so
+    // its acceptance ratio dominates pointwise.
+    ASSERT_EQ(demand.points.size(), util.points.size());
+    for (std::size_t i = 0; i < util.points.size(); ++i)
+      for (std::size_t p = 0; p < util.points[i].ratios.size(); ++p)
+        EXPECT_GE(demand.points[i].ratios[p], util.points[i].ratios[p])
+            << "u=" << util.points[i].u_bound << " policy=" << p;
+  }
+}
+
+TEST(ExpGolden, ShootoutAcceptanceShardSlicesConcatenateToUnsharded) {
+  const JobsGuard guard(2);
+  const auto roster = exp::shootout_policies();
+  const std::vector<double> u_values = {0.7, 0.9, 1.1, 1.3};
+  const auto full = exp::run_shootout_acceptance(
+      roster, core::AdmissionBackend::kUtilization, u_values, 30, 2027);
+  exp::ShootoutAcceptance stitched;
+  stitched.policies = full.policies;
+  stitched.backend = full.backend;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const common::Executor exec(common::Shard{i, 3});
+    const auto part = exp::run_shootout_acceptance(
+        roster, core::AdmissionBackend::kUtilization, u_values, 30, 2027,
+        exec);
+    stitched.points.insert(stitched.points.end(), part.points.begin(),
+                           part.points.end());
+  }
+  EXPECT_EQ(shootout_hash(stitched), shootout_hash(full));
+  EXPECT_EQ(stitched.points.size(), full.points.size());
 }
 
 }  // namespace

@@ -26,8 +26,11 @@
 #include "core/report.hpp"
 #include "exp/campaign.hpp"
 #include "exp/fig6.hpp"
+#include "exp/shootout.hpp"
 #include "mc/io.hpp"
 #include "sched/edf_vd.hpp"
+#include "sched/policies.hpp"
+#include "stats/concentration.hpp"
 #include "sched/partition.hpp"
 #include "sim/engine.hpp"
 #include "taskgen/generator.hpp"
@@ -100,11 +103,18 @@ int cmd_wcet(const std::string& kernel_name, int argc,
   std::uint64_t samples = 2000;
   std::uint64_t seed = 1;
   bool dot = false;
+  std::string bound;
+  double target_p = 0.1;
   common::Cli cli("mcs-cli wcet: measurement campaign + static analysis "
                   "for one benchmark kernel");
   cli.add_u64("samples", &samples, "randomized executions");
   cli.add_u64("seed", &seed, "PRNG seed");
   cli.add_flag("dot", &dot, "emit the worst-case CFG as graphviz dot");
+  cli.add_string("bound", &bound,
+                 "also derive C^LO from a concentration bound at "
+                 "--target-p: cantelli | chebyshev2 | vp | gauss");
+  cli.add_double("target-p", &target_p,
+                 "exceedance target for --bound");
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
@@ -132,6 +142,36 @@ int cmd_wcet(const std::string& kernel_name, int argc,
                 profile.acet + 3.0 * profile.sigma,
                 100.0 * profile.overrun_rate(profile.acet +
                                              3.0 * profile.sigma));
+    if (!bound.empty()) {
+      stats::BoundKind kind;
+      try {
+        kind = stats::parse_bound_kind(bound);
+        if (!(target_p > 0.0) || target_p >= 1.0)
+          throw std::invalid_argument("--target-p must be in (0, 1)");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "wcet: %s\n", e.what());
+        return 1;
+      }
+      const stats::UnimodalityReport uni =
+          stats::unimodality_check(profile.samples);
+      // VP/Gauss only under a certified unimodal histogram; otherwise the
+      // distribution-free Cantelli multiplier for the same target (the
+      // ConcentrationBoundPolicy fallback).
+      const bool premised = kind == stats::BoundKind::kCantelli ||
+                            kind == stats::BoundKind::kChebyshev ||
+                            uni.unimodal;
+      const stats::BoundKind effective =
+          premised ? kind : stats::BoundKind::kCantelli;
+      const double n = stats::concentration_n_for_target(effective, target_p);
+      const double level = profile.acet + n * profile.sigma;
+      const std::string effective_name{stats::bound_name(effective)};
+      std::printf("C^LO %s(p=%g): %.4g cycles (n=%.3f%s, measured overrun "
+                  "%.2f%%, histogram %s)\n",
+                  effective_name.c_str(), target_p, level, n,
+                  premised ? "" : ", Cantelli fallback",
+                  100.0 * profile.overrun_rate(level),
+                  uni.unimodal ? "unimodal" : "multimodal");
+    }
     return 0;
   }
   std::fprintf(stderr, "unknown kernel '%s'\n", kernel_name.c_str());
@@ -146,17 +186,30 @@ int cmd_sweep(int argc, const char* const* argv) {
   std::uint64_t seed = 11;
   bool csv_only = false;
   std::string out_path;
+  std::string policy_specs;
+  std::string admission = "utilization";
+  double target_p = 0.1;
   common::Shard shard;
   common::Cli cli(
       "mcs-cli sweep: acceptance ratio of all four approaches across a\n"
-      "U_bound range (the Fig. 6 experiment). With --shard i/N only the\n"
-      "shard's slice of the points is evaluated and a partial CSV is\n"
-      "emitted; recombine the shards with mcs_merge.");
+      "U_bound range (the Fig. 6 experiment). With --policy=SPECS the\n"
+      "sweep instead scores that C^LO policy roster under --admission.\n"
+      "With --shard i/N only the shard's slice of the points is evaluated\n"
+      "and a partial CSV is emitted; recombine the shards with mcs_merge.");
   cli.add_double("u-min", &u_min, "first utilization bound");
   cli.add_double("u-max", &u_max, "last utilization bound");
   cli.add_u64("points", &points, "number of U_bound points");
   cli.add_u64("tasksets", &tasksets, "task sets per point");
   cli.add_u64("seed", &seed, "PRNG seed");
+  cli.add_string("policy", &policy_specs,
+                 "comma-separated C^LO policies for the shoot-out mode "
+                 "(vp_n_sigma, gauss_n_sigma, cantelli_n_sigma, "
+                 "median_k_mad, iqr_whisker, ...)");
+  cli.add_string("admission", &admission,
+                 "shoot-out backend: utilization (Eq. 8) or demand "
+                 "(deadline-tightening search)");
+  cli.add_double("target-p", &target_p,
+                 "exceedance target of the concentration-bound policies");
   cli.add_flag("csv", &csv_only,
                "emit only the CSV block (implied by --shard)");
   cli.add_shard(&shard);
@@ -176,6 +229,22 @@ int cmd_sweep(int argc, const char* const* argv) {
                                    : u_min + (u_max - u_min) *
                                                  static_cast<double>(p) /
                                                  static_cast<double>(points - 1));
+  if (!policy_specs.empty()) {
+    sched::PolicyFactoryOptions policy_options;
+    policy_options.target_p = target_p;
+    const auto policies =
+        sched::make_policy_list(policy_specs, policy_options);
+    const auto result = exp::run_shootout_acceptance(
+        policies, core::parse_admission_backend(admission), u_values,
+        tasksets, seed, common::Executor(shard));
+    const common::Table table = exp::render_shootout_acceptance(result);
+    if (csv_only) return common::emit_csv(out_path, table.render_csv());
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nCSV:");
+    std::fputs(table.render_csv().c_str(), stdout);
+    return 0;
+  }
+
   const auto sweep_points =
       exp::run_fig6(u_values, tasksets, seed, common::Executor(shard));
   const common::Table table = exp::render_fig6(sweep_points);
@@ -421,11 +490,17 @@ int cmd_serve(int argc, const char* const* argv) {
   cli.add_flag("lazy-departures", &lazy,
                "defer demand-cache rebuilds from departures to the next\n"
                "arrival (O(tasks) departures)");
+  std::string admission = "utilization";
+  cli.add_string("admission", &admission,
+                 "schedulability backend: utilization (Eq. 8 + LO demand "
+                 "scan) or demand (escalates rejections to the "
+                 "deadline-tightening search)");
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
 
   core::ServeSession::Config config;
   config.admission.eager_departure_rebuild = !lazy;
+  config.admission.backend = core::parse_admission_backend(admission);
   config.moment_tolerance = tolerance;
   config.min_jobs = min_jobs;
   core::ServeSession session(config);
