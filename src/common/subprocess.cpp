@@ -103,11 +103,14 @@ bool Subprocess::poll() {
     return true;
   }
   int wstatus = 0;
-  const pid_t r = ::waitpid(pid_, &wstatus, WNOHANG);
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &wstatus, WNOHANG);
+  } while (r < 0 && errno == EINTR);  // a signal mid-poll is not an exit
   if (r == 0) return false;
   finished_ = true;
   if (r < 0) {
-    // Reaped elsewhere or gone: report as unknown failure.
+    // Reaped elsewhere or gone (ECHILD): report as unknown failure.
     status_ = ExitStatus{};
     return true;
   }
@@ -127,10 +130,15 @@ ExitStatus Subprocess::wait_deadline(double deadline_ms) {
   // lifetimes measured in milliseconds to minutes.
   while (!poll()) {
     if (deadline_ms >= 0.0 && elapsed_ms(start) >= deadline_ms) {
+      // The child can exit between the deadline check and the SIGKILL;
+      // one last poll prefers the real status over a fabricated timeout.
+      if (poll()) return status_;
       kill(SIGKILL);
       while (!poll())
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      status_.timed_out = true;
+      // A normal exit reaped here means the child beat the signal to the
+      // finish line: keep the genuine exit status, unflagged.
+      if (!status_.exited) status_.timed_out = true;
       return status_;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -140,8 +148,13 @@ ExitStatus Subprocess::wait_deadline(double deadline_ms) {
 
 void Subprocess::kill(int signum) const {
   if (finished_ || pid_ <= 0) return;
-  if (own_group_) (void)::kill(-pid_, signum);
-  (void)::kill(pid_, signum);
+  // Exactly one delivery per process: the group signal already reaches
+  // the leader, so following it with a direct kill(pid) would deliver
+  // twice to the leader (observable with counted signals like SIGUSR1).
+  if (own_group_)
+    (void)::kill(-pid_, signum);
+  else
+    (void)::kill(pid_, signum);
 }
 
 ExitStatus run_process(const std::vector<std::string>& argv,

@@ -66,16 +66,21 @@ class Subprocess {
 
   /// Non-blocking: reaps and returns true if the child has finished
   /// (status() then holds the result); false while still running.
+  /// Retries waitpid on EINTR — a signal delivered to the supervisor is
+  /// never misread as the child having exited with an unknown status.
   bool poll();
 
   /// Blocks until the child finishes or `deadline_ms` elapses (measured
   /// from the call). On deadline expiry the child's process group is
-  /// SIGKILLed, the child is reaped, and the status is marked timed_out.
+  /// SIGKILLed and reaped; the status is marked timed_out only when the
+  /// child did not manage a normal exit first (a child that exits between
+  /// the deadline check and the SIGKILL keeps its genuine exit status).
   /// A negative deadline waits forever. Returns the final status.
   ExitStatus wait_deadline(double deadline_ms);
 
-  /// Sends `signum` to the child (its whole group when it has one).
-  /// No-op once finished.
+  /// Sends `signum` once per process: to the child's whole group when it
+  /// has one (the group signal already reaches the leader), otherwise to
+  /// the child directly. No-op once finished.
   void kill(int signum) const;
 
   [[nodiscard]] bool finished() const { return finished_; }

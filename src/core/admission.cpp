@@ -1,17 +1,12 @@
 #include "core/admission.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <queue>
 #include <stdexcept>
 #include <utility>
-
-#include "core/chebyshev_wcet.hpp"
 
 namespace mcs::core {
 
@@ -447,264 +442,6 @@ mc::TaskSet AdmissionController::resident_set() const {
 const mc::McTask* AdmissionController::find(std::uint64_t id) const {
   const auto it = index_.find(id);
   return it == index_.end() ? nullptr : &residents_[it->second].task;
-}
-
-// ---------------------------------------------------------------------------
-// ServeSession
-
-namespace {
-
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
-      ++i;
-    std::size_t j = i;
-    while (j < line.size() &&
-           !std::isspace(static_cast<unsigned char>(line[j])))
-      ++j;
-    if (j > i) tokens.push_back(line.substr(i, j - i));
-    i = j;
-  }
-  return tokens;
-}
-
-/// Finds `key=` among the argument tokens; returns the value part.
-std::optional<std::string> find_arg(const std::vector<std::string>& tokens,
-                                    const std::string& key) {
-  const std::string prefix = key + "=";
-  for (std::size_t i = 1; i < tokens.size(); ++i)
-    if (tokens[i].rfind(prefix, 0) == 0)
-      return tokens[i].substr(prefix.size());
-  return std::nullopt;
-}
-
-bool parse_double_arg(const std::vector<std::string>& tokens,
-                      const std::string& key, double* out) {
-  const std::optional<std::string> raw = find_arg(tokens, key);
-  if (!raw) return false;
-  char* end = nullptr;
-  const double v = std::strtod(raw->c_str(), &end);
-  if (end == raw->c_str() || *end != '\0') return false;
-  *out = v;
-  return true;
-}
-
-std::string format_g(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.10g", v);
-  return buf;
-}
-
-}  // namespace
-
-ServeSession::ServeSession() : ServeSession(Config{}) {}
-
-ServeSession::ServeSession(Config config)
-    : config_(config), controller_(config.admission) {}
-
-std::string ServeSession::handle_line(const std::string& line) {
-  const std::vector<std::string> tokens = tokenize(line);
-  if (tokens.empty() || tokens[0][0] == '#') return "";
-  const std::string& cmd = tokens[0];
-  if (cmd == "quit") {
-    closed_ = true;
-    return "ok quit";
-  }
-  if (cmd == "admit") return handle_admit(tokens);
-  if (cmd == "remove") return handle_remove(tokens);
-  if (cmd == "record") return handle_record(tokens);
-  if (cmd == "tick") return handle_tick();
-  if (cmd == "stats") return handle_stats();
-  return "error: unknown request '" + cmd + "'";
-}
-
-std::string ServeSession::handle_admit(
-    const std::vector<std::string>& tokens) {
-  const std::optional<std::string> name = find_arg(tokens, "name");
-  const std::optional<std::string> crit = find_arg(tokens, "crit");
-  double wcet_lo = 0.0;
-  double period = 0.0;
-  if (!name || !crit || !parse_double_arg(tokens, "wcet_lo", &wcet_lo) ||
-      !parse_double_arg(tokens, "period", &period))
-    return "error: admit requires name= crit= wcet_lo= period=";
-  if (by_name_.count(*name))
-    return "error: name '" + *name + "' already resident";
-
-  mc::McTask task;
-  if (*crit == "HC") {
-    double wcet_hi = 0.0;
-    if (!parse_double_arg(tokens, "wcet_hi", &wcet_hi))
-      return "error: HC admit requires wcet_hi=";
-    task = mc::McTask::high(*name, wcet_lo, wcet_hi, period);
-  } else if (*crit == "LC") {
-    task = mc::McTask::low(*name, wcet_lo, period);
-  } else {
-    return "error: crit must be HC or LC";
-  }
-  double deadline = 0.0;
-  if (parse_double_arg(tokens, "deadline", &deadline))
-    task.deadline_override = deadline;
-  double acet = 0.0;
-  double sigma = 0.0;
-  const bool has_profile = parse_double_arg(tokens, "acet", &acet);
-  parse_double_arg(tokens, "sigma", &sigma);
-  if (has_profile)
-    task.stats = mc::ExecutionStats{acet, sigma, nullptr};
-  if (!task.valid())
-    return "error: invalid task parameters for '" + *name + "'";
-
-  const AdmissionController::Decision decision = controller_.try_admit(task);
-  if (!decision.admitted) {
-    const AdmissionVerdict& v = decision.verdict;
-    return "reject admit " + *name +
-           " vd=" + (v.vd.schedulable ? "ok" : "fail") +
-           " dbf=" + (v.dbf_schedulable
-                          ? "ok"
-                          : (v.dbf_inconclusive ? "inconclusive" : "fail")) +
-           " resident=" + std::to_string(controller_.resident_count());
-  }
-  Entry entry;
-  entry.name = *name;
-  if (task.criticality == mc::Criticality::kHigh && has_profile &&
-      acet > 0.0 && sigma >= 0.0) {
-    // Seed the drift monitor with the admitted envelope; n is the Eq. 6
-    // multiplier implied by C^LO over the declared moments.
-    entry.n_design =
-        sigma > 0.0 ? std::max(0.0, (wcet_lo - acet) / sigma) : 0.0;
-    entry.monitor.emplace(
-        std::vector<MonitoredTask>{{acet, sigma, wcet_lo, entry.n_design}},
-        config_.moment_tolerance, config_.min_jobs);
-  }
-  by_name_[*name] = decision.id;
-  entries_[decision.id] = std::move(entry);
-  std::string response =
-      "ok admit " + *name + " id=" + std::to_string(decision.id) +
-      " x=" + format_g(decision.verdict.vd.x);
-  if (decision.verdict.demand_admitted)
-    response += " demand_x=" + format_g(decision.verdict.demand_x);
-  return response +
-         " resident=" + std::to_string(controller_.resident_count());
-}
-
-std::uint64_t ServeSession::resolve_id(const std::vector<std::string>& tokens,
-                                       std::string* error) const {
-  if (const std::optional<std::string> name = find_arg(tokens, "name")) {
-    const auto it = by_name_.find(*name);
-    if (it == by_name_.end()) {
-      *error = "error: unknown task '" + *name + "'";
-      return 0;
-    }
-    return it->second;
-  }
-  double id = 0.0;
-  if (parse_double_arg(tokens, "id", &id) && id > 0.0 &&
-      entries_.count(static_cast<std::uint64_t>(id)))
-    return static_cast<std::uint64_t>(id);
-  *error = "error: request needs a valid name= or id=";
-  return 0;
-}
-
-std::string ServeSession::handle_remove(
-    const std::vector<std::string>& tokens) {
-  std::string error;
-  const std::uint64_t id = resolve_id(tokens, &error);
-  if (id == 0) return error;
-  const std::string name = entries_[id].name;
-  controller_.remove(id);
-  by_name_.erase(name);
-  entries_.erase(id);
-  return "ok remove " + name + " id=" + std::to_string(id) +
-         " resident=" + std::to_string(controller_.resident_count());
-}
-
-std::string ServeSession::handle_record(
-    const std::vector<std::string>& tokens) {
-  std::string error;
-  const std::uint64_t id = resolve_id(tokens, &error);
-  if (id == 0) return error;
-  double time = 0.0;
-  if (!parse_double_arg(tokens, "time", &time) || time < 0.0)
-    return "error: record requires time=";
-  Entry& entry = entries_[id];
-  if (!entry.monitor)
-    return "error: task '" + entry.name + "' is not monitored";
-  entry.monitor->record(0, time);
-  return "";  // silent: record lines arrive at job rate
-}
-
-std::string ServeSession::handle_tick() {
-  std::string out;
-  std::size_t monitored = 0;
-  std::size_t drifted = 0;
-  std::size_t applied = 0;
-  for (auto& [id, entry] : entries_) {  // id order == admission order
-    if (!entry.monitor) continue;
-    ++monitored;
-    const DriftReport report = entry.monitor->report(0);
-    if (!report.reassignment_recommended()) continue;
-    ++drifted;
-    const mc::McTask* task = controller_.find(id);
-    // Re-derive C^LO from the observed moments, keeping the design
-    // margin n (Eq. 6) and the Eq. 9 clamp against C^HI.
-    const double sigma_obs =
-        std::isnan(report.observed_sigma) ? 0.0 : report.observed_sigma;
-    const double new_wcet = chebyshev_wcet_opt(
-        report.observed_acet, sigma_obs, entry.n_design, task->wcet_hi);
-    const double old_wcet = task->wcet_lo;
-    const AdmissionController::UpdateResult result =
-        controller_.try_update(id, new_wcet);
-    if (result.applied) {
-      ++applied;
-      if (report.observed_acet > 0.0) {
-        const double n =
-            sigma_obs > 0.0
-                ? std::max(0.0, (new_wcet - report.observed_acet) / sigma_obs)
-                : 0.0;
-        entry.monitor->rebaseline(
-            0, {report.observed_acet, sigma_obs, new_wcet, n});
-        entry.n_design = n;
-      }
-      out += "reopt " + entry.name + " wcet_lo " + format_g(old_wcet) +
-             " -> " + format_g(new_wcet) +
-             " applied x=" + format_g(result.verdict.vd.x) + "\n";
-    } else {
-      out += "reopt " + entry.name + " wcet_lo " + format_g(old_wcet) +
-             " -> " + format_g(new_wcet) + " rejected";
-      out += "\n";
-    }
-  }
-  out += "ok tick monitored=" + std::to_string(monitored) +
-         " drifted=" + std::to_string(drifted) +
-         " reoptimized=" + std::to_string(applied);
-  return out;
-}
-
-std::string ServeSession::handle_stats() const {
-  const AdmissionController::Stats& s = controller_.stats();
-  const AdmissionVerdict& v = controller_.current();
-  const sched::McUtilization u = controller_.utilization();
-  const char* state = v.admitted
-                          ? "ok"
-                          : (v.vd.schedulable && v.dbf_inconclusive
-                                 ? "inconclusive"
-                                 : "infeasible");
-  const std::string demand =
-      v.demand_admitted ? " demand_x=" + format_g(v.demand_x) : "";
-  return std::string("stats resident=") +
-         std::to_string(controller_.resident_count()) + " state=" + state +
-         " x=" + format_g(v.vd.x) + demand + " u_lc_lo=" + format_g(u.lc_lo) +
-         " u_hc_lo=" + format_g(u.hc_lo) + " u_hc_hi=" + format_g(u.hc_hi) +
-         " arrivals=" + std::to_string(s.arrivals) +
-         " admitted=" + std::to_string(s.admitted) +
-         " rejected=" + std::to_string(s.rejected) +
-         " departures=" + std::to_string(s.departures) +
-         " shortcut_departures=" + std::to_string(s.shortcut_departures) +
-         " updates=" + std::to_string(s.updates) +
-         " updates_rejected=" + std::to_string(s.updates_rejected) +
-         " full_scans=" + std::to_string(s.full_scans) +
-         " append_scans=" + std::to_string(s.append_scans);
 }
 
 }  // namespace mcs::core

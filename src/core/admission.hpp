@@ -29,23 +29,22 @@
 // tests/test_admission_oracle.cpp drives randomized churn against the
 // from-scratch oracle to hold this contract.
 //
-// ServeSession wraps the controller in the line protocol behind
-// `mcs-cli serve` and closes the measurement loop: per-job execution
-// times feed OnlineMonitor (core/online.hpp), and drifted tasks get their
-// C^LO re-derived from the *observed* moments via Chebyshev (Eq. 6) and
-// re-admitted through the same incremental test.
+// The protocol layer lives separately: core/serve.hpp wraps a
+// (possibly partitioned, core/partitioned_admission.hpp) controller in
+// the line protocol behind `mcs-cli serve` and closes the measurement
+// loop: per-job execution times feed OnlineMonitor (core/online.hpp),
+// and drifted tasks get their C^LO re-derived from the *observed*
+// moments via Chebyshev (Eq. 6) and re-admitted through the same
+// incremental test.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
-#include "core/online.hpp"
 #include "mc/taskset.hpp"
 #include "sched/dbf.hpp"
 #include "sched/demand_vd.hpp"
@@ -236,71 +235,6 @@ class AdmissionController {
   bool cache_valid_ = true;    ///< empty-set trace is trivially valid
   Stats stats_;
   std::uint64_t next_id_ = 1;
-};
-
-/// One request-per-line service over an AdmissionController, used by
-/// `mcs-cli serve` and exercised directly in tests. Requests:
-///
-///   admit name=N crit=HC|LC wcet_lo=X period=P [wcet_hi=Y] [deadline=D]
-///         [acet=A] [sigma=S]
-///   remove name=N | id=I
-///   record name=N | id=I time=T         (per-job execution time)
-///   tick                                (drift check + re-optimization)
-///   stats
-///   quit
-///
-/// Blank lines and '#' comments yield no output. Every response is a
-/// deterministic single line (tick may emit one `reopt` line per drifted
-/// task before its summary), so replayed scripts are byte-comparable.
-class ServeSession {
- public:
-  struct Config {
-    AdmissionController::Config admission;
-    /// OnlineMonitor envelope (see core/online.hpp).
-    double moment_tolerance = 0.15;
-    std::size_t min_jobs = 100;
-  };
-
-  ServeSession();
-  explicit ServeSession(Config config);
-
-  /// Handles one request line; returns the response text without a
-  /// trailing newline ("" for silent lines).
-  std::string handle_line(const std::string& line);
-
-  /// True once a `quit` request was processed.
-  [[nodiscard]] bool closed() const { return closed_; }
-
-  [[nodiscard]] const AdmissionController& controller() const {
-    return controller_;
-  }
-
- private:
-  /// Resident bookkeeping beyond the controller: name binding and the
-  /// per-task drift monitor for HC tasks with a measurement profile.
-  struct Entry {
-    std::string name;
-    /// Single-task monitor (OnlineMonitor is fixed-size; one per task
-    /// keeps arrivals/departures independent).
-    std::optional<OnlineMonitor> monitor;
-    double n_design = 0.0;  ///< multiplier implied by the admitted C^LO
-  };
-
-  std::string handle_admit(const std::vector<std::string>& tokens);
-  std::string handle_remove(const std::vector<std::string>& tokens);
-  std::string handle_record(const std::vector<std::string>& tokens);
-  std::string handle_tick();
-  [[nodiscard]] std::string handle_stats() const;
-  /// Resolves a `name=` or `id=` argument to a resident id; returns 0 and
-  /// sets *error on failure.
-  [[nodiscard]] std::uint64_t resolve_id(
-      const std::vector<std::string>& tokens, std::string* error) const;
-
-  Config config_;
-  AdmissionController controller_;
-  std::map<std::uint64_t, Entry> entries_;  ///< id order == admission order
-  std::unordered_map<std::string, std::uint64_t> by_name_;
-  bool closed_ = false;
 };
 
 }  // namespace mcs::core

@@ -1,0 +1,113 @@
+#include "core/partitioned_admission.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mcs::core {
+
+PartitionedAdmission::PartitionedAdmission(Config config)
+    : config_(config) {
+  if (config_.cores == 0)
+    throw std::invalid_argument(
+        "PartitionedAdmission: cores must be >= 1");
+  per_core_.reserve(config_.cores);
+  for (std::size_t c = 0; c < config_.cores; ++c)
+    per_core_.emplace_back(config_.per_core);
+}
+
+std::vector<std::size_t> PartitionedAdmission::probe_order() const {
+  std::vector<std::size_t> order(per_core_.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (config_.placement == sched::PartitionHeuristic::kFirstFit)
+    return order;  // fixed core order
+
+  // Remaining HI capacity per core, the sched/partition key: 1 minus the
+  // Eq. 7 load the core carries in its worst mode (U_HC^HI + U_LC^LO).
+  std::vector<double> capacity(per_core_.size());
+  for (std::size_t c = 0; c < per_core_.size(); ++c) {
+    const sched::McUtilization u = per_core_[c].utilization();
+    capacity[c] = 1.0 - u.hc_hi - u.lc_lo;
+  }
+  // Deterministic: ties break on the lower core index (stable sort over
+  // the index-ordered range).
+  const bool worst = config_.placement == sched::PartitionHeuristic::kWorstFit;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return worst ? capacity[a] > capacity[b]
+                                  : capacity[a] < capacity[b];
+                   });
+  return order;
+}
+
+PartitionedAdmission::Decision PartitionedAdmission::try_admit(
+    const mc::McTask& task) {
+  ++stats_.arrivals;
+  Decision decision;
+  const std::vector<std::size_t> order = probe_order();
+  bool first = true;
+  for (const std::size_t core : order) {
+    ++stats_.probes;
+    ++decision.probes;
+    const AdmissionController::Decision d = per_core_[core].try_admit(task);
+    if (first) {
+      decision.verdict = d.verdict;  // the preferred core's verdict
+      first = false;
+    }
+    if (!d.admitted) continue;
+    decision.admitted = true;
+    decision.core = core;
+    decision.verdict = d.verdict;
+    decision.id = next_id_++;
+    placements_[decision.id] = Placement{core, d.id};
+    ++stats_.admitted;
+    if (core != order.front()) ++stats_.fallback_admissions;
+    return decision;
+  }
+  ++stats_.rejected;
+  return decision;
+}
+
+bool PartitionedAdmission::remove(std::uint64_t id) {
+  const auto it = placements_.find(id);
+  if (it == placements_.end()) return false;
+  ++stats_.departures;
+  per_core_[it->second.core].remove(it->second.local_id);
+  placements_.erase(it);
+  return true;
+}
+
+PartitionedAdmission::UpdateResult PartitionedAdmission::try_update(
+    std::uint64_t id, double wcet_lo) {
+  const auto it = placements_.find(id);
+  if (it == placements_.end())
+    throw std::invalid_argument(
+        "PartitionedAdmission: unknown resident id");
+  ++stats_.updates;
+  UpdateResult result;
+  result.core = it->second.core;
+  const AdmissionController::UpdateResult r =
+      per_core_[it->second.core].try_update(it->second.local_id, wcet_lo);
+  result.applied = r.applied;
+  result.verdict = r.verdict;
+  return result;
+}
+
+const mc::McTask* PartitionedAdmission::find(std::uint64_t id) const {
+  const auto it = placements_.find(id);
+  if (it == placements_.end()) return nullptr;
+  return per_core_[it->second.core].find(it->second.local_id);
+}
+
+std::size_t PartitionedAdmission::core_of(std::uint64_t id) const {
+  const auto it = placements_.find(id);
+  return it == placements_.end() ? per_core_.size() : it->second.core;
+}
+
+std::size_t PartitionedAdmission::resident_count() const {
+  std::size_t total = 0;
+  for (const AdmissionController& c : per_core_) total += c.resident_count();
+  return total;
+}
+
+}  // namespace mcs::core

@@ -1,0 +1,126 @@
+// Partitioned (per-core) admission control behind one front controller.
+//
+// The incremental AdmissionController (core/admission.hpp) answers for
+// ONE processor. Scaling the open-system service to m cores follows the
+// static-partitioning route the library already takes for closed-world
+// analysis (sched/partition.hpp): each core runs its own uniprocessor
+// controller, and a front controller routes every arrival to a core
+// chosen by a bin-packing heuristic — first-fit in core order, or
+// best-/worst-fit by remaining HI capacity — with fallback probing: when
+// the preferred core rejects, the remaining cores are probed in heuristic
+// order before the arrival is finally rejected.
+//
+// The contract mirrors the monolithic one, per core: because a rejected
+// probe leaves the probed controller's caches untouched (try_admit is
+// transactional), the sequence of operations each core actually commits
+// is indistinguishable from feeding that subsequence to a standalone
+// AdmissionController — so every per-core verdict is bit-identical to the
+// monolithic controller run over the same per-core subset, and the
+// front's accept/reject stream is a pure function of the placement.
+// tests/test_partitioned_admission.cpp holds this equivalence under
+// randomized churn.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "sched/partition.hpp"
+
+namespace mcs::core {
+
+/// Admission front over N per-core incremental controllers.
+class PartitionedAdmission {
+ public:
+  struct Config {
+    /// Number of cores (>= 1; 1 degenerates to a monolithic controller
+    /// behind the routing bookkeeping).
+    std::size_t cores = 1;
+    /// Probe-order heuristic (reuses the sched/partition vocabulary).
+    sched::PartitionHeuristic placement =
+        sched::PartitionHeuristic::kFirstFit;
+    /// Per-core controller configuration (backend, departure rebuilds).
+    AdmissionController::Config per_core{};
+  };
+
+  struct Stats {
+    std::uint64_t arrivals = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t departures = 0;
+    std::uint64_t updates = 0;
+    /// Total per-core try_admit probes across all arrivals.
+    std::uint64_t probes = 0;
+    /// Admissions that landed on a core other than the first probed one.
+    std::uint64_t fallback_admissions = 0;
+  };
+
+  struct Decision {
+    bool admitted = false;
+    /// Front-assigned id (stable across cores; 0 when rejected).
+    std::uint64_t id = 0;
+    /// Core that admitted the task (valid when admitted).
+    std::size_t core = 0;
+    /// Verdict of the admitting core — or, on rejection, of the FIRST
+    /// core probed (the heuristic's preferred placement), so a rejection
+    /// reports the verdict the chosen core produced.
+    AdmissionVerdict verdict;
+    /// Cores probed for this arrival (>= 1).
+    std::size_t probes = 0;
+  };
+
+  struct UpdateResult {
+    bool applied = false;
+    std::size_t core = 0;
+    AdmissionVerdict verdict;
+  };
+
+  explicit PartitionedAdmission(Config config);
+
+  /// Probes cores in heuristic order; admits on the first core whose
+  /// incremental test accepts. Rejected probes leave every controller
+  /// untouched. Throws std::invalid_argument on an invalid task.
+  Decision try_admit(const mc::McTask& task);
+
+  /// Removes a resident by front id. False for an unknown id.
+  bool remove(std::uint64_t id);
+
+  /// Re-tests a resident's C^LO on its own core (tasks never migrate:
+  /// the per-core histories — and hence the bit-identity contract —
+  /// would not survive a move). Throws for an unknown id.
+  UpdateResult try_update(std::uint64_t id, double wcet_lo);
+
+  [[nodiscard]] const mc::McTask* find(std::uint64_t id) const;
+  /// Core a resident lives on; cores() for an unknown id.
+  [[nodiscard]] std::size_t core_of(std::uint64_t id) const;
+
+  [[nodiscard]] std::size_t cores() const { return per_core_.size(); }
+  [[nodiscard]] const AdmissionController& controller(std::size_t core) const {
+    return per_core_[core];
+  }
+  /// Total residents across cores.
+  [[nodiscard]] std::size_t resident_count() const;
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// The heuristic's probe order for the CURRENT loads (exposed for the
+  /// oracle tests; try_admit follows exactly this order).
+  [[nodiscard]] std::vector<std::size_t> probe_order() const;
+
+ private:
+  struct Placement {
+    std::size_t core = 0;
+    std::uint64_t local_id = 0;  ///< id inside the core's controller
+  };
+
+  Config config_;
+  std::vector<AdmissionController> per_core_;
+  std::unordered_map<std::uint64_t, Placement> placements_;
+  Stats stats_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mcs::core

@@ -12,7 +12,8 @@ FIG6="$3"
 FIG4="$4"
 TABLE2="$5"
 WORKDIR="$(mktemp -d)"
-trap 'rm -rf "$WORKDIR"' EXIT
+trap 'if [ -n "${SERVER_PID:-}" ]; then kill "$SERVER_PID" 2>/dev/null || true; fi; \
+  rm -rf "$WORKDIR"' EXIT
 
 "$CLI" generate --u-bound=0.8 --seed=11 > "$WORKDIR/tasks.mcs"
 grep -q "taskset v1" "$WORKDIR/tasks.mcs"
@@ -84,6 +85,71 @@ grep -q "stats resident=3 state=ok" "$WORKDIR/serve_j1.txt"
 grep -v "^stats" "$WORKDIR/serve_j1.txt" > "$WORKDIR/serve_j1_nostats.txt"
 grep -v "^stats" "$WORKDIR/serve_lazy.txt" > "$WORKDIR/serve_lazy_nostats.txt"
 cmp "$WORKDIR/serve_j1_nostats.txt" "$WORKDIR/serve_lazy_nostats.txt"
+
+# Malformed requests earn one `err` reply each and leave the admission
+# state untouched — no aborts, no silent 0.0 coercions.
+cat > "$WORKDIR/malformed.txt" <<'EOF'
+admit name=ok crit=LC wcet_lo=1 period=10
+admit name=junk crit=LC wcet_lo=3.5x period=10
+admit name=junk crit=LC wcet_lo=nan period=10
+admit name=junk crit=LC wcet_lo=1e999 period=10
+admit name=junk crit=XX wcet_lo=1 period=10
+admit name=ok crit=LC wcet_lo=1 period=10
+remove id=0
+remove id=7seven
+frobnicate x=1
+tick now
+stats
+quit
+EOF
+"$CLI" serve --script="$WORKDIR/malformed.txt" > "$WORKDIR/malformed_out.txt"
+grep -q "^ok admit ok id=1" "$WORKDIR/malformed_out.txt"
+grep -q "^err invalid number for 'wcet_lo'" "$WORKDIR/malformed_out.txt"
+grep -q "^err crit must be HC or LC" "$WORKDIR/malformed_out.txt"
+grep -q "^err name 'ok' already resident" "$WORKDIR/malformed_out.txt"
+grep -q "^err invalid id '0'" "$WORKDIR/malformed_out.txt"
+grep -q "^err invalid id '7seven'" "$WORKDIR/malformed_out.txt"
+grep -q "^err unknown request 'frobnicate'" "$WORKDIR/malformed_out.txt"
+grep -q "^err tick takes no arguments" "$WORKDIR/malformed_out.txt"
+grep -q "^stats resident=1 " "$WORKDIR/malformed_out.txt"
+test "$(grep -c '^err ' "$WORKDIR/malformed_out.txt")" = 9
+
+# Partitioned service: the same script on 2 cores routes arrivals across
+# per-core controllers; cores=1 output stays byte-identical to the
+# monolithic service (already pinned above).
+"$CLI" serve --script="$WORKDIR/churn.txt" --min-jobs=8 --cores=2 \
+  --placement=worst-fit > "$WORKDIR/serve_mc.txt"
+grep -q "ok admit video id=1 core=0" "$WORKDIR/serve_mc.txt"
+grep -q "ok admit radar id=2 core=1" "$WORKDIR/serve_mc.txt"
+grep -q "cores=2 placement=worst-fit" "$WORKDIR/serve_mc.txt"
+grep -q "core1=\[resident=" "$WORKDIR/serve_mc.txt"
+
+# Network front-end soak: a --listen server fed the serve script over TCP
+# by the loopback client answers byte-identically to the --script replay
+# (net `quit` maps to the same "ok quit" reply), and a second concurrent
+# session sees the state the first one left behind.
+"$CLI" serve --listen --port=0 --port-file="$WORKDIR/port.txt" \
+  --min-jobs=8 2> "$WORKDIR/serve_net.log" &
+SERVER_PID=$!
+i=0
+while [ ! -s "$WORKDIR/port.txt" ] && [ $i -lt 100 ]; do
+  sleep 0.1; i=$((i + 1))
+done
+test -s "$WORKDIR/port.txt"
+PORT="$(cat "$WORKDIR/port.txt")"
+grep -v "^quit$" "$WORKDIR/churn.txt" > "$WORKDIR/churn_net.txt"
+"$CLI" client --connect=127.0.0.1:"$PORT" --script="$WORKDIR/churn_net.txt" \
+  > "$WORKDIR/client1.txt"
+# The client appends the terminating quit itself; the transcript must
+# equal the script replay byte for byte.
+cmp "$WORKDIR/serve_j1.txt" "$WORKDIR/client1.txt"
+# Second session over the SAME server: the resident set persisted.
+printf 'stats\nshutdown\n' | "$CLI" client --connect=127.0.0.1:"$PORT" \
+  > "$WORKDIR/client2.txt"
+grep -q "^stats resident=3 " "$WORKDIR/client2.txt"
+grep -q "^ok shutdown" "$WORKDIR/client2.txt"
+wait "$SERVER_PID"
+grep -q "serve: stopped after" "$WORKDIR/serve_net.log"
 
 # Shard fan-out: running a driver as 4 independent shards and merging the
 # partial CSVs must reproduce the unsharded CSV byte for byte.

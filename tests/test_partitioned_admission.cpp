@@ -1,0 +1,349 @@
+// Equivalence oracle for the partitioned admission front.
+//
+// The contract of core/partitioned_admission.hpp: the front is nothing
+// but a router. Each per-core controller's verdict stream is
+// bit-identical to a standalone AdmissionController fed the same
+// per-core subsequence, and the front's accept/reject stream is a pure
+// function of the heuristic probe order. These tests hold both under
+// randomized churn by running an independent shadow system in lock-step:
+// one monolithic controller per core plus a from-the-spec
+// reimplementation of the probe-order heuristic, every verdict compared
+// bitwise, plus the transitive from-scratch admission_check oracle on
+// every core after every step.
+#include "core/partitioned_admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace mcs::core {
+namespace {
+
+void expect_verdict_eq(const AdmissionVerdict& a, const AdmissionVerdict& b,
+                       const std::string& context) {
+  EXPECT_EQ(a.admitted, b.admitted) << context;
+  EXPECT_EQ(a.vd.schedulable, b.vd.schedulable) << context;
+  EXPECT_EQ(a.vd.plain_edf, b.vd.plain_edf) << context;
+  EXPECT_EQ(std::memcmp(&a.vd.x, &b.vd.x, sizeof(double)), 0)
+      << context << "  x_a=" << a.vd.x << " x_b=" << b.vd.x;
+  EXPECT_EQ(a.dbf_schedulable, b.dbf_schedulable) << context;
+  EXPECT_EQ(a.dbf_inconclusive, b.dbf_inconclusive) << context;
+  EXPECT_EQ(a.demand_admitted, b.demand_admitted) << context;
+  EXPECT_EQ(std::memcmp(&a.demand_x, &b.demand_x, sizeof(double)), 0)
+      << context;
+}
+
+mc::McTask random_task(common::Rng& rng, int serial, double u_lo,
+                       double u_hi) {
+  const bool hc = rng.bernoulli(0.4);
+  const double period = std::pow(10.0, rng.uniform(1.0, 3.0));
+  const double u = rng.uniform(u_lo, u_hi);
+  const double wcet_lo = std::max(1e-6, u * period);
+  const std::string name = "t" + std::to_string(serial);
+  if (hc) {
+    const double wcet_hi = std::min(period, wcet_lo * rng.uniform(1.3, 3.0));
+    return mc::McTask::high(name, wcet_lo, wcet_hi, period);
+  }
+  return mc::McTask::low(name, wcet_lo, period);
+}
+
+/// Independent reimplementation of the probe-order spec, computed from
+/// the SHADOW controllers: first-fit probes cores in index order; best-
+/// and worst-fit sort by remaining HI capacity (1 - U_HC^HI - U_LC^LO),
+/// ties to the lower index.
+std::vector<std::size_t> expected_order(
+    const std::vector<AdmissionController>& shadows,
+    sched::PartitionHeuristic placement) {
+  std::vector<std::size_t> order(shadows.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (placement == sched::PartitionHeuristic::kFirstFit) return order;
+  std::vector<double> capacity(shadows.size());
+  for (std::size_t c = 0; c < shadows.size(); ++c) {
+    const sched::McUtilization u = shadows[c].utilization();
+    capacity[c] = 1.0 - u.hc_hi - u.lc_lo;
+  }
+  const bool worst = placement == sched::PartitionHeuristic::kWorstFit;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return worst ? capacity[a] > capacity[b]
+                                  : capacity[a] < capacity[b];
+                   });
+  return order;
+}
+
+struct ShadowPlacement {
+  std::size_t core = 0;
+  std::uint64_t local_id = 0;
+};
+
+/// One lock-step churn sequence: the front on one side, per-core shadow
+/// monolithic controllers plus the spec heuristic on the other. Every
+/// decision, verdict, and routing choice is compared bitwise; every core
+/// additionally satisfies the from-scratch admission_check oracle.
+void run_lockstep_churn(std::uint64_t seed, std::size_t cores,
+                        sched::PartitionHeuristic placement,
+                        AdmissionBackend backend, double u_lo, double u_hi,
+                        PartitionedAdmission::Stats* stats_out = nullptr) {
+  PartitionedAdmission::Config config;
+  config.cores = cores;
+  config.placement = placement;
+  config.per_core.backend = backend;
+  PartitionedAdmission front(config);
+
+  std::vector<AdmissionController> shadows;
+  shadows.reserve(cores);
+  AdmissionController::Config per_core;
+  per_core.backend = backend;
+  for (std::size_t c = 0; c < cores; ++c) shadows.emplace_back(per_core);
+  std::vector<std::pair<std::uint64_t, ShadowPlacement>> resident;
+
+  common::Rng rng(seed);
+  int serial = 0;
+  for (int step = 0; step < 40; ++step) {
+    const std::string context = "seed=" + std::to_string(seed) +
+                                " cores=" + std::to_string(cores) +
+                                " placement=" +
+                                std::to_string(static_cast<int>(placement)) +
+                                " step=" + std::to_string(step);
+    const double r = rng.uniform01();
+    if (r < 0.55 || resident.empty()) {
+      const mc::McTask task = random_task(rng, serial++, u_lo, u_hi);
+      // The spec side first: probe shadows in the independently computed
+      // order; the first accepting shadow commits.
+      const std::vector<std::size_t> order = expected_order(shadows, placement);
+      ASSERT_EQ(order, front.probe_order()) << context;
+      bool expect_admitted = false;
+      std::size_t expect_core = 0;
+      std::size_t expect_probes = 0;
+      AdmissionVerdict expect_verdict;
+      std::uint64_t shadow_local = 0;
+      for (const std::size_t core : order) {
+        ++expect_probes;
+        const AdmissionController::Decision d = shadows[core].try_admit(task);
+        if (expect_probes == 1) expect_verdict = d.verdict;
+        if (!d.admitted) continue;
+        expect_admitted = true;
+        expect_core = core;
+        expect_verdict = d.verdict;
+        shadow_local = d.id;
+        break;
+      }
+      const PartitionedAdmission::Decision d = front.try_admit(task);
+      EXPECT_EQ(d.admitted, expect_admitted) << context;
+      EXPECT_EQ(d.probes, expect_probes) << context;
+      expect_verdict_eq(d.verdict, expect_verdict, context + " (arrival)");
+      if (d.admitted) {
+        EXPECT_EQ(d.core, expect_core) << context;
+        EXPECT_EQ(front.core_of(d.id), expect_core) << context;
+        resident.emplace_back(d.id,
+                              ShadowPlacement{expect_core, shadow_local});
+      } else {
+        EXPECT_EQ(d.id, 0u) << context;
+      }
+    } else if (r < 0.85) {
+      const std::size_t pick = rng.uniform_u64(0, resident.size() - 1);
+      const auto [id, shadow] = resident[pick];
+      ASSERT_TRUE(front.remove(id)) << context;
+      ASSERT_TRUE(shadows[shadow.core].remove(shadow.local_id)) << context;
+      resident.erase(resident.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const std::size_t pick = rng.uniform_u64(0, resident.size() - 1);
+      const auto [id, shadow] = resident[pick];
+      const mc::McTask* task = front.find(id);
+      ASSERT_NE(task, nullptr) << context;
+      double new_wcet = std::max(task->wcet_lo * rng.uniform(0.7, 1.3), 1e-9);
+      if (task->criticality == mc::Criticality::kHigh)
+        new_wcet = std::min(new_wcet, task->wcet_hi);
+      else if (new_wcet > task->deadline())
+        new_wcet = task->deadline();
+      const PartitionedAdmission::UpdateResult res =
+          front.try_update(id, new_wcet);
+      const AdmissionController::UpdateResult expect =
+          shadows[shadow.core].try_update(shadow.local_id, new_wcet);
+      EXPECT_EQ(res.core, shadow.core) << context;
+      EXPECT_EQ(res.applied, expect.applied) << context;
+      expect_verdict_eq(res.verdict, expect.verdict, context + " (update)");
+      // Tasks never migrate, applied or not.
+      EXPECT_EQ(front.core_of(id), shadow.core) << context;
+    }
+    // Per-core standing contract: the front's controllers match the
+    // shadows bit-for-bit AND the from-scratch oracle.
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < cores; ++c) {
+      expect_verdict_eq(front.controller(c).current(), shadows[c].current(),
+                        context + " core " + std::to_string(c));
+      expect_verdict_eq(
+          front.controller(c).current(),
+          admission_check(front.controller(c).resident_set(), backend),
+          context + " scratch core " + std::to_string(c));
+      total += front.controller(c).resident_count();
+    }
+    EXPECT_EQ(front.resident_count(), total) << context;
+    EXPECT_EQ(front.resident_count(), resident.size()) << context;
+  }
+  if (stats_out != nullptr) *stats_out = front.stats();
+}
+
+TEST(PartitionedOracle, LockstepChurnFirstFit) {
+  std::uint64_t fallbacks = 0;
+  for (std::uint64_t seq = 0; seq < 20; ++seq) {
+    PartitionedAdmission::Stats stats;
+    run_lockstep_churn(common::index_seed(11001, seq), 2 + (seq % 2),
+                       sched::PartitionHeuristic::kFirstFit,
+                       AdmissionBackend::kUtilization, 0.10, 0.35, &stats);
+    fallbacks += stats.fallback_admissions;
+  }
+  // The fat profile overloads core 0: first-fit must actually have spilled
+  // onto later cores for the fallback path to be exercised.
+  EXPECT_GT(fallbacks, 0u);
+}
+
+TEST(PartitionedOracle, LockstepChurnWorstFit) {
+  for (std::uint64_t seq = 0; seq < 20; ++seq)
+    run_lockstep_churn(common::index_seed(11002, seq), 2 + (seq % 2),
+                       sched::PartitionHeuristic::kWorstFit,
+                       AdmissionBackend::kUtilization, 0.10, 0.35);
+}
+
+TEST(PartitionedOracle, LockstepChurnBestFit) {
+  for (std::uint64_t seq = 0; seq < 20; ++seq)
+    run_lockstep_churn(common::index_seed(11003, seq), 3,
+                       sched::PartitionHeuristic::kBestFit,
+                       AdmissionBackend::kUtilization, 0.05, 0.25);
+}
+
+TEST(PartitionedOracle, LockstepChurnDemandBackend) {
+  // The escalation path must survive partitioning: per-core demand
+  // searches run inside each controller and stay bit-identical.
+  for (std::uint64_t seq = 0; seq < 10; ++seq)
+    run_lockstep_churn(common::index_seed(11004, seq), 2,
+                       sched::PartitionHeuristic::kWorstFit,
+                       AdmissionBackend::kDemand, 0.10, 0.35);
+}
+
+TEST(PartitionedOracle, SingleCoreDegeneratesToMonolithic) {
+  // cores=1 front vs a bare controller over the same arrival stream: the
+  // accept/reject stream, ids, and verdicts all coincide — this is what
+  // keeps the cores=1 serve protocol byte-identical to PR 7's.
+  PartitionedAdmission front(PartitionedAdmission::Config{});
+  AdmissionController mono;
+  common::Rng rng(5);
+  int serial = 0;
+  for (int step = 0; step < 50; ++step) {
+    const mc::McTask task = random_task(rng, serial++, 0.05, 0.30);
+    const PartitionedAdmission::Decision d = front.try_admit(task);
+    const AdmissionController::Decision m = mono.try_admit(task);
+    EXPECT_EQ(d.admitted, m.admitted) << "step " << step;
+    EXPECT_EQ(d.id, m.id) << "step " << step;
+    EXPECT_EQ(d.probes, 1u) << "step " << step;
+    expect_verdict_eq(d.verdict, m.verdict, "step " + std::to_string(step));
+  }
+  EXPECT_EQ(front.resident_count(), mono.resident_count());
+  EXPECT_EQ(front.stats().fallback_admissions, 0u);
+}
+
+TEST(PartitionedOracle, WorstFitSpreadsFirstFitPacks) {
+  const mc::McTask a = mc::McTask::low("a", 2.0, 10.0);
+  const mc::McTask b = mc::McTask::low("b", 2.0, 10.0);
+  PartitionedAdmission::Config config;
+  config.cores = 2;
+  config.placement = sched::PartitionHeuristic::kWorstFit;
+  PartitionedAdmission worst(config);
+  EXPECT_EQ(worst.try_admit(a).core, 0u);  // tie -> lower index
+  EXPECT_EQ(worst.try_admit(b).core, 1u);  // core 1 now has more room
+  config.placement = sched::PartitionHeuristic::kFirstFit;
+  PartitionedAdmission first(config);
+  EXPECT_EQ(first.try_admit(a).core, 0u);
+  EXPECT_EQ(first.try_admit(b).core, 0u);
+  // Best-fit packs too: core 0 has the least remaining capacity that
+  // still fits.
+  config.placement = sched::PartitionHeuristic::kBestFit;
+  PartitionedAdmission best(config);
+  EXPECT_EQ(best.try_admit(a).core, 0u);
+  EXPECT_EQ(best.try_admit(b).core, 0u);
+}
+
+TEST(PartitionedOracle, FallbackProbingAdmitsOnLaterCore) {
+  PartitionedAdmission::Config config;
+  config.cores = 2;
+  config.placement = sched::PartitionHeuristic::kFirstFit;
+  PartitionedAdmission front(config);
+  ASSERT_TRUE(front.try_admit(mc::McTask::low("big", 7.0, 10.0)).admitted);
+  // u = 0.5 overloads core 0 (0.7 + 0.5 > 1) but fits empty core 1.
+  const PartitionedAdmission::Decision d =
+      front.try_admit(mc::McTask::low("spill", 5.0, 10.0));
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.core, 1u);
+  EXPECT_EQ(d.probes, 2u);
+  EXPECT_EQ(front.stats().fallback_admissions, 1u);
+  // Core 0's caches survived the rejected probe: the from-scratch oracle
+  // still holds and a fitting arrival lands there.
+  expect_verdict_eq(front.controller(0).current(),
+                    admission_check(front.controller(0).resident_set()),
+                    "after rejected probe");
+  EXPECT_EQ(front.try_admit(mc::McTask::low("small", 1.0, 10.0)).core, 0u);
+}
+
+TEST(PartitionedOracle, RejectionReportsPreferredCoreVerdictAndProbes) {
+  PartitionedAdmission::Config config;
+  config.cores = 2;
+  PartitionedAdmission front(config);
+  ASSERT_TRUE(front.try_admit(mc::McTask::low("a", 6.0, 10.0)).admitted);
+  ASSERT_TRUE(front.try_admit(mc::McTask::low("b", 6.0, 10.0)).admitted);
+  const PartitionedAdmission::Decision d =
+      front.try_admit(mc::McTask::low("hog", 9.0, 10.0));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.id, 0u);
+  EXPECT_EQ(d.probes, 2u);
+  // The reported verdict is the FIRST probed core's (core 0 under
+  // first-fit): candidate = {a, hog}.
+  mc::TaskSet candidate = front.controller(0).resident_set();
+  candidate.add(mc::McTask::low("hog", 9.0, 10.0));
+  expect_verdict_eq(d.verdict, admission_check(candidate), "reject verdict");
+  EXPECT_EQ(front.stats().rejected, 1u);
+  EXPECT_EQ(front.resident_count(), 2u);
+}
+
+TEST(PartitionedOracle, UnknownIdsAndInvalidInputs) {
+  PartitionedAdmission::Config config;
+  config.cores = 2;
+  PartitionedAdmission front(config);
+  EXPECT_FALSE(front.remove(42));
+  EXPECT_EQ(front.find(42), nullptr);
+  EXPECT_EQ(front.core_of(42), front.cores());
+  EXPECT_THROW((void)front.try_update(42, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)front.try_admit(mc::McTask::low("bad", 0.0, 10.0)),
+               std::invalid_argument);
+  EXPECT_THROW(PartitionedAdmission(PartitionedAdmission::Config{
+                   0, sched::PartitionHeuristic::kFirstFit, {}}),
+               std::invalid_argument);
+}
+
+TEST(PartitionedOracle, StatsAccount) {
+  PartitionedAdmission::Config config;
+  config.cores = 2;
+  PartitionedAdmission front(config);
+  const auto d1 = front.try_admit(mc::McTask::low("a", 1.0, 10.0));
+  ASSERT_TRUE(d1.admitted);
+  (void)front.try_update(d1.id, 2.0);
+  ASSERT_TRUE(front.remove(d1.id));
+  const PartitionedAdmission::Stats& s = front.stats();
+  EXPECT_EQ(s.arrivals, 1u);
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.updates, 1u);
+  EXPECT_EQ(s.departures, 1u);
+  EXPECT_EQ(s.probes, 1u);
+}
+
+}  // namespace
+}  // namespace mcs::core

@@ -9,17 +9,24 @@
 // design flow (generate -> optimize -> analyze -> simulate) can be
 // scripted through pipes and files.
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+
+#include <sys/socket.h>
 
 #include "apps/measurement.hpp"
 #include "apps/registry.hpp"
 #include "common/cli.hpp"
 #include "common/csv_merge.hpp"
 #include "common/executor.hpp"
+#include "common/net.hpp"
 #include "core/admission.hpp"
+#include "core/serve.hpp"
+#include "core/serve_net.hpp"
 #include "core/chebyshev_wcet.hpp"
 #include "core/optimizer.hpp"
 #include "core/lint.hpp"
@@ -58,7 +65,10 @@ int usage() {
       "                      (shardable: --shard i/N + mcs_merge)\n"
       "  serve               open-system admission-control service with\n"
       "                      incremental EDF-VD/DBF admission (line\n"
-      "                      protocol on stdin or --script=FILE)\n"
+      "                      protocol on stdin, --script=FILE, or TCP via\n"
+      "                      --listen; --cores=N partitions admission)\n"
+      "  client              send a request script to a --listen server\n"
+      "                      and print the replies (loopback harness)\n"
       "  wcet <kernel>       measure + statically analyze a benchmark\n"
       "                      kernel (qsort-100, corner, edge, smooth,\n"
       "                      epic, fft-256, matmul-24, ...)\n"
@@ -467,20 +477,50 @@ int cmd_simulate(const std::string& path, int argc,
   return m.hc_deadline_misses == 0 ? 0 : 1;
 }
 
+bool parse_placement(const std::string& name,
+                     sched::PartitionHeuristic* out) {
+  if (name == "first-fit") *out = sched::PartitionHeuristic::kFirstFit;
+  else if (name == "best-fit") *out = sched::PartitionHeuristic::kBestFit;
+  else if (name == "worst-fit") *out = sched::PartitionHeuristic::kWorstFit;
+  else return false;
+  return true;
+}
+
+// The network serve loop parks the server here so the SIGINT/SIGTERM
+// handler can request a graceful stop (LineServer::stop is
+// async-signal-safe: an atomic store plus a self-pipe write).
+common::net::LineServer* g_serve_server = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_serve_server) g_serve_server->stop();
+}
+
 int cmd_serve(int argc, const char* const* argv) {
   std::string script;
   std::uint64_t min_jobs = 100;
   double tolerance = 0.15;
   bool lazy = false;
+  bool listen = false;
+  std::string bind_address = "127.0.0.1";
+  std::uint64_t port = 0;
+  std::string port_file;
+  double idle_timeout_ms = -1.0;
+  std::uint64_t max_clients = 64;
+  std::uint64_t cores = 1;
+  std::string placement = "first-fit";
   common::Cli cli(
       "mcs-cli serve: long-running admission-control service over a\n"
       "mutable task set. Reads one request per line (admit/remove/record/\n"
-      "tick/stats/quit, key=value arguments; '#' starts a comment) from\n"
-      "stdin or --script and answers each on stdout — every response is\n"
-      "deterministic, so replayed scripts are byte-comparable. Arrivals\n"
-      "are validated by the incremental EDF-VD + demand-bound test;\n"
-      "record/tick close the measurement loop by re-optimizing drifted\n"
-      "C^LO budgets from observed moments (Eq. 6).");
+      "tick/stats/ping/version/quit/shutdown, key=value arguments; '#'\n"
+      "starts a comment) from stdin or --script and answers each on\n"
+      "stdout — every response is deterministic, so replayed scripts are\n"
+      "byte-comparable. With --listen the same protocol is served to many\n"
+      "concurrent TCP clients over ONE shared admission state (see\n"
+      "docs/serve_protocol.md). Arrivals are validated by the incremental\n"
+      "EDF-VD + demand-bound test; record/tick close the measurement loop\n"
+      "by re-optimizing drifted C^LO budgets from observed moments\n"
+      "(Eq. 6). With --cores=N arrivals are partitioned across N per-core\n"
+      "controllers by the --placement heuristic with fallback probing.");
   cli.add_string("script", &script,
                  "read requests from this file instead of stdin (replay)");
   cli.add_u64("min-jobs", &min_jobs,
@@ -495,15 +535,80 @@ int cmd_serve(int argc, const char* const* argv) {
                  "schedulability backend: utilization (Eq. 8 + LO demand "
                  "scan) or demand (escalates rejections to the "
                  "deadline-tightening search)");
+  cli.add_flag("listen", &listen,
+               "serve the protocol over TCP instead of stdin/--script");
+  cli.add_string("bind", &bind_address,
+                 "listen address (default 127.0.0.1)");
+  cli.add_u64("port", &port, "listen port (0 picks an ephemeral port)");
+  cli.add_string("port-file", &port_file,
+                 "write the actually bound port to this file once "
+                 "listening (handshake for test harnesses)");
+  cli.add_double("idle-timeout-ms", &idle_timeout_ms,
+                 "disconnect clients idle for this long (<= 0 disables)");
+  cli.add_u64("max-clients", &max_clients,
+              "simultaneous connection cap (default 64)");
+  cli.add_u64("cores", &cores,
+              "partition admission across N per-core controllers "
+              "(default 1 = monolithic)");
+  cli.add_string("placement", &placement,
+                 "multicore probe order: first-fit | best-fit | worst-fit");
   cli.add_jobs();
   if (!cli.parse(argc, argv)) return 1;
-
+  if (cores == 0) {
+    std::fputs("serve: --cores must be >= 1\n", stderr);
+    return 1;
+  }
   core::ServeSession::Config config;
   config.admission.eager_departure_rebuild = !lazy;
   config.admission.backend = core::parse_admission_backend(admission);
   config.moment_tolerance = tolerance;
   config.min_jobs = min_jobs;
+  config.cores = cores;
+  if (!parse_placement(placement, &config.placement)) {
+    std::fprintf(stderr, "serve: unknown --placement '%s'\n",
+                 placement.c_str());
+    return 1;
+  }
   core::ServeSession session(config);
+
+  if (listen) {
+    if (!script.empty()) {
+      std::fputs("serve: --listen and --script are mutually exclusive\n",
+                 stderr);
+      return 1;
+    }
+    common::net::ServerConfig net_config;
+    net_config.bind_address = bind_address;
+    net_config.port = static_cast<std::uint16_t>(port);
+    net_config.idle_timeout_ms = idle_timeout_ms;
+    net_config.max_connections = max_clients;
+    core::NetServeFront front(&session);
+    common::net::LineServer server(
+        net_config, [&front](std::uint64_t conn_id, const std::string& line) {
+          return front.on_line(conn_id, line);
+        });
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file);
+      pf << server.port() << '\n';
+      if (!pf) {
+        std::fprintf(stderr, "serve: cannot write %s\n", port_file.c_str());
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "serve: listening on %s:%u\n", bind_address.c_str(),
+                 static_cast<unsigned>(server.port()));
+    g_serve_server = &server;
+    (void)std::signal(SIGINT, serve_signal_handler);
+    (void)std::signal(SIGTERM, serve_signal_handler);
+    server.run();
+    g_serve_server = nullptr;
+    const common::net::LineServer::Stats s = server.stats();
+    std::fprintf(stderr,
+                 "serve: stopped after %llu lines from %llu connections\n",
+                 static_cast<unsigned long long>(s.lines),
+                 static_cast<unsigned long long>(s.accepted));
+    return 0;
+  }
 
   std::ifstream file;
   if (!script.empty()) {
@@ -523,6 +628,100 @@ int cmd_serve(int argc, const char* const* argv) {
       std::fputc('\n', stdout);
     }
   }
+  return 0;
+}
+
+int cmd_client(int argc, const char* const* argv) {
+  std::string connect_spec = "127.0.0.1:0";
+  std::string script;
+  common::Cli cli(
+      "mcs-cli client: loopback client for `mcs-cli serve --listen`.\n"
+      "Sends the request lines from --script (or stdin) to the server and\n"
+      "prints every reply line to stdout, in request order. A session\n"
+      "whose last request is neither quit nor shutdown gets a trailing\n"
+      "quit appended so the connection (and this client) terminates.");
+  cli.add_string("connect", &connect_spec, "server HOST:PORT");
+  cli.add_string("script", &script,
+                 "read requests from this file instead of stdin");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::size_t colon = connect_spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= connect_spec.size()) {
+    std::fprintf(stderr, "client: --connect needs HOST:PORT, got '%s'\n",
+                 connect_spec.c_str());
+    return 1;
+  }
+  const std::string host = connect_spec.substr(0, colon);
+  const int port_value = std::atoi(connect_spec.c_str() + colon + 1);
+  if (port_value <= 0 || port_value > 65535) {
+    std::fprintf(stderr, "client: bad port in '%s'\n", connect_spec.c_str());
+    return 1;
+  }
+
+  std::ifstream file;
+  if (!script.empty()) {
+    file.open(script);
+    if (!file) {
+      std::fprintf(stderr, "client: cannot open script '%s'\n",
+                   script.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = script.empty() ? std::cin : file;
+  std::string outgoing;
+  std::string line;
+  std::string last_request;
+  while (std::getline(in, line)) {
+    outgoing += line;
+    outgoing += '\n';
+    // Track the last non-comment, non-blank request to decide whether the
+    // session already ends the connection itself.
+    std::string t = line;
+    const std::size_t first = t.find_first_not_of(" \t\r");
+    if (first != std::string::npos && t[first] != '#') {
+      const std::size_t last = t.find_last_not_of(" \t\r");
+      last_request = t.substr(first, last - first + 1);
+    }
+  }
+  if (last_request != "quit" && last_request != "shutdown")
+    outgoing += "quit\n";
+
+  int fd = -1;
+  try {
+    fd = common::net::connect_tcp(host,
+                                  static_cast<std::uint16_t>(port_value));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "client: %s\n", e.what());
+    return 1;
+  }
+  // Push every request, then drain replies until the server closes the
+  // connection (the trailing quit guarantees it does). The server reads
+  // unconditionally — its reply queue is unbounded in memory — so a
+  // blocking write-all/read-all pump cannot wedge.
+  std::size_t sent = 0;
+  while (sent < outgoing.size()) {
+    const long w = common::net::write_retry(fd, outgoing.data() + sent,
+                                            outgoing.size() - sent);
+    if (w < 0) {
+      std::fputs("client: write failed\n", stderr);
+      common::net::close_retry(fd);
+      return 1;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  (void)::shutdown(fd, SHUT_WR);
+  char buf[4096];
+  for (;;) {
+    const long r = common::net::read_retry(fd, buf, sizeof buf);
+    if (r < 0) {
+      std::fputs("client: read failed\n", stderr);
+      common::net::close_retry(fd);
+      return 1;
+    }
+    if (r == 0) break;
+    std::fwrite(buf, 1, static_cast<std::size_t>(r), stdout);
+  }
+  common::net::close_retry(fd);
   return 0;
 }
 
@@ -581,6 +780,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "campaign") return cmd_campaign(argc - 1, argv + 1);
     if (command == "serve") return cmd_serve(argc - 1, argv + 1);
+    if (command == "client") return cmd_client(argc - 1, argv + 1);
     if (command == "wcet") {
       if (argc < 3) {
         std::fprintf(stderr, "wcet requires a kernel name\n");
