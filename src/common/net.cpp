@@ -59,7 +59,12 @@ long read_retry(int fd, void* buf, std::size_t n) {
 
 long write_retry(int fd, const void* buf, std::size_t n) {
   while (true) {
-    const ssize_t r = ::write(fd, buf, n);
+    // send(2) with MSG_NOSIGNAL: a peer that disconnected (RST) while
+    // replies were queued must surface as EPIPE — not as a SIGPIPE whose
+    // default disposition kills the whole multi-client server. Non-socket
+    // fds get the plain write(2) path.
+    ssize_t r = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (r < 0 && errno == ENOTSOCK) r = ::write(fd, buf, n);
     if (r >= 0 || errno != EINTR) return r;
   }
 }
@@ -208,7 +213,21 @@ void LineServer::stop() {
 void LineServer::accept_new() {
   while (true) {
     const int fd = accept_retry(listener_.fd());
-    if (fd < 0) return;  // EAGAIN (non-blocking listener) or transient
+    if (fd < 0) {
+      if (errno == ECONNABORTED || errno == EPROTO)
+        continue;  // peer died while queued; try the next one
+      // Anything else but "queue drained" is resource exhaustion
+      // (EMFILE/ENFILE/ENOBUFS/...): the pending connection stays in the
+      // listen queue and the level-triggered listener stays readable, so
+      // re-polling it immediately would spin at 100% CPU. Pause accepting
+      // until descriptors can have freed up.
+      if (errno != EAGAIN && errno != EWOULDBLOCK)
+        accept_pause_until_ms_ = now_ms() + 100.0;
+      return;
+    }
+    // Non-blocking before ANY write: the refusal below must not let a
+    // zero-window peer stall the single-threaded loop.
+    set_nonblocking(fd);
     if (conns_.size() >= config_.max_connections) {
       ++stats_.refused;
       static const char refusal[] = "err server at connection limit\n";
@@ -216,7 +235,6 @@ void LineServer::accept_new() {
       close_retry(fd);
       continue;
     }
-    set_nonblocking(fd);
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     Connection conn(config_.max_line);
@@ -293,8 +311,13 @@ bool LineServer::flush_output(std::size_t i) {
 void LineServer::run() {
   std::vector<pollfd> fds;
   while (!shutdown_ && !stop_requested_.load(std::memory_order_acquire)) {
+    const double loop_now = now_ms();
+    const bool accept_paused = loop_now < accept_pause_until_ms_;
     fds.clear();
-    fds.push_back({listener_.fd(), POLLIN, 0});
+    // While paused after an accept resource failure the listener is polled
+    // with no events (slot kept so conns_ stay at fds[i + 2]).
+    fds.push_back(
+        {listener_.fd(), static_cast<short>(accept_paused ? 0 : POLLIN), 0});
     fds.push_back({stop_pipe_[0], POLLIN, 0});
     for (const Connection& c : conns_) {
       short events = POLLIN;
@@ -304,13 +327,20 @@ void LineServer::run() {
 
     int timeout = -1;
     if (config_.idle_timeout_ms > 0.0 && !conns_.empty()) {
-      const double now = now_ms();
       double next_deadline = 1e18;
       for (const Connection& c : conns_)
         next_deadline =
             std::min(next_deadline, c.last_activity_ms +
                                         config_.idle_timeout_ms);
-      timeout = static_cast<int>(std::max(1.0, next_deadline - now + 1.0));
+      timeout =
+          static_cast<int>(std::max(1.0, next_deadline - loop_now + 1.0));
+    }
+    if (accept_paused) {
+      // Wake when the pause lapses so the queued connection is retried
+      // even if no other fd turns readable.
+      const int resume = static_cast<int>(
+          std::max(1.0, accept_pause_until_ms_ - loop_now + 1.0));
+      timeout = timeout < 0 ? resume : std::min(timeout, resume);
     }
 
     const int ready = poll_retry(fds.data(), fds.size(), timeout);

@@ -32,6 +32,10 @@ namespace mcs::common::net {
 
 [[nodiscard]] int accept_retry(int fd);
 [[nodiscard]] long read_retry(int fd, void* buf, std::size_t n);
+/// On sockets this is send(2) with MSG_NOSIGNAL: writing to a peer that
+/// already disconnected fails with EPIPE instead of raising SIGPIPE
+/// (whose default disposition would kill the whole server process).
+/// Non-socket fds fall back to plain write(2).
 [[nodiscard]] long write_retry(int fd, const void* buf, std::size_t n);
 /// poll(2) with a millisecond timeout; on EINTR re-polls with the
 /// remaining time so a signal cannot silently extend the wait.
@@ -216,6 +220,10 @@ class LineServer {
   StatsCounters stats_;
   int stop_pipe_[2] = {-1, -1};
   std::uint64_t next_conn_id_ = 1;
+  /// After an accept(2) resource failure (EMFILE/...) the listener is not
+  /// polled until this steady-clock instant, so the still-queued pending
+  /// connection cannot spin the loop (see accept_new).
+  double accept_pause_until_ms_ = 0.0;
   std::atomic<bool> stop_requested_{false};
   bool shutdown_ = false;
 };

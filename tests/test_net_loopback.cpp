@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -72,6 +74,24 @@ TEST(LineBuffer, OverflowsOnUnterminatedTailBeyondBound) {
     EXPECT_EQ(line, "12345");
   }
   EXPECT_FALSE(ok.overflowed());
+}
+
+// ---------------------------------------------------------------------------
+// Syscall wrappers
+
+TEST(NetWrappers, WriteToClosedPeerIsEpipeNotSigpipe) {
+  // Regression: write_retry used plain write(2) and the serve process
+  // never ignored SIGPIPE, so writing to a peer that had already closed
+  // killed the whole server. Pre-fix this test dies with SIGPIPE; now the
+  // wrapper reports EPIPE and the caller drops the connection normally.
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  common::net::close_retry(sp[1]);
+  errno = 0;
+  const long r = common::net::write_retry(sp[0], "x", 1);
+  EXPECT_EQ(r, -1);
+  EXPECT_EQ(errno, EPIPE);
+  common::net::close_retry(sp[0]);
 }
 
 // ---------------------------------------------------------------------------
@@ -347,6 +367,37 @@ TEST(NetLoopback, ConnectionLimitRefusesExcessClients) {
   // The admitted client is unaffected.
   first.send_line("ping");
   EXPECT_EQ(first.recv_line(), "ok ping");
+}
+
+TEST(NetLoopback, AbruptClientResetDoesNotKillTheServer) {
+  // A hostile client floods requests, never reads a reply, then resets
+  // the connection (SO_LINGER 0 close sends RST) while replies are still
+  // in flight. The server must shed that connection and keep serving —
+  // pre-fix the dead-peer write raised SIGPIPE and took the process down.
+  ServeHarness harness;
+  {
+    const int fd = common::net::connect_tcp("127.0.0.1", harness.port());
+    const int small = 4096;  // starve the reply path so output queues up
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &small, sizeof small);
+    std::string burst;
+    for (int i = 0; i < 20000; ++i) burst += "version\n";
+    std::size_t sent = 0;
+    while (sent < burst.size()) {
+      const long w = common::net::write_retry(fd, burst.data() + sent,
+                                              burst.size() - sent);
+      ASSERT_GT(w, 0);
+      sent += static_cast<std::size_t>(w);
+    }
+    // Let the server ingest the burst and wedge on the unread replies.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    linger lg{1, 0};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    common::net::close_retry(fd);  // RST with queued data both ways
+  }
+  // The server survived and a fresh connection is served normally.
+  LineClient next(harness.port());
+  next.send_line("ping");
+  EXPECT_EQ(next.recv_line(), "ok ping");
 }
 
 TEST(NetLoopback, StopFromAnotherThreadUnblocksRun) {

@@ -8,6 +8,7 @@
 // Task sets travel in the portable text format of mc/io.hpp, so the whole
 // design flow (generate -> optimize -> analyze -> simulate) can be
 // scripted through pipes and files.
+#include <atomic>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -488,11 +489,14 @@ bool parse_placement(const std::string& name,
 
 // The network serve loop parks the server here so the SIGINT/SIGTERM
 // handler can request a graceful stop (LineServer::stop is
-// async-signal-safe: an atomic store plus a self-pipe write).
-common::net::LineServer* g_serve_server = nullptr;
+// async-signal-safe: an atomic store plus a self-pipe write). Atomic
+// because a plain pointer may not be read from a signal handler.
+std::atomic<common::net::LineServer*> g_serve_server{nullptr};
 
 extern "C" void serve_signal_handler(int) {
-  if (g_serve_server) g_serve_server->stop();
+  common::net::LineServer* const server =
+      g_serve_server.load(std::memory_order_acquire);
+  if (server) server->stop();
 }
 
 int cmd_serve(int argc, const char* const* argv) {
@@ -558,6 +562,11 @@ int cmd_serve(int argc, const char* const* argv) {
     std::fputs("serve: --cores must be >= 1\n", stderr);
     return 1;
   }
+  if (port > 65535) {
+    std::fprintf(stderr, "serve: --port %llu out of range (max 65535)\n",
+                 static_cast<unsigned long long>(port));
+    return 1;
+  }
   core::ServeSession::Config config;
   config.admission.eager_departure_rebuild = !lazy;
   config.admission.backend = core::parse_admission_backend(admission);
@@ -597,11 +606,11 @@ int cmd_serve(int argc, const char* const* argv) {
     }
     std::fprintf(stderr, "serve: listening on %s:%u\n", bind_address.c_str(),
                  static_cast<unsigned>(server.port()));
-    g_serve_server = &server;
+    g_serve_server.store(&server, std::memory_order_release);
     (void)std::signal(SIGINT, serve_signal_handler);
     (void)std::signal(SIGTERM, serve_signal_handler);
     server.run();
-    g_serve_server = nullptr;
+    g_serve_server.store(nullptr, std::memory_order_release);
     const common::net::LineServer::Stats s = server.stats();
     std::fprintf(stderr,
                  "serve: stopped after %llu lines from %llu connections\n",
