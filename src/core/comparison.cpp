@@ -44,7 +44,10 @@ std::vector<sched::WcetOptPolicyPtr> baseline_policies() {
 std::vector<PolicyScore> compare_policies(
     double u_hc_hi, std::size_t num_tasksets, std::uint64_t seed,
     const OptimizerConfig& optimizer,
-    const std::vector<sched::WcetOptPolicyPtr>& extra_policies) {
+    const std::vector<sched::WcetOptPolicyPtr>& extra_policies,
+    const std::vector<std::vector<double>>* warm_start,
+    std::vector<std::vector<double>>* winners) {
+  if (winners != nullptr) winners->assign(num_tasksets, {});
   const auto baselines = baseline_policies();
   std::vector<PolicyScore> scores(baselines.size() + 1 +
                                   extra_policies.size());
@@ -75,7 +78,7 @@ std::vector<PolicyScore> compare_policies(
                 taskgen::generate_hc_only(gen_config, u_hc_hi, set_rng);
             return SetItem{std::move(tasks), set_rng};
           },
-          [&](std::size_t, SetItem item) {
+          [&](std::size_t set, SetItem item) {
             common::Rng set_rng = item.rng;
             std::vector<ObjectiveBreakdown> breakdowns;
             breakdowns.reserve(baselines.size() + 1 + extra_policies.size());
@@ -84,8 +87,14 @@ std::vector<PolicyScore> compare_policies(
                   apply_and_evaluate_policy(item.tasks, *baseline, set_rng));
             OptimizerConfig opt = optimizer;
             opt.ga.seed = set_rng();
-            breakdowns.push_back(
-                optimize_multipliers_ga(item.tasks, opt).breakdown);
+            // Warm start rides per replication index: the genome found on
+            // the neighbouring cell's set #k seeds this cell's set #k.
+            if (warm_start != nullptr && set < warm_start->size() &&
+                !(*warm_start)[set].empty())
+              opt.warm_start.push_back((*warm_start)[set]);
+            const OptimizationResult ga = optimize_multipliers_ga(item.tasks, opt);
+            if (winners != nullptr) (*winners)[set] = ga.n;
+            breakdowns.push_back(ga.breakdown);
             // Extra (shoot-out) policies ride after the legacy roster:
             // they draw nothing from set_rng (deterministic from the task
             // profiles), so the rows above stay bit-identical to the

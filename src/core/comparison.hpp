@@ -46,9 +46,20 @@ struct PolicyScore {
 /// the shared RNG (the shoot-out policies are deterministic from the task
 /// profiles), which keeps the legacy rows bit-identical to an extras-free
 /// run.
+///
+/// Warm start (island-model GA only): `warm_start`, when non-null, holds
+/// one genome per replication index — typically the winners of the
+/// neighbouring sweep cell — injected into the GA's initial island
+/// populations for the same replication index (see
+/// OptimizerConfig::warm_start; missing/empty entries inject nothing).
+/// `winners`, when non-null, receives the GA's chosen multiplier vector
+/// per replication so the caller can chain cells. Neither parameter
+/// perturbs the task generation or baseline RNG streams.
 [[nodiscard]] std::vector<PolicyScore> compare_policies(
     double u_hc_hi, std::size_t num_tasksets, std::uint64_t seed,
     const OptimizerConfig& optimizer = {},
-    const std::vector<sched::WcetOptPolicyPtr>& extra_policies = {});
+    const std::vector<sched::WcetOptPolicyPtr>& extra_policies = {},
+    const std::vector<std::vector<double>>* warm_start = nullptr,
+    std::vector<std::vector<double>>* winners = nullptr);
 
 }  // namespace mcs::core

@@ -148,13 +148,23 @@ class MlProblem final : public ga::Problem {
 
 MlOptimizationResult optimize_ml_ga(const MlSystem& system,
                                     const ga::GaConfig& config,
-                                    double increment_cap) {
+                                    double increment_cap,
+                                    const ga::IslandPlan& plan) {
   if (!system.valid())
     throw std::invalid_argument("optimize_ml_ga: invalid system");
   const MlProblem problem(system, increment_cap);
-  const ga::GaResult ga_result = ga::run_ga(problem, config);
   MlOptimizationResult result;
-  result.increments = ga_result.best.genes;
+  if (plan.islands > 1 || plan.migration_interval > 0) {
+    ga::IslandGaConfig island_config;
+    island_config.ga = config;
+    island_config.plan = plan;
+    const ga::IslandGaResult ga_result =
+        ga::run_island_ga(problem, island_config);
+    result.increments = ga::best_of_state(ga_result.final_state).genes;
+  } else {
+    const ga::GaResult ga_result = ga::run_ga(problem, config);
+    result.increments = ga_result.best.genes;
+  }
   result.assignment = decode_ml_assignment(system, result.increments);
   result.evaluation = evaluate_ml_assignment(system, result.assignment);
   return result;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "ga/engine.hpp"
+#include "ga/islands.hpp"
 
 namespace mcs::core {
 
@@ -96,9 +97,12 @@ struct MlOptimizationResult {
 };
 
 /// Optimizes the multiplier increments with the GA (paper hyper-params).
-/// `increment_cap` bounds each per-rung increment.
+/// `increment_cap` bounds each per-rung increment. The default `plan`
+/// (1 island, no migration) keeps the historical run_ga path; islands > 1
+/// or a migration interval switch to the island-model search with the
+/// best_of_state winner rule.
 [[nodiscard]] MlOptimizationResult optimize_ml_ga(
     const MlSystem& system, const ga::GaConfig& config = {},
-    double increment_cap = 16.0);
+    double increment_cap = 16.0, const ga::IslandPlan& plan = {});
 
 }  // namespace mcs::core

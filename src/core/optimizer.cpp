@@ -1,6 +1,7 @@
 #include "core/optimizer.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
@@ -42,12 +43,33 @@ class MultiplierProblem final : public ga::Problem {
 
 }  // namespace
 
+std::unique_ptr<ga::Problem> make_multiplier_problem(const mc::TaskSet& tasks,
+                                                     double n_cap) {
+  return std::make_unique<MultiplierProblem>(tasks, n_cap);
+}
+
 OptimizationResult optimize_multipliers_ga(const mc::TaskSet& tasks,
                                            const OptimizerConfig& config) {
   const MultiplierProblem problem(tasks, config.n_cap);
-  const ga::GaResult ga_result = ga::run_ga(problem, config.ga);
   OptimizationResult result;
-  result.n = ga_result.best.genes;
+  const bool island_path = config.islands.islands > 1 ||
+                           config.islands.migration_interval > 0 ||
+                           !config.warm_start.empty();
+  if (island_path) {
+    ga::IslandGaConfig island_config;
+    island_config.ga = config.ga;
+    island_config.plan = config.islands;
+    island_config.seed_genomes = config.warm_start;
+    const ga::IslandGaResult ga_result =
+        ga::run_island_ga(problem, island_config);
+    result.n = ga::best_of_state(ga_result.final_state).genes;
+    result.search = ga_result.stats;
+  } else {
+    const ga::GaResult ga_result = ga::run_ga(problem, config.ga);
+    result.n = ga_result.best.genes;
+    result.search.evaluations = ga_result.evaluations;
+    result.search.cache_misses = ga_result.evaluations;
+  }
   result.breakdown = evaluate_multipliers(tasks, result.n);
   return result;
 }

@@ -3,10 +3,12 @@
 // Section V-B analysis and a deterministic fallback/ablation baseline).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/objective.hpp"
 #include "ga/engine.hpp"
+#include "ga/islands.hpp"
 #include "mc/taskset.hpp"
 
 namespace mcs::core {
@@ -15,6 +17,9 @@ namespace mcs::core {
 struct OptimizationResult {
   std::vector<double> n;          ///< chosen multipliers (per HC task)
   ObjectiveBreakdown breakdown;   ///< objective at the chosen point
+  /// Search cost: fitness calls and memo hit/miss counts. The monolithic
+  /// run_ga path has no memo, so hits = 0 and misses = evaluations.
+  ga::IslandStats search;
 };
 
 /// Knobs for the GA-based optimizer. The GA hyper-parameters default to
@@ -24,7 +29,25 @@ struct OptimizationResult {
 struct OptimizerConfig {
   ga::GaConfig ga;
   double n_cap = 64.0;
+  /// Island-model knobs. The default (1 island, no migration, no warm
+  /// start) takes the historical run_ga path bit for bit; islands > 1, a
+  /// migration interval, or warm-start genomes switch to run_island_ga,
+  /// whose winner is picked by ga::best_of_state (the same rule the
+  /// sharded CLI --finalize path applies).
+  ga::IslandPlan islands;
+  /// Warm-start genomes injected into every island's initial population
+  /// (see ga::IslandGaConfig::seed_genomes), e.g. the winners of a
+  /// neighbouring sweep cell.
+  std::vector<ga::Genome> warm_start;
 };
+
+/// The Eq. 13 GA problem itself — genes are the per-HC-task multipliers
+/// n_i in [0, min(n_cap, n_max(i))]. Exposed so drivers can feed the raw
+/// problem to the island-layer primitives (the sharded `mcs-cli optimize
+/// --state-csv` epoch dataflow); `tasks` must outlive the problem.
+/// Requires at least one HC task with stats.
+[[nodiscard]] std::unique_ptr<ga::Problem> make_multiplier_problem(
+    const mc::TaskSet& tasks, double n_cap = 64.0);
 
 /// Optimizes per-task multipliers with the GA (Section IV-C "Problem
 /// Solving"). Requires at least one HC task with stats.

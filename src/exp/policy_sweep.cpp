@@ -10,7 +10,33 @@ std::vector<PolicySweepPoint> run_policy_sweep(
     const std::vector<double>& u_values, std::size_t tasksets,
     std::uint64_t seed, const core::OptimizerConfig& optimizer,
     const common::Executor& exec,
-    const std::vector<sched::WcetOptPolicyPtr>& extra_policies) {
+    const std::vector<sched::WcetOptPolicyPtr>& extra_policies,
+    bool warm_start) {
+  if (warm_start) {
+    if (exec.shard().active())
+      throw std::invalid_argument(
+          "run_policy_sweep: --warm-start chains points left to right and "
+          "cannot be sharded");
+    // Sequential left-to-right chain: point p seeds its GA populations
+    // with point p-1's winning genomes (same replication index; genomes
+    // are dimension-adapted inside the island layer because neighbouring
+    // cells draw different task sets).
+    std::vector<PolicySweepPoint> points;
+    points.reserve(u_values.size());
+    std::vector<std::vector<double>> carry;
+    std::vector<std::vector<double>> winners;
+    for (const double u : u_values) {
+      PolicySweepPoint point;
+      point.u_hc_hi = u;
+      point.scores = core::compare_policies(
+          u, tasksets, seed + static_cast<std::uint64_t>(u * 1000.0),
+          optimizer, extra_policies, carry.empty() ? nullptr : &carry,
+          &winners);
+      carry = std::move(winners);
+      points.push_back(std::move(point));
+    }
+    return points;
+  }
   // Outer-axis fan-out: every utilization point derives its seed from its
   // own u value, so the Fig. 4/5 points are independent work items; the
   // per-taskset GA runs inside compare_policies execute inline on the

@@ -33,11 +33,20 @@ struct PolicySweepHeadline {
 /// shard outputs concatenate to the unsharded result byte-for-byte).
 /// `extra_policies` append shoot-out rows after the legacy roster
 /// without disturbing it (see core::compare_policies).
+///
+/// With `warm_start` true the points are evaluated sequentially in
+/// u order and each point's island GA populations are seeded with the
+/// previous point's winning genomes (replication-aligned — see
+/// core::compare_policies). The chaining makes points depend on their
+/// left neighbour, so warm start is incompatible with a sharded executor
+/// (throws std::invalid_argument); it remains --jobs-invariant because
+/// the per-point parallelism lives inside compare_policies.
 [[nodiscard]] std::vector<PolicySweepPoint> run_policy_sweep(
     const std::vector<double>& u_values, std::size_t tasksets,
     std::uint64_t seed, const core::OptimizerConfig& optimizer = {},
     const common::Executor& exec = {},
-    const std::vector<sched::WcetOptPolicyPtr>& extra_policies = {});
+    const std::vector<sched::WcetOptPolicyPtr>& extra_policies = {},
+    bool warm_start = false);
 
 /// Computes the headline comparison numbers. Only baselines that remain
 /// feasible are counted in the gain.

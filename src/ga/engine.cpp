@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "common/thread_pool.hpp"
 
@@ -16,6 +17,8 @@ namespace {
 /// a pure function of the genes, so the only ordering that matters is
 /// where each result lands — and results are written back by index, which
 /// makes the outcome identical to the serial loop for any --jobs value.
+/// Results pass through sanitize_fitness (see problem.hpp): a NaN or
+/// infinite objective becomes -inf instead of corrupting the comparator.
 void evaluate_population(std::vector<Individual>& population,
                          const Problem& problem, std::size_t& evals) {
   std::vector<std::size_t> todo;
@@ -24,7 +27,7 @@ void evaluate_population(std::vector<Individual>& population,
   if (todo.empty()) return;
   const std::vector<double> fitness =
       common::parallel_map(todo.size(), [&](std::size_t k) {
-        return problem.evaluate(population[todo[k]].genes);
+        return sanitize_fitness(problem.evaluate(population[todo[k]].genes));
       });
   for (std::size_t k = 0; k < todo.size(); ++k) {
     population[todo[k]].fitness = fitness[k];
@@ -33,7 +36,24 @@ void evaluate_population(std::vector<Individual>& population,
   evals += todo.size();
 }
 
-GenerationStats summarize(const std::vector<Individual>& population) {
+bool fitter(const Individual& a, const Individual& b) {
+  return a.fitness > b.fitness;
+}
+
+}  // namespace
+
+void validate_ga_config(const Problem& problem, const GaConfig& config,
+                        const char* who) {
+  const std::string prefix(who);
+  if (config.population_size < 2)
+    throw std::invalid_argument(prefix + ": population_size must be >= 2");
+  if (problem.dimension() == 0)
+    throw std::invalid_argument(prefix + ": problem dimension must be >= 1");
+  if (config.elitism >= config.population_size)
+    throw std::invalid_argument(prefix + ": elitism must be < population_size");
+}
+
+GenerationStats summarize_population(const std::vector<Individual>& population) {
   GenerationStats s;
   s.best = -std::numeric_limits<double>::infinity();
   s.worst = std::numeric_limits<double>::infinity();
@@ -47,15 +67,64 @@ GenerationStats summarize(const std::vector<Individual>& population) {
   return s;
 }
 
-}  // namespace
+std::vector<Individual> breed_generation(
+    const std::vector<Individual>& population, const Problem& problem,
+    const GaConfig& config, common::Rng& rng) {
+  std::vector<Individual> next;
+  next.reserve(config.population_size);
+
+  // Elitism: carry over the current best individuals unchanged. Sorting
+  // indices avoids deep-copying every genome just to find the winners.
+  std::vector<std::size_t> order(population.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(
+                                        config.elitism),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return fitter(population[a], population[b]);
+                    });
+  for (std::size_t e = 0; e < config.elitism; ++e)
+    next.push_back(population[order[e]]);
+
+  while (next.size() < config.population_size) {
+    const std::size_t parent_a =
+        tournament_select(population, config.tournament_size, rng);
+    const std::size_t parent_b =
+        tournament_select(population, config.tournament_size, rng);
+    Individual child_a = population[parent_a];
+    Individual child_b = population[parent_b];
+    if (rng.bernoulli(config.crossover_prob))
+      two_point_crossover(child_a.genes, child_b.genes, rng);
+    auto mutate = [&](Genome& genes) {
+      if (config.mutation == MutationKind::kGaussian)
+        gaussian_mutation(genes, problem, rng,
+                          config.gaussian_sigma_fraction);
+      else
+        single_point_mutation(genes, problem, rng);
+    };
+    if (rng.bernoulli(config.mutation_prob)) mutate(child_a.genes);
+    if (rng.bernoulli(config.mutation_prob)) mutate(child_b.genes);
+    clamp_to_bounds(child_a.genes, problem);
+    clamp_to_bounds(child_b.genes, problem);
+    // Invalidate only genomes the operators actually changed. Tournament
+    // selection can pick the same parent twice, making the crossover swap
+    // a no-op, and a mutation can redraw the value already there; in both
+    // cases the child still carries its parent's fitness, and evaluation
+    // is a pure function of the genes, so re-evaluating would burn a
+    // fitness call to recompute a number we already hold.
+    if (child_a.genes != population[parent_a].genes)
+      child_a.evaluated = false;
+    if (child_b.genes != population[parent_b].genes)
+      child_b.evaluated = false;
+    next.push_back(std::move(child_a));
+    if (next.size() < config.population_size)
+      next.push_back(std::move(child_b));
+  }
+  return next;
+}
 
 GaResult run_ga(const Problem& problem, const GaConfig& config) {
-  if (config.population_size < 2)
-    throw std::invalid_argument("run_ga: population_size must be >= 2");
-  if (problem.dimension() == 0)
-    throw std::invalid_argument("run_ga: problem dimension must be >= 1");
-  if (config.elitism >= config.population_size)
-    throw std::invalid_argument("run_ga: elitism must be < population_size");
+  validate_ga_config(problem, config, "run_ga");
 
   common::Rng rng(config.seed);
   GaResult result;
@@ -64,70 +133,17 @@ GaResult run_ga(const Problem& problem, const GaConfig& config) {
   for (Individual& ind : population) ind.genes = random_genome(problem, rng);
   evaluate_population(population, problem, result.evaluations);
 
-  auto fitter = [](const Individual& a, const Individual& b) {
-    return a.fitness > b.fitness;
-  };
-
   result.best = *std::max_element(
       population.begin(), population.end(),
       [&](const Individual& a, const Individual& b) { return fitter(b, a); });
 
   for (std::size_t gen = 0; gen < config.generations; ++gen) {
-    std::vector<Individual> next;
-    next.reserve(config.population_size);
-
-    // Elitism: carry over the current best individuals unchanged. Sorting
-    // indices avoids deep-copying every genome just to find the winners.
-    std::vector<std::size_t> order(population.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::partial_sort(order.begin(),
-                      order.begin() + static_cast<std::ptrdiff_t>(
-                                          config.elitism),
-                      order.end(), [&](std::size_t a, std::size_t b) {
-                        return fitter(population[a], population[b]);
-                      });
-    for (std::size_t e = 0; e < config.elitism; ++e)
-      next.push_back(population[order[e]]);
-
-    while (next.size() < config.population_size) {
-      Individual child_a =
-          population[tournament_select(population, config.tournament_size,
-                                       rng)];
-      Individual child_b =
-          population[tournament_select(population, config.tournament_size,
-                                       rng)];
-      if (rng.bernoulli(config.crossover_prob)) {
-        two_point_crossover(child_a.genes, child_b.genes, rng);
-        child_a.evaluated = false;
-        child_b.evaluated = false;
-      }
-      auto mutate = [&](Genome& genes) {
-        if (config.mutation == MutationKind::kGaussian)
-          gaussian_mutation(genes, problem, rng,
-                            config.gaussian_sigma_fraction);
-        else
-          single_point_mutation(genes, problem, rng);
-      };
-      if (rng.bernoulli(config.mutation_prob)) {
-        mutate(child_a.genes);
-        child_a.evaluated = false;
-      }
-      if (rng.bernoulli(config.mutation_prob)) {
-        mutate(child_b.genes);
-        child_b.evaluated = false;
-      }
-      clamp_to_bounds(child_a.genes, problem);
-      clamp_to_bounds(child_b.genes, problem);
-      next.push_back(std::move(child_a));
-      if (next.size() < config.population_size)
-        next.push_back(std::move(child_b));
-    }
-
+    std::vector<Individual> next =
+        breed_generation(population, problem, config, rng);
     evaluate_population(next, problem, result.evaluations);
     population = std::move(next);
 
-    const GenerationStats stats = summarize(population);
-    result.history.push_back(stats);
+    result.history.push_back(summarize_population(population));
     for (const Individual& ind : population)
       if (ind.fitness > result.best.fitness) result.best = ind;
   }

@@ -49,6 +49,27 @@ struct GaResult {
   std::size_t evaluations = 0;            ///< fitness calls performed
 };
 
+/// Validates the (problem, config) pair shared by run_ga and the island
+/// layer: population_size >= 2, dimension >= 1, elitism < population_size.
+/// Throws std::invalid_argument, prefixing messages with `who`.
+void validate_ga_config(const Problem& problem, const GaConfig& config,
+                        const char* who);
+
+/// Per-generation statistics over an evaluated population.
+[[nodiscard]] GenerationStats summarize_population(
+    const std::vector<Individual>& population);
+
+/// One generational breeding step: elitism then tournament/crossover/
+/// mutation until the next population is full. Children whose genome ends
+/// up identical to their parent's (no-op crossover between equal parents,
+/// mutation redrawing the same value) keep the parent's cached fitness
+/// instead of being re-evaluated. Consumes exactly the same RNG draw
+/// sequence as the historical inline loop, so seeds reproduce old runs.
+/// This is the building block shared between run_ga and ga/islands.
+[[nodiscard]] std::vector<Individual> breed_generation(
+    const std::vector<Individual>& population, const Problem& problem,
+    const GaConfig& config, common::Rng& rng);
+
 /// Runs the generational GA on `problem`, maximizing fitness.
 /// Requires population_size >= 2 and dimension >= 1.
 [[nodiscard]] GaResult run_ga(const Problem& problem, const GaConfig& config);

@@ -6,7 +6,9 @@
 // (Eq. 13).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -14,6 +16,20 @@ namespace mcs::ga {
 
 /// Real-vector genome.
 using Genome = std::vector<double>;
+
+/// Fitness contract: the engine stores only finite fitness values (or
+/// -inf for "worst possible"). A Problem::evaluate that returns NaN or
+/// +/-inf on a degenerate genome — e.g. an objective dividing by a
+/// collapsed utilization — would otherwise break the strict weak
+/// ordering required by partial_sort/max_element/tournament selection
+/// (NaN compares false both ways) and poison the mean in the
+/// per-generation statistics. Every evaluation result is therefore
+/// passed through this mapping before it reaches an Individual: finite
+/// values pass through unchanged, everything else becomes -inf, i.e.
+/// "never selected, never reported as best".
+[[nodiscard]] inline double sanitize_fitness(double f) {
+  return std::isfinite(f) ? f : -std::numeric_limits<double>::infinity();
+}
 
 /// A maximization problem over a box-bounded real vector.
 class Problem {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <vector>
 
 #include "common/executor.hpp"
@@ -46,6 +47,14 @@ constexpr std::uint64_t kGoldenShootoutKernels = 0x89e1455c3c72aef0ULL;
 // backends diverging would show up as exactly one of these mismatching).
 constexpr std::uint64_t kGoldenShootoutUtil = 0xcb7ccaf614fc8302ULL;
 constexpr std::uint64_t kGoldenShootoutDemand = 0xcb7ccaf614fc8302ULL;
+
+// Island-model sweep goldens, recorded from this revision at --jobs=1.
+// The island workload runs 8 generations at migration interval 3, so the
+// hash pins both migration boundaries (g=3, g=6) and the short final
+// epoch (2 generations). The warm-start golden pins the sequential
+// left-to-right chaining of point winners.
+constexpr std::uint64_t kGoldenPolicyIslands = 0xd5ca645f679686ebULL;
+constexpr std::uint64_t kGoldenPolicyWarmStart = 0x19afceeff13feeb4ULL;
 
 /// FNV-1a over 64-bit words; doubles are mixed by bit pattern, so any
 /// non-identical bit anywhere flips the digest.
@@ -281,6 +290,75 @@ TEST(ExpGolden, Fig2ShardSlicesConcatenateToUnsharded) {
       ++k;
     }
   }
+}
+
+TEST(ExpGolden, IslandPolicySweepMatchesAtEveryJobs) {
+  // The proposed-scheme GA runs as 3 islands of 12 with ring migration
+  // every 3 generations over 8 generations: epochs [0,3), [3,6), [6,8)
+  // exercise two migration boundaries and a truncated final epoch. The
+  // digest must not move at any --jobs value.
+  core::OptimizerConfig opt;
+  opt.ga.population_size = 12;
+  opt.ga.generations = 8;
+  opt.islands.islands = 3;
+  opt.islands.migration_interval = 3;
+  opt.islands.migrants = 2;
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    const auto points = exp::run_policy_sweep({0.5, 0.7}, 4, 2027, opt);
+    EXPECT_EQ(policy_hash(points), kGoldenPolicyIslands) << "jobs=" << jobs;
+  }
+}
+
+TEST(ExpGolden, IslandPolicySweepShardSlicesConcatenateToUnsharded) {
+  // Epoch-based migration keeps the island sweep shardable: stitching the
+  // per-shard points reproduces the unsharded island run bit for bit.
+  const JobsGuard guard(2);
+  core::OptimizerConfig opt;
+  opt.ga.population_size = 12;
+  opt.ga.generations = 8;
+  opt.islands.islands = 3;
+  opt.islands.migration_interval = 3;
+  opt.islands.migrants = 2;
+  const std::vector<double> u_values = {0.5, 0.6, 0.7};
+  const auto full = exp::run_policy_sweep(u_values, 3, 2027, opt);
+  std::vector<exp::PolicySweepPoint> stitched;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const common::Executor exec(common::Shard{i, 2});
+    const auto part = exp::run_policy_sweep(u_values, 3, 2027, opt, exec);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(policy_hash(stitched), policy_hash(full));
+}
+
+TEST(ExpGolden, WarmStartPolicySweepMatchesAtEveryJobs) {
+  // Warm start chains each point's island populations off the previous
+  // point's winners. The chain itself must be --jobs invariant, and the
+  // first point (no left neighbour -> no seed genomes -> legacy path)
+  // must match the cold sweep's first point bit for bit.
+  core::OptimizerConfig opt;
+  opt.ga.population_size = 12;
+  opt.ga.generations = 8;
+  const auto cold = exp::run_policy_sweep({0.5, 0.7}, 4, 2027, opt);
+  for (const std::size_t jobs : kJobsValues) {
+    const JobsGuard guard(jobs);
+    const auto warm = exp::run_policy_sweep({0.5, 0.7}, 4, 2027, opt, {}, {},
+                                            /*warm_start=*/true);
+    EXPECT_EQ(policy_hash(warm), kGoldenPolicyWarmStart) << "jobs=" << jobs;
+    ASSERT_EQ(warm.size(), cold.size());
+    EXPECT_EQ(policy_hash({warm[0]}), policy_hash({cold[0]}))
+        << "first point must be identical to the cold sweep";
+  }
+}
+
+TEST(ExpGolden, WarmStartRejectsShardedExecutor) {
+  core::OptimizerConfig opt;
+  opt.ga.population_size = 12;
+  opt.ga.generations = 8;
+  const common::Executor exec(common::Shard{0, 2});
+  EXPECT_THROW(exp::run_policy_sweep({0.5, 0.7}, 2, 2027, opt, exec, {},
+                                     /*warm_start=*/true),
+               std::invalid_argument);
 }
 
 // --- Shoot-out policy axes -------------------------------------------

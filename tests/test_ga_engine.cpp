@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -108,18 +109,20 @@ std::uint64_t ga_result_hash(const GaResult& r) {
 }
 
 TEST(GaEngine, GoldenHistoryUnchangedBySeed) {
-  // Golden hashes recorded from the serial generational engine (before
-  // index-based elitism and parallel evaluation were introduced). Any bit
-  // of drift in the evolution path — selection order, elitism ties,
-  // evaluation count — changes the hash.
+  // Golden hashes pinned against the serial generational engine. The
+  // evolution path — selection order, elitism ties, every genome and
+  // fitness bit of the history — is unchanged since the original serial
+  // recording; the constants were re-recorded once when unchanged-child
+  // re-evaluation was skipped, because that dropped the evaluation count
+  // (which the hash mixes in) without moving any other bit.
   struct Golden {
     std::uint64_t seed;
     std::uint64_t hash;
   };
   constexpr Golden kGolden[] = {
-      {1, 0x8f7718a2eaa6ca74ULL},
-      {5, 0x606a67bedd6e9774ULL},
-      {42, 0x041ff1f9690e602aULL},
+      {1, 0x8f78d7a2eaa9c201ULL},
+      {5, 0x606c16bedd7173d1ULL},
+      {42, 0x041e87f9690bf90cULL},
   };
   const Sphere problem;
   for (const Golden& g : kGolden) {
@@ -177,6 +180,98 @@ TEST(GaEngine, GaussianMutationAlsoConverges) {
   const GaResult r = run_ga(problem, config);
   for (std::size_t i = 0; i < 5; ++i)
     EXPECT_NEAR(r.best.genes[i], static_cast<double>(i), 0.5);
+}
+
+/// Parabola whose plateau region returns NaN — models an objective going
+/// non-finite on degenerate genomes (e.g. a collapsed utilization).
+class NanParabola final : public Problem {
+ public:
+  [[nodiscard]] std::size_t dimension() const override { return 1; }
+  [[nodiscard]] double lower_bound(std::size_t) const override { return 0.0; }
+  [[nodiscard]] double upper_bound(std::size_t) const override { return 10.0; }
+  [[nodiscard]] double evaluate(std::span<const double> g) const override {
+    if (g[0] > 5.0) return std::nan("");
+    return -(g[0] - 3.0) * (g[0] - 3.0);
+  }
+};
+
+TEST(GaEngine, NanFitnessNeverWinsOrPoisonsStats) {
+  // Regression: a NaN fitness used to enter the population verbatim,
+  // breaking the strict weak ordering of the `fitter` comparator (UB in
+  // partial_sort/max_element/tournament selection) and poisoning the
+  // mean in summarize(). Non-finite fitness now maps to -inf at
+  // evaluation time, so NaN genomes are simply never selected.
+  const NanParabola problem;
+  GaConfig config;
+  config.population_size = 20;
+  config.generations = 40;
+  config.seed = 11;
+  const GaResult r = run_ga(problem, config);
+  EXPECT_LE(r.best.genes[0], 5.0);
+  EXPECT_NEAR(r.best.genes[0], 3.0, 0.2);
+  EXPECT_TRUE(std::isfinite(r.best.fitness));
+  for (const GenerationStats& g : r.history) {
+    EXPECT_FALSE(std::isnan(g.best));
+    EXPECT_FALSE(std::isnan(g.mean));
+    EXPECT_FALSE(std::isnan(g.worst));
+  }
+}
+
+/// Problem that counts how often evaluate() actually runs.
+class CountingParabola final : public Problem {
+ public:
+  [[nodiscard]] std::size_t dimension() const override { return 1; }
+  [[nodiscard]] double lower_bound(std::size_t) const override { return 0.0; }
+  [[nodiscard]] double upper_bound(std::size_t) const override { return 10.0; }
+  [[nodiscard]] double evaluate(std::span<const double> g) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return -(g[0] - 3.0) * (g[0] - 3.0);
+  }
+  mutable std::atomic<std::size_t> calls{0};
+};
+
+TEST(GaEngine, EvaluationsCountActualFitnessCalls) {
+  // GaResult::evaluations must equal the number of Problem::evaluate
+  // calls — the fig5 cost columns read it as "fitness calls paid".
+  const CountingParabola problem;
+  GaConfig config;
+  config.population_size = 16;
+  config.generations = 25;
+  config.seed = 12;
+  const GaResult r = run_ga(problem, config);
+  EXPECT_EQ(r.evaluations, problem.calls.load());
+}
+
+/// 1-D problem with a collapsed box: every genome is the same point.
+class PointProblem final : public Problem {
+ public:
+  [[nodiscard]] std::size_t dimension() const override { return 1; }
+  [[nodiscard]] double lower_bound(std::size_t) const override { return 2.0; }
+  [[nodiscard]] double upper_bound(std::size_t) const override { return 2.0; }
+  [[nodiscard]] double evaluate(std::span<const double> g) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return g[0];
+  }
+  mutable std::atomic<std::size_t> calls{0};
+};
+
+TEST(GaEngine, UnchangedChildrenKeepParentFitness) {
+  // Regression: tournament selection can pick the same parent twice,
+  // making the crossover swap a no-op, and a degenerate mutation can
+  // redraw the value already in place — both used to flip `evaluated`
+  // and re-pay a fitness call for a genome whose fitness is already
+  // known. With a collapsed box every child is bit-identical to its
+  // parent, so only the initial population may be evaluated.
+  const PointProblem problem;
+  GaConfig config;
+  config.population_size = 12;
+  config.generations = 30;
+  config.crossover_prob = 1.0;
+  config.mutation_prob = 0.5;
+  config.seed = 13;
+  const GaResult r = run_ga(problem, config);
+  EXPECT_EQ(r.evaluations, config.population_size);
+  EXPECT_EQ(problem.calls.load(), config.population_size);
 }
 
 TEST(GaEngine, Validation) {

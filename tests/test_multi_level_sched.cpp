@@ -158,6 +158,28 @@ TEST(OptimizeMl, BeatsNaiveCorners) {
   EXPECT_EQ(dual_best.evaluation.escalation_probability.size(), 1U);
 }
 
+TEST(OptimizeMl, IslandPlanIsDeterministicAndAtLeastAsGood) {
+  // The ladder GA rides the same island engine as the multiplier
+  // optimizer: an island plan must be run-to-run deterministic, stay
+  // feasible, and — searching 3 populations instead of 1 — never lose
+  // to the all-zero corner either.
+  const MlSystem system = three_level_system();
+  ga::GaConfig config;
+  config.population_size = 20;
+  config.generations = 12;
+  config.seed = 5;
+  const ga::IslandPlan plan{3, 4, 2};
+  const MlOptimizationResult a = optimize_ml_ga(system, config, 16.0, plan);
+  const MlOptimizationResult b = optimize_ml_ga(system, config, 16.0, plan);
+  EXPECT_EQ(a.increments, b.increments);
+  EXPECT_EQ(a.evaluation.objective, b.evaluation.objective);
+  ASSERT_TRUE(a.evaluation.feasible);
+  const std::vector<double> zeros(system.genome_length(), 0.0);
+  const MlEvaluation corner = evaluate_ml_assignment(
+      system, decode_ml_assignment(system, zeros));
+  EXPECT_GE(a.evaluation.objective, corner.objective - 1e-9);
+}
+
 TEST(OptimizeMl, Validation) {
   MlSystem all_level_one;
   all_level_one.levels = 2;
